@@ -1,0 +1,41 @@
+// Shared plumbing for the reproduction harnesses: every bench binary
+// compiles the five-benchmark suite, runs step G once for the seed
+// thresholds, and prints paper-shaped tables.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "apps/benchmark_spec.hpp"
+#include "common/table.hpp"
+#include "exp/threshold_estimator.hpp"
+
+namespace xartrek::bench {
+
+/// The five paper benchmarks (shared by every harness).
+inline const std::vector<apps::BenchmarkSpec>& suite() {
+  static const std::vector<apps::BenchmarkSpec> specs =
+      apps::paper_benchmarks();
+  return specs;
+}
+
+/// Step-G output, computed once per process (deterministic).
+inline const exp::EstimationResult& estimation() {
+  static const exp::EstimationResult result = [] {
+    std::cerr << "[bench] running step-G threshold estimation...\n";
+    return exp::ThresholdEstimator().estimate(suite());
+  }();
+  return result;
+}
+
+/// Percentage gain of `ours` over `baseline` for lower-is-better data.
+inline double gain_pct(double baseline, double ours) {
+  return 100.0 * (baseline - ours) / baseline;
+}
+
+inline void print(const TextTable& table) {
+  std::cout << table.render() << "\n";
+}
+
+}  // namespace xartrek::bench

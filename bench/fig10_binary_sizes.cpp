@@ -1,0 +1,64 @@
+// Figure 10 -- Size of binaries.  Smaller is better.
+//
+// For each application, the three development processes produce:
+//   traditional FPGA flow : x86 executable + XCLBIN
+//   Popcorn (x86+ARM)     : multi-ISA executable
+//   Xar-Trek              : multi-ISA executable + XCLBIN
+// Xar-Trek subsumes both baselines, so it is always largest; the paper
+// reports increases between 33% and 282%, and notes Popcorn's binary is
+// largest for CG-A (900 LOC vs 300-500 for the others).
+#include "bench/bench_util.hpp"
+#include "compiler/size_model.hpp"
+#include "compiler/xar_compiler.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  const auto& specs = bench::suite();
+  const compiler::XarCompiler xar;
+  const auto suite = xar.compile(apps::make_profile_spec(specs),
+                                 apps::make_irs(specs),
+                                 apps::make_kernel_profiles(specs));
+  const hls::XclbinBuilder builder(fpga::alveo_u50_spec());
+
+  TextTable table("Figure 10: Size of binaries (KiB)");
+  table.set_header({"Application", "x86+FPGA (traditional)",
+                    "Popcorn (x86+ARM)", "Xar-Trek",
+                    "increase vs x86+FPGA %", "increase vs Popcorn %"});
+  auto kib = [](std::uint64_t bytes) {
+    return TextTable::num(static_cast<double>(bytes) / 1024.0, 0);
+  };
+  double min_inc = 1e9;
+  double max_inc = -1e9;
+  for (const auto& app : suite.apps) {
+    const auto report = compiler::size_report(app, builder);
+    const double inc_fpga =
+        report.increase_over(report.traditional_fpga_total());
+    const double inc_popcorn = report.increase_over(report.popcorn_total());
+    min_inc = std::min({min_inc, inc_fpga, inc_popcorn});
+    max_inc = std::max({max_inc, inc_fpga, inc_popcorn});
+    table.add_row({app.name, kib(report.traditional_fpga_total()),
+                   kib(report.popcorn_total()), kib(report.xartrek_total()),
+                   TextTable::num(inc_fpga, 0),
+                   TextTable::num(inc_popcorn, 0)});
+  }
+  bench::print(table);
+
+  TextTable detail("Breakdown of Xar-Trek's overheads (KiB)");
+  detail.set_header({"Application", "x86 executable", "multi-ISA executable",
+                     "migration metadata", "alignment padding",
+                     "XCLBIN (marginal)"});
+  for (const auto& app : suite.apps) {
+    const auto report = compiler::size_report(app, builder);
+    detail.add_row({app.name, kib(report.x86_executable),
+                    kib(report.multi_isa_executable),
+                    kib(report.migration_metadata),
+                    kib(report.alignment_padding),
+                    kib(report.xclbin_marginal)});
+  }
+  bench::print(detail);
+  std::cout << "Increase range: " << TextTable::num(min_inc, 0) << "% - "
+            << TextTable::num(max_inc, 0)
+            << "% (paper: 33% - 282%).\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 3 -- Average execution time of a randomized application set
+// with fewer processes than x86 cores (low load).  Lower is faster.
+//
+// Random sets of 1..5 applications drawn uniformly from the five
+// benchmarks, 10 runs each, no background load.  Four systems: vanilla
+// x86, vanilla ARM, always-FPGA, Xar-Trek.  Expected shape (paper
+// §4.1): Xar-Trek at or near vanilla x86 (it mostly does not migrate,
+// except the FPGA-favoured apps which win there), always-FPGA badly
+// hurt whenever CG-A lands in the set, vanilla ARM slowest.
+#include "bench/bench_util.hpp"
+#include "exp/figures.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  exp::AvgExecConfig config;
+  config.set_sizes = {1, 2, 3, 4, 5};
+  config.total_processes = 0;  // low load: only the set itself
+  config.systems = {apps::SystemMode::kVanillaX86,
+                    apps::SystemMode::kVanillaArm,
+                    apps::SystemMode::kAlwaysFpga,
+                    apps::SystemMode::kXarTrek};
+  config.runs = 10;
+  config.seed = 2021;
+
+  const auto result = exp::run_avg_exec_experiment(
+      bench::suite(), bench::estimation().table, config);
+
+  TextTable table(
+      "Figure 3: Avg execution time (ms), low load (1-5 processes)");
+  table.set_header({"set size", "Vanilla x86", "Vanilla ARM",
+                    "Vanilla FPGA", "Xar-Trek", "Xar-Trek vs FPGA gain %"});
+  for (int size : config.set_sizes) {
+    const double x86 =
+        result.cell(apps::SystemMode::kVanillaX86, size).mean_ms;
+    const double arm =
+        result.cell(apps::SystemMode::kVanillaArm, size).mean_ms;
+    const double fpga =
+        result.cell(apps::SystemMode::kAlwaysFpga, size).mean_ms;
+    const double xar = result.cell(apps::SystemMode::kXarTrek, size).mean_ms;
+    table.add_row({std::to_string(size), TextTable::num(x86, 0),
+                   TextTable::num(arm, 0), TextTable::num(fpga, 0),
+                   TextTable::num(xar, 0),
+                   TextTable::num(bench::gain_pct(fpga, xar), 1)});
+  }
+  bench::print(table);
+  std::cout << "Paper: Xar-Trek superior in all but two cases, gains vs\n"
+               "always-FPGA between 50% and 75%; vanilla ARM always "
+               "slowest.\n";
+  return 0;
+}

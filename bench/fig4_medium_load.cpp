@@ -1,0 +1,48 @@
+// Figure 4 -- Average execution time of randomized application sets at
+// medium load: 60 total processes (more than the 6 x86 cores, fewer
+// than the 102 total cores).  Background load comes from NPB MG-B
+// instances, as in the paper.  Lower is faster.
+//
+// Expected shape: Xar-Trek almost always beats vanilla x86, with gains
+// up to ~88% (paper §4.1).
+#include "bench/bench_util.hpp"
+#include "exp/figures.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  exp::AvgExecConfig config;
+  config.set_sizes = {5, 10, 15, 20, 25};
+  config.total_processes = 60;
+  config.systems = {apps::SystemMode::kVanillaX86,
+                    apps::SystemMode::kVanillaArm,
+                    apps::SystemMode::kAlwaysFpga,
+                    apps::SystemMode::kXarTrek};
+  config.runs = 10;
+  config.seed = 2021;
+
+  const auto result = exp::run_avg_exec_experiment(
+      bench::suite(), bench::estimation().table, config);
+
+  TextTable table(
+      "Figure 4: Avg execution time (ms), medium load (60 processes)");
+  table.set_header({"set size", "Vanilla x86", "Vanilla ARM",
+                    "Vanilla FPGA", "Xar-Trek", "Xar-Trek vs x86 gain %"});
+  for (int size : config.set_sizes) {
+    const double x86 =
+        result.cell(apps::SystemMode::kVanillaX86, size).mean_ms;
+    const double arm =
+        result.cell(apps::SystemMode::kVanillaArm, size).mean_ms;
+    const double fpga =
+        result.cell(apps::SystemMode::kAlwaysFpga, size).mean_ms;
+    const double xar = result.cell(apps::SystemMode::kXarTrek, size).mean_ms;
+    table.add_row({std::to_string(size), TextTable::num(x86, 0),
+                   TextTable::num(arm, 0), TextTable::num(fpga, 0),
+                   TextTable::num(xar, 0),
+                   TextTable::num(bench::gain_pct(x86, xar), 1)});
+  }
+  bench::print(table);
+  std::cout << "Paper: Xar-Trek gains over vanilla x86 between 1% and 88% "
+               "at medium load.\n";
+  return 0;
+}

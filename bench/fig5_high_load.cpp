@@ -1,0 +1,46 @@
+// Figure 5 -- Average execution time of randomized application sets at
+// high load: 120 total processes (more than the 102 total cores).
+// Lower is faster.
+//
+// Expected shape: Xar-Trek beats vanilla x86 by ~19-31% (paper §4.1).
+#include "bench/bench_util.hpp"
+#include "exp/figures.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  exp::AvgExecConfig config;
+  config.set_sizes = {5, 10, 15, 20, 25};
+  config.total_processes = 120;
+  config.systems = {apps::SystemMode::kVanillaX86,
+                    apps::SystemMode::kVanillaArm,
+                    apps::SystemMode::kAlwaysFpga,
+                    apps::SystemMode::kXarTrek};
+  config.runs = 10;
+  config.seed = 2021;
+
+  const auto result = exp::run_avg_exec_experiment(
+      bench::suite(), bench::estimation().table, config);
+
+  TextTable table(
+      "Figure 5: Avg execution time (ms), high load (120 processes)");
+  table.set_header({"set size", "Vanilla x86", "Vanilla ARM",
+                    "Vanilla FPGA", "Xar-Trek", "Xar-Trek vs x86 gain %"});
+  for (int size : config.set_sizes) {
+    const double x86 =
+        result.cell(apps::SystemMode::kVanillaX86, size).mean_ms;
+    const double arm =
+        result.cell(apps::SystemMode::kVanillaArm, size).mean_ms;
+    const double fpga =
+        result.cell(apps::SystemMode::kAlwaysFpga, size).mean_ms;
+    const double xar = result.cell(apps::SystemMode::kXarTrek, size).mean_ms;
+    table.add_row({std::to_string(size), TextTable::num(x86, 0),
+                   TextTable::num(arm, 0), TextTable::num(fpga, 0),
+                   TextTable::num(xar, 0),
+                   TextTable::num(bench::gain_pct(x86, xar), 1)});
+  }
+  bench::print(table);
+  std::cout << "Paper: Xar-Trek gains over vanilla x86 between 19% and 31% "
+               "at high load.\n";
+  return 0;
+}

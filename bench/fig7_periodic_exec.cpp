@@ -1,0 +1,104 @@
+// Figure 7 -- Average execution time under a periodic workload: thirty
+// waves of 20 applications launched every 30 seconds (43-minute frame),
+// process count swinging between medium and high.  Lower is better.
+//
+// Also runs the DESIGN.md ablations that only matter under time-varying
+// load: dynamic threshold refinement off (Algorithm 1), reconfiguration
+// latency hiding off (Algorithm 2's overlap), and a cold-start
+// threshold table (no step-G seeding).
+#include "bench/bench_util.hpp"
+#include "exp/figures.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  exp::PeriodicExecConfig config;
+  config.waves = 30;
+  config.apps_per_wave = 20;
+  config.wave_interval = Duration::seconds(30);
+  config.systems = {apps::SystemMode::kVanillaX86,
+                    apps::SystemMode::kAlwaysFpga,
+                    apps::SystemMode::kXarTrek};
+  config.seed = 2021;
+
+  const auto cells = exp::run_periodic_exec_experiment(
+      bench::suite(), bench::estimation().table, config);
+
+  TextTable table(
+      "Figure 7: Periodic workload (30 waves x 20 apps / 30 s), avg "
+      "execution time");
+  table.set_header({"System", "avg exec (ms)", "stddev", "completed",
+                    "makespan (min)", "x86 load min/mean/max"});
+  double vanilla = 0;
+  double xartrek = 0;
+  double fpga = 0;
+  for (const auto& cell : cells) {
+    if (cell.system == apps::SystemMode::kVanillaX86) vanilla = cell.mean_ms;
+    if (cell.system == apps::SystemMode::kXarTrek) xartrek = cell.mean_ms;
+    if (cell.system == apps::SystemMode::kAlwaysFpga) fpga = cell.mean_ms;
+    table.add_row({to_string(cell.system), TextTable::num(cell.mean_ms, 0),
+                   TextTable::num(cell.stddev_ms, 0),
+                   std::to_string(cell.completed),
+                   TextTable::num(cell.makespan_minutes, 1),
+                   TextTable::num(cell.load_min, 0) + "/" +
+                       TextTable::num(cell.load_mean, 0) + "/" +
+                       TextTable::num(cell.load_max, 0)});
+  }
+  bench::print(table);
+  std::cout << "Xar-Trek vs vanilla x86: "
+            << TextTable::num(bench::gain_pct(vanilla, xartrek), 1)
+            << "% (paper: 18%);  vs always-FPGA: "
+            << TextTable::num(bench::gain_pct(fpga, xartrek), 1)
+            << "% (paper: 32%).\n\n";
+
+  // --- Ablations (Xar-Trek only) -------------------------------------
+  struct Ablation {
+    const char* name;
+    exp::ExperimentOptions options;
+  };
+  std::vector<Ablation> ablations;
+  {
+    Ablation a;
+    a.name = "no dynamic threshold refinement (Algorithm 1 off)";
+    a.options.dynamic_thresholds = false;
+    ablations.push_back(a);
+    Ablation b;
+    b.name = "blocking reconfiguration (latency hiding off)";
+    b.options.hide_reconfiguration = false;
+    ablations.push_back(b);
+    Ablation c;
+    c.name = "lazy FPGA configuration (no eager main-start config)";
+    c.options.eager_configure = false;
+    ablations.push_back(c);
+  }
+
+  TextTable ab_table("Figure 7 ablations (Xar-Trek variants)");
+  ab_table.set_header({"Variant", "avg exec (ms)", "delta vs full %"});
+  ab_table.add_row({"full Xar-Trek", TextTable::num(xartrek, 0), "0.0"});
+  for (const auto& ab : ablations) {
+    exp::PeriodicExecConfig ab_config = config;
+    ab_config.systems = {apps::SystemMode::kXarTrek};
+    ab_config.base_options = ab.options;
+    const auto ab_cells = exp::run_periodic_exec_experiment(
+        bench::suite(), bench::estimation().table, ab_config);
+    ab_table.add_row({ab.name, TextTable::num(ab_cells[0].mean_ms, 0),
+                      TextTable::num(
+                          100.0 * (ab_cells[0].mean_ms - xartrek) / xartrek,
+                          1)});
+  }
+  // Cold-start seeding ablation: empty threshold table.
+  {
+    exp::PeriodicExecConfig cold = config;
+    cold.systems = {apps::SystemMode::kXarTrek};
+    const auto cold_cells = exp::run_periodic_exec_experiment(
+        bench::suite(), runtime::ThresholdTable{}, cold);
+    ab_table.add_row({"cold threshold table (no step-G seed)",
+                      TextTable::num(cold_cells[0].mean_ms, 0),
+                      TextTable::num(100.0 *
+                                         (cold_cells[0].mean_ms - xartrek) /
+                                         xartrek,
+                                     1)});
+  }
+  bench::print(ab_table);
+  return 0;
+}

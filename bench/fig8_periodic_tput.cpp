@@ -1,0 +1,56 @@
+// Figure 8 -- Face-detection throughput under a periodic workload: the
+// background load swings between 10 and 120 processes (triangular wave)
+// while the multi-image app runs ten sequential 60-second windows.
+// Higher is better.
+//
+// Expected shape (paper §4.3): Xar-Trek above both baselines -- ~175%
+// over vanilla x86 and ~50% over always-FPGA -- with smaller margins
+// than the fixed-load Figure 6 because the load keeps moving.
+#include "bench/bench_util.hpp"
+#include "exp/figures.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  exp::PeriodicTputConfig config;
+  config.min_load = 10;
+  config.max_load = 120;
+  config.load_period = Duration::minutes(7);
+  config.app_runs = 10;
+  config.systems = {apps::SystemMode::kVanillaX86,
+                    apps::SystemMode::kAlwaysFpga,
+                    apps::SystemMode::kXarTrek};
+  config.seed = 2021;
+
+  const auto cells = exp::run_periodic_throughput_experiment(
+      bench::suite(), bench::estimation().table, config);
+
+  TextTable table(
+      "Figure 8: Face-detection throughput under periodic load "
+      "(10-120 procs)");
+  table.set_header({"System", "images/s (mean of 10 runs)", "stddev"});
+  double vanilla = 0;
+  double fpga = 0;
+  double xartrek = 0;
+  for (const auto& cell : cells) {
+    if (cell.system == apps::SystemMode::kVanillaX86) {
+      vanilla = cell.mean_images_per_second;
+    }
+    if (cell.system == apps::SystemMode::kAlwaysFpga) {
+      fpga = cell.mean_images_per_second;
+    }
+    if (cell.system == apps::SystemMode::kXarTrek) {
+      xartrek = cell.mean_images_per_second;
+    }
+    table.add_row({to_string(cell.system),
+                   TextTable::num(cell.mean_images_per_second, 2),
+                   TextTable::num(cell.stddev, 2)});
+  }
+  bench::print(table);
+  std::cout << "Xar-Trek vs vanilla x86: +"
+            << TextTable::num(100.0 * (xartrek - vanilla) / vanilla, 0)
+            << "% (paper: +175%);  vs always-FPGA: +"
+            << TextTable::num(100.0 * (xartrek - fpga) / fpga, 0)
+            << "% (paper: +50%).\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figure 9 -- Xar-Trek's effectiveness for different percentages of
+// compute-intensive applications, at a fixed load of 120 processes.
+// Lower is better.
+//
+// Ten-application sets mixing CG-A (the non-compute-intensive pole:
+// slowest on FPGA and ARM, Table 1) with Digit2000 (the
+// compute-intensive pole: fastest on the FPGA), in seven ratios from
+// 0% to 100% CG-A.  Expected shape (paper §4.4): Xar-Trek wins as long
+// as compute-intensive applications dominate (26-32% gains), with the
+// all-CG-A point the baseline-favoured extreme.  Our reproduction's
+// deviation at that extreme is discussed in EXPERIMENTS.md: Algorithm 2
+// (as published) still migrates CG-A to the 96-core ARM server at load
+// 120, which beats a 20x-overcommitted x86 -- the paper's measured bars
+// show vanilla winning there instead.
+#include "bench/bench_util.hpp"
+#include "exp/figures.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  exp::ProfitabilityConfig config;
+  config.cg_counts = {0, 2, 4, 5, 6, 8, 10};
+  config.set_size = 10;
+  config.total_processes = 120;
+  config.systems = {apps::SystemMode::kVanillaX86,
+                    apps::SystemMode::kXarTrek};
+  config.runs = 10;
+  config.seed = 2021;
+
+  const auto result = exp::run_profitability_experiment(
+      bench::suite(), bench::estimation().table, config);
+
+  TextTable table(
+      "Figure 9: Avg execution time (ms) vs %CG-A in a 10-app set, 120 "
+      "processes");
+  table.set_header({"% CG-A (non-compute-intensive)", "Vanilla x86",
+                    "Xar-Trek", "Xar-Trek gain %"});
+  for (int cg : config.cg_counts) {
+    const double x86 =
+        result.cell(apps::SystemMode::kVanillaX86, cg).mean_ms;
+    const double xar = result.cell(apps::SystemMode::kXarTrek, cg).mean_ms;
+    table.add_row({std::to_string(cg * 10), TextTable::num(x86, 0),
+                   TextTable::num(xar, 0),
+                   TextTable::num(bench::gain_pct(x86, xar), 1)});
+  }
+  bench::print(table);
+  std::cout << "Paper: gains of 26-32% while compute-intensive apps "
+               "dominate; vanilla favoured only at 100% CG-A.\n";
+  return 0;
+}

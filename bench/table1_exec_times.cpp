@@ -1,0 +1,52 @@
+// Table 1 -- Benchmark execution times (milliseconds).
+//
+// Reproduces the paper's Table 1: for each of the five benchmarks, the
+// in-isolation execution time on vanilla x86 and under Xar-Trek's two
+// migration scenarios (x86/FPGA and x86/ARM), communication overhead
+// included.  The per-target service demands are calibrated against the
+// authors' measurements (see DESIGN.md); this harness derives the
+// scenario totals by actually running each scenario through the
+// compiled pipeline on the simulated testbed, so migration, DMA, and
+// XRT overheads all come from the models.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  // Paper values for side-by-side comparison.
+  struct PaperRow {
+    const char* app;
+    double x86, fpga, arm;
+  };
+  const PaperRow paper[] = {
+      {"cg_a", 2182, 10597, 8406},    {"facedet320", 175, 332, 642},
+      {"facedet640", 885, 832, 2991}, {"digit500", 883, 470, 2281},
+      {"digit2000", 3521, 1229, 8963},
+  };
+
+  TextTable table("Table 1: Benchmark execution times (ms)");
+  table.set_header({"Benchmark", "Vanilla Linux (x86 only)",
+                    "Xar-Trek (x86/FPGA)", "Xar-Trek (x86/ARM)",
+                    "paper x86", "paper FPGA", "paper ARM"});
+
+  for (const auto& row : bench::estimation().rows) {
+    double paper_x86 = 0;
+    double paper_fpga = 0;
+    double paper_arm = 0;
+    for (const auto& p : paper) {
+      if (row.app == p.app) {
+        paper_x86 = p.x86;
+        paper_fpga = p.fpga;
+        paper_arm = p.arm;
+      }
+    }
+    table.add_row({row.app, TextTable::num(row.x86_exec.to_ms(), 0),
+                   TextTable::num(row.fpga_exec.to_ms(), 0),
+                   TextTable::num(row.arm_exec.to_ms(), 0),
+                   TextTable::num(paper_x86, 0),
+                   TextTable::num(paper_fpga, 0),
+                   TextTable::num(paper_arm, 0)});
+  }
+  bench::print(table);
+  return 0;
+}

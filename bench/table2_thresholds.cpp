@@ -1,0 +1,42 @@
+// Table 2 -- Xar-Trek's threshold estimation.
+//
+// Runs the step-G estimator (exp::ThresholdEstimator): measures the two
+// migration scenarios in isolation, then sweeps the x86 load upward by
+// launching additional instances of the same application until the
+// plain-x86 time exceeds each scenario, and reports the crossing loads
+// as FPGA_THR / ARM_THR.  The derived thresholds should match the
+// paper's Table 2 in regime: exactly 0 for the FPGA-favoured apps, and
+// within a few processes elsewhere.
+#include "bench/bench_util.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  struct PaperRow {
+    const char* app;
+    int fpga_thr, arm_thr;
+  };
+  const PaperRow paper[] = {
+      {"cg_a", 31, 25},      {"facedet320", 16, 31}, {"facedet640", 0, 23},
+      {"digit500", 0, 18},   {"digit2000", 0, 17},
+  };
+
+  TextTable table("Table 2: Xar-Trek's threshold estimation");
+  table.set_header({"Benchmark", "HW Kernel", "FPGA_THR", "ARM_THR",
+                    "paper FPGA_THR", "paper ARM_THR"});
+  for (const auto& row : bench::estimation().rows) {
+    int paper_fpga = 0;
+    int paper_arm = 0;
+    for (const auto& p : paper) {
+      if (row.app == p.app) {
+        paper_fpga = p.fpga_thr;
+        paper_arm = p.arm_thr;
+      }
+    }
+    table.add_row({row.app, row.kernel, std::to_string(row.fpga_threshold),
+                   std::to_string(row.arm_threshold),
+                   std::to_string(paper_fpga), std::to_string(paper_arm)});
+  }
+  bench::print(table);
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Table 3 -- CPU load definition.
+//
+// The paper classifies load by process count relative to the testbed's
+// core budget: low (< 6 x86 cores), medium (>= 6 but < 102 total
+// cores), high (>= 102).  This harness prints the class boundaries for
+// the modelled platform and verifies representative process counts.
+#include "bench/bench_util.hpp"
+#include "exp/figures.hpp"
+#include "platform/testbed.hpp"
+
+int main() {
+  using namespace xartrek;
+
+  platform::Testbed testbed;
+  const int x86_cores = testbed.x86().spec().cores;
+  const int total = testbed.total_cores();
+
+  TextTable table("Table 3: CPU load definition (" +
+                  std::to_string(x86_cores) + " x86 cores, " +
+                  std::to_string(total) + " total cores)");
+  table.set_header({"CPU Load", "Range of number of processes"});
+  table.add_row({"Low", "#processes < " + std::to_string(x86_cores)});
+  table.add_row({"Medium", std::to_string(x86_cores) +
+                               " <= #processes < " + std::to_string(total)});
+  table.add_row({"High", "#processes >= " + std::to_string(total)});
+  bench::print(table);
+
+  TextTable check("Classification of the paper's experimental loads");
+  check.set_header({"#processes", "class"});
+  for (int procs : {1, 5, 25, 60, 101, 102, 120, 160}) {
+    check.add_row({std::to_string(procs),
+                   exp::to_string(exp::classify_load(procs, x86_cores,
+                                                     total))});
+  }
+  bench::print(check);
+  return 0;
+}

@@ -1,0 +1,163 @@
+#include "apps/application.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace xartrek::apps {
+
+namespace {
+
+/// Shared per-run state threaded through the continuation chain.
+struct RunState {
+  RuntimeEnv env;
+  BenchmarkSpec spec;
+  SystemMode mode;
+  AppProcess::ExitCallback on_exit;
+  AppResult result;
+  int observed_load = 0;
+};
+
+using StatePtr = std::shared_ptr<RunState>;
+
+void finish(const StatePtr& st) {
+  st->result.finished = st->env.testbed->simulation().now();
+  // The process exits: it no longer counts toward its host's load.
+  if (st->mode == SystemMode::kVanillaArm) {
+    st->env.testbed->arm().detach_process();
+  } else {
+    st->env.testbed->x86().detach_process();
+  }
+  // Scheduler-client teardown hook (end of main): Algorithm 1 refines
+  // the thresholds using the whole run's execution time, matching the
+  // step-G scenario times stored in the table.
+  if (st->mode == SystemMode::kXarTrek && st->env.client != nullptr) {
+    runtime::RunObservation obs;
+    obs.app = st->spec.name;
+    obs.executed_on = st->result.func_target;
+    obs.exec_time = st->result.elapsed();
+    obs.x86_load = st->observed_load;
+    st->env.client->on_function_return(obs);
+  }
+  st->on_exit(st->result);
+}
+
+void run_post_phase(const StatePtr& st) {
+  auto& testbed = *st->env.testbed;
+  if (st->mode == SystemMode::kVanillaArm) {
+    testbed.arm().run(st->spec.post * st->spec.arm_phase_factor,
+                      [st] { finish(st); });
+  } else {
+    testbed.x86().run(st->spec.post, [st] { finish(st); });
+  }
+}
+
+void run_function_phase(const StatePtr& st) {
+  auto& testbed = *st->env.testbed;
+  const runtime::FunctionCosts costs = st->spec.function_costs();
+
+  switch (st->mode) {
+    case SystemMode::kVanillaX86: {
+      st->result.func_target = runtime::Target::kX86;
+      st->env.executor->execute(runtime::Target::kX86, costs,
+                                [st](Duration) { run_post_phase(st); });
+      return;
+    }
+    case SystemMode::kVanillaArm: {
+      // The whole process lives on the ARM server: the function runs
+      // there natively, with no migration traffic.
+      st->result.func_target = runtime::Target::kArm;
+      testbed.arm().run(st->spec.func_arm, [st] { run_post_phase(st); });
+      return;
+    }
+    case SystemMode::kAlwaysFpga: {
+      // Traditional flow: configure lazily at the first kernel call and
+      // stall on it (paper §2, "Hardware Acceleration"), and pay the
+      // per-call OpenCL initialization that instrumented binaries hoist
+      // to main start.
+      st->result.func_target = runtime::Target::kFpga;
+      auto& device = testbed.fpga();
+      if (!device.has_kernel(st->spec.kernel_name) &&
+          !device.reconfiguring() && st->env.server != nullptr) {
+        // Reuse the server's image registry to locate the XCLBIN.
+        const fpga::XclbinImage* image =
+            st->env.server->image_with(st->spec.kernel_name);
+        if (image != nullptr) device.reconfigure(*image, [] {});
+      }
+      runtime::FunctionCosts lazy_costs = costs;
+      lazy_costs.xrt_call_overhead += st->spec.traditional_call_init;
+      st->env.executor->execute(runtime::Target::kFpga, lazy_costs,
+                                [st](Duration) { run_post_phase(st); },
+                                /*wait_for_fpga=*/true);
+      return;
+    }
+    case SystemMode::kXarTrek: {
+      XAR_EXPECTS(st->env.server != nullptr);
+      st->env.server->request_placement(
+          st->spec.name, [st, costs](runtime::PlacementDecision decision) {
+            st->result.func_target = decision.target;
+            st->observed_load = decision.observed_load;
+            st->env.executor->execute(
+                decision.target, costs,
+                [st](Duration) { run_post_phase(st); },
+                decision.wait_for_fpga);
+          });
+      return;
+    }
+  }
+  XAR_ASSERT(false);
+}
+
+void run_pre_phase(const StatePtr& st) {
+  auto& testbed = *st->env.testbed;
+  if (st->mode == SystemMode::kVanillaArm) {
+    testbed.arm().run(st->spec.pre * st->spec.arm_phase_factor,
+                      [st] { run_function_phase(st); });
+  } else {
+    testbed.x86().run(st->spec.pre, [st] { run_function_phase(st); });
+  }
+}
+
+}  // namespace
+
+void AppProcess::launch(const RuntimeEnv& env, const BenchmarkSpec& spec,
+                        SystemMode mode, ExitCallback on_exit) {
+  XAR_EXPECTS(env.testbed != nullptr && env.executor != nullptr);
+  XAR_EXPECTS(on_exit != nullptr);
+  if (mode == SystemMode::kXarTrek) {
+    XAR_EXPECTS(env.server != nullptr && env.client != nullptr &&
+                env.table != nullptr);
+  }
+
+  auto st = std::make_shared<RunState>(RunState{
+      env, spec, mode, std::move(on_exit), AppResult{}, 0});
+  st->result.app = spec.name;
+  st->result.started = env.testbed->simulation().now();
+
+  // The process becomes resident on its host server for its whole
+  // lifetime -- including while its function is away on the ARM server
+  // or the FPGA (the paper's load metric counts processes, Table 3).
+  if (mode == SystemMode::kVanillaArm) {
+    env.testbed->arm().attach_process();
+  } else {
+    env.testbed->x86().attach_process();
+  }
+
+  // Instrumented main start (Xar-Trek only): eager FPGA configuration,
+  // so the kernel is warm by the time the function call arrives
+  // (paper §3.1 step B; the Figure-6 advantage and ablation 1).
+  if (mode == SystemMode::kXarTrek && env.eager_configure) {
+    auto& device = env.testbed->fpga();
+    if (!device.has_kernel(spec.kernel_name) && !device.reconfiguring()) {
+      const fpga::XclbinImage* image =
+          env.server->image_with(spec.kernel_name);
+      if (image != nullptr) {
+        env.log.debug("app ", spec.name, ": eager-configuring ", image->id);
+        device.reconfigure(*image, [] {});
+      }
+    }
+  }
+  run_pre_phase(st);
+}
+
+}  // namespace xartrek::apps

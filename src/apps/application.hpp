@@ -1,0 +1,80 @@
+// The application process model.
+//
+// One AppProcess is one run of one benchmark on the testbed: an x86 pre
+// phase, one invocation of the selected function placed by the system
+// under test, and an x86 post phase.  Four systems can host it -- the
+// paper's three baselines and Xar-Trek itself:
+//
+//   VanillaX86:  everything on the x86 server (never migrate).
+//   VanillaArm:  everything on the ARM server.
+//   AlwaysFpga:  the traditional acceleration flow -- the function always
+//                offloads; the XCLBIN is configured lazily at the first
+//                kernel call and the caller waits for it.
+//   XarTrek:     instrumented flow -- eager FPGA pre-configuration at
+//                main start, per-call scheduler decision (Algorithm 2),
+//                threshold refinement at exit (Algorithm 1).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "apps/benchmark_spec.hpp"
+#include "common/log.hpp"
+#include "compiler/xar_compiler.hpp"
+#include "platform/testbed.hpp"
+#include "runtime/migration_executor.hpp"
+#include "runtime/scheduler_client.hpp"
+#include "runtime/scheduler_server.hpp"
+#include "runtime/threshold_table.hpp"
+
+namespace xartrek::apps {
+
+/// Which system hosts the run.
+enum class SystemMode { kVanillaX86, kVanillaArm, kAlwaysFpga, kXarTrek };
+
+[[nodiscard]] constexpr const char* to_string(SystemMode m) {
+  switch (m) {
+    case SystemMode::kVanillaX86: return "Vanilla Linux/x86";
+    case SystemMode::kVanillaArm: return "Vanilla Linux/ARM";
+    case SystemMode::kAlwaysFpga: return "Vanilla Linux/FPGA";
+    case SystemMode::kXarTrek:    return "Xar-Trek";
+  }
+  return "?";
+}
+
+/// Non-owning view of one experiment's runtime stack.  The Xar-Trek
+/// pieces (table/server/client) are null in vanilla modes.
+struct RuntimeEnv {
+  platform::Testbed* testbed = nullptr;
+  runtime::MigrationExecutor* executor = nullptr;
+  runtime::ThresholdTable* table = nullptr;
+  runtime::SchedulerServer* server = nullptr;
+  runtime::SchedulerClient* client = nullptr;
+  /// Eager FPGA configuration at main start (ablation 1 switch).
+  bool eager_configure = true;
+  Logger log = {};
+};
+
+/// One completed run.
+struct AppResult {
+  std::string app;
+  TimePoint started;
+  TimePoint finished;
+  runtime::Target func_target = runtime::Target::kX86;
+
+  [[nodiscard]] Duration elapsed() const { return finished - started; }
+};
+
+/// Launches application runs.  All methods are static; per-run state
+/// lives in a shared continuation chain inside the simulator.
+class AppProcess {
+ public:
+  using ExitCallback = std::function<void(const AppResult&)>;
+
+  /// Start one run now.  `on_exit` fires when the post phase completes.
+  static void launch(const RuntimeEnv& env, const BenchmarkSpec& spec,
+                     SystemMode mode, ExitCallback on_exit);
+};
+
+}  // namespace xartrek::apps

@@ -1,0 +1,272 @@
+#include "apps/benchmark_spec.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace xartrek::apps {
+
+runtime::FunctionCosts BenchmarkSpec::function_costs() const {
+  runtime::FunctionCosts costs;
+  costs.x86_ms = func_x86;
+  costs.arm_ms = func_arm;
+  costs.migrate_bytes = migrate_bytes;
+  costs.return_bytes = return_bytes;
+  costs.transform_ms = transform;
+  costs.kernel_name = kernel_name;
+  costs.fpga_items = fpga_items;
+  costs.fpga_input_bytes = fpga_input_bytes;
+  costs.fpga_output_bytes = fpga_output_bytes;
+  costs.xrt_call_overhead = xrt_call_overhead;
+  return costs;
+}
+
+compiler::SelectedFunction BenchmarkSpec::selected_function() const {
+  compiler::SelectedFunction sel;
+  sel.function = function;
+  sel.kernel_name = kernel_name;
+  sel.input_bytes = fpga_input_bytes;
+  sel.output_bytes = fpga_output_bytes;
+  sel.items_per_call = fpga_items;
+  return sel;
+}
+
+compiler::AppIr BenchmarkSpec::make_ir() const {
+  return compiler::make_app_ir(name, function, total_loc, hot_loc,
+                               rodata_bytes);
+}
+
+std::vector<BenchmarkSpec> paper_benchmarks() {
+  std::vector<BenchmarkSpec> specs;
+
+  // Derivations (all in ms; scenario totals must land on Table 1):
+  //   vanilla      = pre + func_x86 + post
+  //   x86/FPGA     = pre + post + xrt(1.5) + PCIe DMA + kernel
+  //   x86/ARM      = pre + post + 2*transform(0.25) + Ethernet(in/out)
+  //                  + func_arm
+  // Kernel latency at 300 MHz = [II + irregular*stall(120)] * iterations
+  // / 300e3, II = regular_body_ops / (4 * unroll).
+
+  {
+    // CG-A: Table 1 row 1 -- 2182 / 10597 / 8406.
+    BenchmarkSpec s;
+    s.name = "cg_a";
+    s.function = "conj_grad";
+    s.kernel_name = "KNL_HW_CG_A";
+    s.pre = Duration::ms(60);
+    s.post = Duration::ms(20);
+    s.func_x86 = Duration::ms(2102);  // 2182 - 80
+    // ARM: 8406 - 80 - 0.5 - eth(2.5 MiB -> 20.12) - eth(0.25 -> 2.12)
+    s.func_arm = Duration::ms(8303.3);
+    s.migrate_bytes = 2'621'440;  // CSR matrix + vectors (2.5 MiB)
+    s.return_bytes = 262'144;
+    // FPGA: kernel = 10597 - 80 - 1.5 - dma(0.07) = 10515.4 ms
+    //  -> 3.1546e9 cycles; body fp2+int1+mem1 (II=1) + 4 irregular
+    //     gathers (480 stall cycles) = 481 cycles/iter
+    //  -> iterations = 6.559e6  (~25 CG steps x 14000 rows x ~18.7
+    //     gather-equivalents; pointer chasing dominates, paper §4.4)
+    s.fpga_input_bytes = 2'097'152;
+    s.fpga_output_bytes = 112'000;
+    s.fpga_items = 1;
+    s.kernel_profile.ops =
+        hls::OpProfile{1, 2, 1, 4, /*iterations_per_item=*/6.559e6};
+    s.kernel_profile.unroll_factor = 1.0;
+    s.kernel_profile.lines_of_code = 420;
+    s.total_loc = 900;  // paper §4.5
+    s.hot_loc = 420;
+    specs.push_back(std::move(s));
+  }
+  {
+    // FaceDet320: 175 / 332 / 642.
+    BenchmarkSpec s;
+    s.name = "facedet320";
+    s.function = "detect_faces";
+    s.kernel_name = "KNL_HW_FD320";
+    s.pre = Duration::ms(18);
+    s.post = Duration::ms(7);
+    s.func_x86 = Duration::ms(150);  // 175 - 25
+    // ARM: 642 - 25 - 0.5 - eth(0.4 MiB -> 3.32) - eth(0.05 -> 0.52)
+    s.func_arm = Duration::ms(612.7);
+    s.migrate_bytes = 419'430;
+    s.return_bytes = 52'429;
+    // FPGA: kernel = 332 - 25 - 1.5 - dma(~0.01) = 305.5 ms -> 9.165e7
+    // cycles; body int10+mem8+fp2 -> II 5 -> 1.833e7 window-feature
+    // iterations across the scale pyramid.
+    s.fpga_input_bytes = 320ull * 240;  // the PGM frame
+    s.fpga_output_bytes = 4'096;
+    s.fpga_items = 1;
+    s.kernel_profile.ops =
+        hls::OpProfile{10, 2, 8, 0, /*iterations_per_item=*/1.833e7};
+    s.kernel_profile.unroll_factor = 1.0;
+    s.kernel_profile.lines_of_code = 180;
+    s.total_loc = 350;
+    s.hot_loc = 180;
+    // Cascade coefficient tables; image data is read from files in the
+    // measured builds (paper Figure 10 orders binaries by LOC, with
+    // CG-A's 900 LOC the largest -- embedded payloads would invert it).
+    s.rodata_bytes = 8 * 1024;
+    specs.push_back(std::move(s));
+  }
+  {
+    // FaceDet640: 885 / 832 / 2991.
+    BenchmarkSpec s;
+    s.name = "facedet640";
+    s.function = "detect_faces";
+    s.kernel_name = "KNL_HW_FD640";
+    s.pre = Duration::ms(38);
+    s.post = Duration::ms(15);
+    s.func_x86 = Duration::ms(832);  // 885 - 53
+    // ARM: 2991 - 53 - 0.5 - eth(1.5 MiB -> 12.12) - eth(0.1 -> 0.92)
+    s.func_arm = Duration::ms(2924.5);
+    s.migrate_bytes = 1'572'864;
+    s.return_bytes = 104'858;
+    // FPGA: kernel = 832 - 53 - 1.5 - dma(0.03) = 777.5 ms -> 2.3324e8
+    // cycles; II 5 -> 4.665e7 iterations (4x pixels, on-chip tiling).
+    s.fpga_input_bytes = 640ull * 480;
+    s.fpga_output_bytes = 8'192;
+    s.fpga_items = 1;
+    s.kernel_profile.ops =
+        hls::OpProfile{10, 2, 8, 0, /*iterations_per_item=*/4.665e7};
+    s.kernel_profile.unroll_factor = 1.0;
+    s.kernel_profile.lines_of_code = 180;
+    s.total_loc = 380;
+    s.hot_loc = 180;
+    s.rodata_bytes = 8 * 1024;
+    specs.push_back(std::move(s));
+  }
+  {
+    // Digit500: 883 / 470 / 2281.
+    BenchmarkSpec s;
+    s.name = "digit500";
+    s.function = "digitrec_kernel";
+    s.kernel_name = "KNL_HW_DR500";
+    s.pre = Duration::ms(25);
+    s.post = Duration::ms(8);
+    s.func_x86 = Duration::ms(850);  // 883 - 33
+    // ARM: 2281 - 33 - 0.5 - eth(0.6 MiB -> 4.92) - eth(2 KiB -> 0.14)
+    s.func_arm = Duration::ms(2242.4);
+    s.migrate_bytes = 629'146;
+    s.return_bytes = 2'048;
+    // FPGA: kernel = 470 - 33 - 1.5 - dma(0.02) = 435.5 ms -> 1.3064e8
+    // cycles over 500 test items; body int44+mem14 -> II 14.5 ->
+    // iterations/item = 18020 ~= the 18000-digest training stream.
+    s.fpga_input_bytes = 18'000ull * 32 + 500ull * 32;
+    s.fpga_output_bytes = 2'048;
+    s.fpga_items = 500;
+    s.kernel_profile.ops =
+        hls::OpProfile{44, 0, 14, 0, /*iterations_per_item=*/18'020};
+    s.kernel_profile.unroll_factor = 1.0;
+    s.kernel_profile.lines_of_code = 140;
+    s.total_loc = 300;
+    s.hot_loc = 140;
+    s.rodata_bytes = 16 * 1024;  // constants; training set read from files
+    specs.push_back(std::move(s));
+  }
+  {
+    // Digit2000: 3521 / 1229 / 8963.
+    BenchmarkSpec s;
+    s.name = "digit2000";
+    s.function = "digitrec_kernel";
+    s.kernel_name = "KNL_HW_DR200";  // paper Table 2 spells it this way
+    s.pre = Duration::ms(50);
+    s.post = Duration::ms(21);
+    s.func_x86 = Duration::ms(3450);  // 3521 - 71
+    // ARM: 8963 - 71 - 0.5 - eth(0.61 MiB -> 5.0) - eth(0.14)
+    s.func_arm = Duration::ms(8886.4);
+    s.migrate_bytes = 639'631;
+    s.return_bytes = 8'192;
+    // FPGA: kernel = 1229 - 71 - 1.5 - dma(0.02) = 1156.5 ms ->
+    // 3.4695e8 cycles over 2000 items; same body at unroll 1.5 ->
+    // II 9.667 -> iterations/item = 17946 ~= 18000 again.  The two
+    // digit kernels differing only in unrolling is consistent with the
+    // paper shipping two separately-tuned XCLBIN kernels.
+    s.fpga_input_bytes = 18'000ull * 32 + 2'000ull * 32;
+    s.fpga_output_bytes = 8'192;
+    s.fpga_items = 2'000;
+    s.kernel_profile.ops =
+        hls::OpProfile{44, 0, 14, 0, /*iterations_per_item=*/17'946};
+    s.kernel_profile.unroll_factor = 1.5;
+    s.kernel_profile.lines_of_code = 140;
+    s.total_loc = 320;
+    s.hot_loc = 140;
+    s.rodata_bytes = 16 * 1024;
+    specs.push_back(std::move(s));
+  }
+  return specs;
+}
+
+const BenchmarkSpec& benchmark_by_name(
+    const std::vector<BenchmarkSpec>& specs, const std::string& name) {
+  for (const auto& s : specs) {
+    if (s.name == name) return s;
+  }
+  throw Error("unknown benchmark `" + name + "`");
+}
+
+compiler::ProfileSpec make_profile_spec(
+    const std::vector<BenchmarkSpec>& specs) {
+  compiler::ProfileSpec spec;
+  spec.platform = "alveo-u50";
+  for (const auto& s : specs) {
+    compiler::ApplicationProfile app;
+    app.name = s.name;
+    app.functions.push_back(s.selected_function());
+    spec.applications.push_back(std::move(app));
+  }
+  return spec;
+}
+
+std::map<std::string, compiler::KernelProfile> make_kernel_profiles(
+    const std::vector<BenchmarkSpec>& specs) {
+  std::map<std::string, compiler::KernelProfile> profiles;
+  for (const auto& s : specs) profiles[s.kernel_name] = s.kernel_profile;
+  return profiles;
+}
+
+std::map<std::string, compiler::AppIr> make_irs(
+    const std::vector<BenchmarkSpec>& specs) {
+  std::map<std::string, compiler::AppIr> irs;
+  for (const auto& s : specs) irs[s.name] = s.make_ir();
+  return irs;
+}
+
+Duration mg_b_run_demand() {
+  // NPB MG class B (256^3 grid, 20 V-cycle iterations) takes ~9 s on one
+  // Xeon Bronze core; the load generators loop runs of this demand.
+  return Duration::seconds(9.0);
+}
+
+BfsTimes bfs_reference_times(int nodes) {
+  XAR_EXPECTS(nodes >= 100);
+  // x86 column: piecewise-linear through the paper's measured Table 4.
+  struct Point {
+    double n;
+    double x86;
+  };
+  static constexpr Point kX86[] = {
+      {1000, 3.36}, {2000, 115.74}, {3000, 256.94},
+      {4000, 458.04}, {5000, 721.48},
+  };
+  const double n = static_cast<double>(nodes);
+  double x86;
+  if (n <= kX86[0].n) {
+    x86 = kX86[0].x86 * n / kX86[0].n;
+  } else {
+    x86 = kX86[4].x86 * (n / kX86[4].n) * (n / kX86[4].n);  // extrapolate
+    for (int i = 0; i < 4; ++i) {
+      if (n <= kX86[i + 1].n) {
+        const double t = (n - kX86[i].n) / (kX86[i + 1].n - kX86[i].n);
+        x86 = kX86[i].x86 + t * (kX86[i + 1].x86 - kX86[i].x86);
+        break;
+      }
+    }
+  }
+  // FPGA column: the measurements grow almost exactly quadratically
+  // (level-synchronous rescans over host-resident data); fitting the
+  // 1000/5000 endpoints gives t = 4.946e-4 n^2 + 0.2319 n, within ~7%
+  // of the three interior measurements.
+  const double fpga = 4.946e-4 * n * n + 0.2319 * n;
+  return BfsTimes{nodes, Duration::ms(x86), Duration::ms(fpga)};
+}
+
+}  // namespace xartrek::apps

@@ -1,0 +1,45 @@
+#include "apps/load_generator.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace xartrek::apps {
+
+LoadGenerator::LoadGenerator(platform::Testbed& testbed, int processes,
+                             Duration run_demand)
+    : testbed_(testbed),
+      processes_(processes),
+      run_demand_(run_demand),
+      alive_(std::make_shared<bool>(true)) {
+  XAR_EXPECTS(processes >= 0);
+  XAR_EXPECTS(run_demand > Duration::zero());
+  current_jobs_.reserve(static_cast<std::size_t>(processes));
+  for (int p = 0; p < processes; ++p) {
+    testbed_.x86().attach_process();
+    spawn_loop();
+  }
+}
+
+void LoadGenerator::spawn_loop() {
+  // Each completed MG-B run immediately starts the next (the paper keeps
+  // the n background instances alive throughout the measurement).
+  auto alive = alive_;
+  const auto id = testbed_.x86().run(run_demand_, [this, alive] {
+    if (!*alive) return;
+    spawn_loop();
+  });
+  current_jobs_.push_back(id);
+}
+
+void LoadGenerator::stop() {
+  if (!*alive_) return;
+  *alive_ = false;
+  for (auto id : current_jobs_) {
+    testbed_.x86().cancel(id);  // returns false for already-finished runs
+  }
+  current_jobs_.clear();
+  for (int p = 0; p < processes_; ++p) testbed_.x86().detach_process();
+}
+
+}  // namespace xartrek::apps

@@ -1,0 +1,45 @@
+// Background load generation.
+//
+// The paper generates medium/high CPU load by running n simultaneous
+// instances of NPB MG class B while the measured application set
+// executes (§4.1).  Each generator process loops MG-B runs on the x86
+// cluster until stopped, occupying a run-queue slot and a fair share of
+// the cores -- exactly what the scheduler's load metric sees.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "apps/benchmark_spec.hpp"
+#include "common/time.hpp"
+#include "platform/testbed.hpp"
+
+namespace xartrek::apps {
+
+/// A set of looping MG-B processes on the x86 server.
+class LoadGenerator {
+ public:
+  /// Starts `processes` loops immediately.
+  LoadGenerator(platform::Testbed& testbed, int processes,
+                Duration run_demand = mg_b_run_demand());
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+  ~LoadGenerator() { stop(); }
+
+  /// Cancel all loops (in-flight work is abandoned).  Idempotent.
+  void stop();
+
+  [[nodiscard]] int processes() const { return processes_; }
+  [[nodiscard]] bool running() const { return *alive_; }
+
+ private:
+  void spawn_loop();
+
+  platform::Testbed& testbed_;
+  int processes_;
+  Duration run_demand_;
+  std::shared_ptr<bool> alive_;
+  std::vector<hw::CpuCluster::JobId> current_jobs_;
+};
+
+}  // namespace xartrek::apps

@@ -1,0 +1,131 @@
+#include "apps/multi_image_app.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace xartrek::apps {
+
+namespace {
+
+struct TputState {
+  RuntimeEnv env;
+  BenchmarkSpec spec;
+  SystemMode mode;
+  MultiImageConfig config;
+  MultiImageFaceApp::ExitCallback on_exit;
+  TimePoint started;
+  int processed = 0;
+  bool configured_eagerly = false;
+};
+
+using StatePtr = std::shared_ptr<TputState>;
+
+void next_image(const StatePtr& st);
+
+void finish(const StatePtr& st) {
+  st->env.testbed->x86().detach_process();
+  MultiImageResult result;
+  result.images_processed = st->processed;
+  result.elapsed = st->env.testbed->simulation().now() - st->started;
+  st->on_exit(result);
+}
+
+void process_one(const StatePtr& st) {
+  const runtime::FunctionCosts costs = st->spec.function_costs();
+  auto done = [st](Duration) {
+    ++st->processed;
+    next_image(st);
+  };
+
+  switch (st->mode) {
+    case SystemMode::kVanillaX86:
+      st->env.executor->execute(runtime::Target::kX86, costs,
+                                std::move(done));
+      return;
+    case SystemMode::kVanillaArm:
+      st->env.executor->execute(runtime::Target::kArm, costs,
+                                std::move(done));
+      return;
+    case SystemMode::kAlwaysFpga: {
+      auto& device = st->env.testbed->fpga();
+      if (!device.has_kernel(st->spec.kernel_name) &&
+          !device.reconfiguring() && st->env.server != nullptr) {
+        const fpga::XclbinImage* image =
+            st->env.server->image_with(st->spec.kernel_name);
+        if (image != nullptr) device.reconfigure(*image, [] {});
+      }
+      // Per-call OpenCL initialization: the traditional flow re-creates
+      // kernel handles/buffers each call; Xar-Trek hoists this to main
+      // start (§3.1) -- the Figure 6 edge over always-FPGA.
+      runtime::FunctionCosts lazy_costs = costs;
+      lazy_costs.xrt_call_overhead += st->spec.traditional_call_init;
+      st->env.executor->execute(runtime::Target::kFpga, lazy_costs,
+                                std::move(done), /*wait_for_fpga=*/true);
+      return;
+    }
+    case SystemMode::kXarTrek:
+      st->env.server->request_placement(
+          st->spec.name,
+          [st, costs, done = std::move(done)](
+              runtime::PlacementDecision decision) mutable {
+            st->env.executor->execute(decision.target, costs,
+                                      std::move(done),
+                                      decision.wait_for_fpga);
+          });
+      return;
+  }
+  XAR_ASSERT(false);
+}
+
+void next_image(const StatePtr& st) {
+  const TimePoint now = st->env.testbed->simulation().now();
+  if (st->processed >= st->config.target_images ||
+      now - st->started >= st->config.deadline) {
+    finish(st);
+    return;
+  }
+  // Read the next PGM from disk (x86 CPU + I/O cost), then detect.
+  st->env.testbed->x86().run(st->config.io_per_image,
+                             [st] { process_one(st); });
+}
+
+}  // namespace
+
+void MultiImageFaceApp::launch(const RuntimeEnv& env,
+                               const BenchmarkSpec& facedet, SystemMode mode,
+                               const MultiImageConfig& config,
+                               ExitCallback on_exit) {
+  XAR_EXPECTS(env.testbed != nullptr && env.executor != nullptr);
+  XAR_EXPECTS(on_exit != nullptr);
+  XAR_EXPECTS(config.target_images > 0);
+  if (mode == SystemMode::kXarTrek) {
+    XAR_EXPECTS(env.server != nullptr);
+  }
+
+  auto st = std::make_shared<TputState>(
+      TputState{env, facedet, mode, config, std::move(on_exit),
+                env.testbed->simulation().now(), 0, false});
+  // Resident on the x86 host for the whole throughput run (even while
+  // images are away on the FPGA): the paper's process-count load metric.
+  env.testbed->x86().attach_process();
+
+  // Eager configuration at main start (Xar-Trek): by the time the x86
+  // load crosses the threshold, the kernel is already resident -- this
+  // is why Figure 6 shows Xar-Trek beating even the always-FPGA flow.
+  if (mode == SystemMode::kXarTrek && env.eager_configure) {
+    auto& device = env.testbed->fpga();
+    if (!device.has_kernel(facedet.kernel_name) && !device.reconfiguring()) {
+      const fpga::XclbinImage* image =
+          env.server->image_with(facedet.kernel_name);
+      if (image != nullptr) {
+        device.reconfigure(*image, [] {});
+        st->configured_eagerly = true;
+      }
+    }
+  }
+  next_image(st);
+}
+
+}  // namespace xartrek::apps

@@ -1,0 +1,61 @@
+// Precondition / invariant checking for the Xar-Trek library.
+//
+// Following the Core Guidelines (I.5/I.6, E.25): preconditions are stated
+// at the top of functions with XAR_EXPECTS, postconditions with
+// XAR_ENSURES, and internal invariants with XAR_ASSERT.  All three throw
+// xartrek::ContractViolation so that tests can observe failures without
+// aborting the process; they are active in every build type because the
+// library is a research artifact where silent state corruption is far
+// more expensive than the check.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xartrek {
+
+/// Base class of every error thrown by the library (E.14: purpose-designed
+/// exception types).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a stated precondition, postcondition or invariant is broken.
+class ContractViolation : public Error {
+ public:
+  ContractViolation(const char* kind, const char* expr, const char* file,
+                    int line)
+      : Error(std::string(kind) + " violated: `" + expr + "` at " + file +
+              ":" + std::to_string(line)) {}
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line) {
+  throw ContractViolation(kind, expr, file, line);
+}
+}  // namespace detail
+
+}  // namespace xartrek
+
+#define XAR_EXPECTS(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::xartrek::detail::contract_fail("precondition", #cond, __FILE__,  \
+                                       __LINE__);                        \
+  } while (0)
+
+#define XAR_ENSURES(cond)                                                \
+  do {                                                                   \
+    if (!(cond))                                                         \
+      ::xartrek::detail::contract_fail("postcondition", #cond, __FILE__, \
+                                       __LINE__);                        \
+  } while (0)
+
+#define XAR_ASSERT(cond)                                              \
+  do {                                                                \
+    if (!(cond))                                                      \
+      ::xartrek::detail::contract_fail("invariant", #cond, __FILE__,  \
+                                       __LINE__);                     \
+  } while (0)

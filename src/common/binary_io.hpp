@@ -1,0 +1,110 @@
+// Little-endian binary encoding helpers.
+//
+// Shared by the scheduler wire protocol and the fat-binary image
+// format.  Writer appends; Reader is strictly bounds-checked and throws
+// xartrek::Error on truncation (never reads past the buffer).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace xartrek {
+
+/// Append-only little-endian writer.
+class BinaryWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  void u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xFF));
+    u8(static_cast<std::uint8_t>(v >> 8));
+  }
+  void u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xFFFF));
+    u16(static_cast<std::uint16_t>(v >> 16));
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xFFFF'FFFF));
+    u32(static_cast<std::uint32_t>(v >> 32));
+  }
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    u64(bits);
+  }
+  /// Length-prefixed string (<= 64 KiB).
+  void str(const std::string& s) {
+    XAR_EXPECTS(s.size() <= 0xFFFF);
+    u16(static_cast<std::uint16_t>(s.size()));
+    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+  }
+
+  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<std::byte> buf_;
+};
+
+/// Bounds-checked little-endian reader.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::span<const std::byte> data) : data_(data) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return std::to_integer<std::uint8_t>(data_[pos_++]);
+  }
+  std::uint16_t u16() {
+    const auto lo = u8();
+    const auto hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+  }
+  std::uint32_t u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  std::string str() {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string s;
+    s.reserve(len);
+    for (std::uint16_t i = 0; i < len; ++i) {
+      s.push_back(
+          static_cast<char>(std::to_integer<std::uint8_t>(data_[pos_++])));
+    }
+    return s;
+  }
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (pos_ + n > data_.size()) {
+      throw Error("binary decode: truncated input");
+    }
+  }
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace xartrek

@@ -1,0 +1,88 @@
+// Minimal leveled logger.
+//
+// The simulator and run-time narrate decisions (placement choices, FPGA
+// reconfigurations, threshold updates) through a Logger owned by whoever
+// constructs the stack -- there is no global logger (I.2/I.3).  Examples
+// construct a verbose one; benchmarks construct a quiet one.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <utility>
+
+namespace xartrek {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
+
+[[nodiscard]] constexpr const char* to_string(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo:  return "INFO";
+    case LogLevel::kWarn:  return "WARN";
+    case LogLevel::kOff:   return "OFF";
+  }
+  return "?";
+}
+
+/// A sink-configurable, level-filtered logger.  Copyable; copies share the
+/// sink, so a component handed a Logger by value can keep it.
+class Logger {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  /// Default: drop everything (quiet by default for benchmarks/tests).
+  Logger() : level_(LogLevel::kOff), sink_(nullptr) {}
+
+  Logger(LogLevel level, Sink sink)
+      : level_(level), sink_(std::move(sink)) {}
+
+  /// A logger that writes `level: message` lines to stderr.
+  [[nodiscard]] static Logger stderr_logger(LogLevel level) {
+    return Logger(level, [](LogLevel l, const std::string& msg) {
+      std::cerr << "[" << to_string(l) << "] " << msg << "\n";
+    });
+  }
+
+  [[nodiscard]] LogLevel level() const { return level_; }
+  [[nodiscard]] bool enabled(LogLevel l) const {
+    return sink_ && l >= level_ && level_ != LogLevel::kOff;
+  }
+
+  void log(LogLevel l, const std::string& msg) const {
+    if (enabled(l)) sink_(l, msg);
+  }
+
+  template <typename... Args>
+  void trace(Args&&... args) const {
+    emit(LogLevel::kTrace, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void debug(Args&&... args) const {
+    emit(LogLevel::kDebug, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void info(Args&&... args) const {
+    emit(LogLevel::kInfo, std::forward<Args>(args)...);
+  }
+  template <typename... Args>
+  void warn(Args&&... args) const {
+    emit(LogLevel::kWarn, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename... Args>
+  void emit(LogLevel l, Args&&... args) const {
+    if (!enabled(l)) return;
+    std::ostringstream oss;
+    (oss << ... << args);
+    sink_(l, oss.str());
+  }
+
+  LogLevel level_;
+  Sink sink_;
+};
+
+}  // namespace xartrek

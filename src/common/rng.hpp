@@ -1,0 +1,78 @@
+// Deterministic random number generation.
+//
+// Every stochastic choice in the reproduction (random application sets,
+// synthetic datasets, noise) flows through an explicitly-seeded Rng that
+// is passed by reference to whoever needs it (I.2: no non-const globals;
+// determinism makes every experiment re-runnable bit-for-bit).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace xartrek {
+
+/// A seedable pseudo-random source with the handful of distributions the
+/// library needs.  Concrete, regular, cheap to copy (C.10/C.11).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    XAR_EXPECTS(lo <= hi);
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform real in [lo, hi).
+  [[nodiscard]] double uniform_real(double lo, double hi) {
+    XAR_EXPECTS(lo <= hi);
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// True with probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    XAR_EXPECTS(p >= 0.0 && p <= 1.0);
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  [[nodiscard]] double normal(double mean, double stddev) {
+    XAR_EXPECTS(stddev >= 0.0);
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Exponential with the given mean (> 0).
+  [[nodiscard]] double exponential_mean(double mean) {
+    XAR_EXPECTS(mean > 0.0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// Uniformly pick an index in [0, n).  Requires n > 0.
+  [[nodiscard]] std::size_t pick_index(std::size_t n) {
+    XAR_EXPECTS(n > 0);
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(n) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[pick_index(i)]);
+    }
+  }
+
+  /// Derive an independent child stream (for per-run seeding).
+  [[nodiscard]] Rng fork() { return Rng(engine_()); }
+
+  /// Direct engine access for <random> interop.
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace xartrek

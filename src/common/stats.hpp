@@ -1,0 +1,53 @@
+// Small statistics accumulator used by every experiment harness.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "common/assert.hpp"
+
+namespace xartrek {
+
+/// Online mean / variance / extrema accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const {
+    XAR_EXPECTS(n_ > 0);
+    return mean_;
+  }
+  [[nodiscard]] double variance() const {
+    XAR_EXPECTS(n_ > 0);
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const {
+    XAR_EXPECTS(n_ > 0);
+    return min_;
+  }
+  [[nodiscard]] double max() const {
+    XAR_EXPECTS(n_ > 0);
+    return max_;
+  }
+  [[nodiscard]] double sum() const {
+    return mean_ * static_cast<double>(n_);
+  }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace xartrek

@@ -1,0 +1,101 @@
+// Strongly-typed simulated time.
+//
+// All Xar-Trek experiments run inside a discrete-event simulator whose
+// clock is a `TimePoint`; intervals are `Duration`.  Both wrap a double
+// count of milliseconds (the unit of every table in the paper).  Strong
+// types keep "a point in simulated time" and "an amount of simulated
+// time" from being mixed up with each other or with plain doubles
+// (Core Guidelines I.4).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace xartrek {
+
+/// An amount of simulated time.  Value-semantic, totally ordered.
+class Duration {
+ public:
+  constexpr Duration() = default;
+
+  /// Named constructors; prefer these to a raw-double constructor so the
+  /// unit is visible at every call site.
+  [[nodiscard]] static constexpr Duration ms(double v) { return Duration{v}; }
+  [[nodiscard]] static constexpr Duration seconds(double v) {
+    return Duration{v * 1000.0};
+  }
+  [[nodiscard]] static constexpr Duration minutes(double v) {
+    return Duration{v * 60'000.0};
+  }
+  [[nodiscard]] static constexpr Duration micros(double v) {
+    return Duration{v / 1000.0};
+  }
+  [[nodiscard]] static constexpr Duration zero() { return Duration{0.0}; }
+
+  [[nodiscard]] constexpr double to_ms() const { return ms_; }
+  [[nodiscard]] constexpr double to_seconds() const { return ms_ / 1000.0; }
+
+  constexpr auto operator<=>(const Duration&) const = default;
+
+  constexpr Duration operator+(Duration o) const { return Duration{ms_ + o.ms_}; }
+  constexpr Duration operator-(Duration o) const { return Duration{ms_ - o.ms_}; }
+  constexpr Duration operator*(double k) const { return Duration{ms_ * k}; }
+  constexpr Duration operator/(double k) const { return Duration{ms_ / k}; }
+  [[nodiscard]] constexpr double operator/(Duration o) const {
+    return ms_ / o.ms_;
+  }
+  constexpr Duration& operator+=(Duration o) {
+    ms_ += o.ms_;
+    return *this;
+  }
+  constexpr Duration& operator-=(Duration o) {
+    ms_ -= o.ms_;
+    return *this;
+  }
+
+ private:
+  explicit constexpr Duration(double ms) : ms_(ms) {}
+  double ms_ = 0.0;
+};
+
+constexpr Duration operator*(double k, Duration d) { return d * k; }
+
+/// A point on the simulation clock.  Points are compared and subtracted;
+/// only a Duration can be added to one.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+
+  [[nodiscard]] static constexpr TimePoint at_ms(double v) {
+    return TimePoint{v};
+  }
+  [[nodiscard]] static constexpr TimePoint origin() { return TimePoint{0.0}; }
+
+  [[nodiscard]] constexpr double to_ms() const { return ms_; }
+
+  constexpr auto operator<=>(const TimePoint&) const = default;
+
+  constexpr TimePoint operator+(Duration d) const {
+    return TimePoint{ms_ + d.to_ms()};
+  }
+  constexpr TimePoint operator-(Duration d) const {
+    return TimePoint{ms_ - d.to_ms()};
+  }
+  [[nodiscard]] constexpr Duration operator-(TimePoint o) const {
+    return Duration::ms(ms_ - o.ms_);
+  }
+
+ private:
+  explicit constexpr TimePoint(double ms) : ms_(ms) {}
+  double ms_ = 0.0;
+};
+
+inline std::ostream& operator<<(std::ostream& os, Duration d) {
+  return os << d.to_ms() << "ms";
+}
+inline std::ostream& operator<<(std::ostream& os, TimePoint t) {
+  return os << "t=" << t.to_ms() << "ms";
+}
+
+}  // namespace xartrek

@@ -1,0 +1,69 @@
+#include "compiler/app_ir.hpp"
+
+#include "common/assert.hpp"
+
+namespace xartrek::compiler {
+
+AppIr make_app_ir(const std::string& app_name,
+                  const std::string& hot_function, int total_loc,
+                  int hot_loc, std::uint64_t hot_rodata_bytes) {
+  XAR_EXPECTS(total_loc > hot_loc && hot_loc > 0);
+
+  // C compiles at roughly 7-9 IR ops per source line; split across
+  // categories in typical proportions for compute codes.
+  auto ops_for = [](int loc) {
+    const auto total = static_cast<std::uint64_t>(loc) * 8;
+    IrOpCounts ops;
+    ops.int_ops = total * 45 / 100;
+    ops.fp_ops = total * 15 / 100;
+    ops.mem_ops = total * 30 / 100;
+    ops.branch_ops = total - ops.int_ops - ops.fp_ops - ops.mem_ops;
+    return ops;
+  };
+
+  const int support_loc = (total_loc - hot_loc) / 3;
+  const int main_loc = total_loc - hot_loc - support_loc;
+
+  AppIr ir;
+  ir.name = app_name;
+
+  IrFunction main_fn;
+  main_fn.name = "main";
+  main_fn.lines_of_code = main_loc;
+  main_fn.ops = ops_for(main_loc);
+  main_fn.call_sites = {IrCallSite{"load_input", 0},
+                        IrCallSite{hot_function, 1},
+                        IrCallSite{"report_output", 2}};
+  main_fn.num_locals = 12;
+  main_fn.global_bytes = 4 * 1024;
+  ir.functions.push_back(main_fn);
+
+  IrFunction hot;
+  hot.name = hot_function;
+  hot.lines_of_code = hot_loc;
+  hot.ops = ops_for(hot_loc);
+  hot.call_sites = {};  // self-contained: the HLS requirement
+  hot.num_locals = 18;
+  hot.global_bytes = 16 * 1024;
+  hot.rodata_bytes = hot_rodata_bytes;
+  ir.functions.push_back(hot);
+
+  IrFunction support;
+  support.name = "load_input";
+  support.lines_of_code = support_loc / 2;
+  support.ops = ops_for(support_loc / 2);
+  support.num_locals = 6;
+  support.global_bytes = 1024;
+  ir.functions.push_back(support);
+
+  IrFunction report;
+  report.name = "report_output";
+  report.lines_of_code = support_loc - support_loc / 2;
+  report.ops = ops_for(support_loc - support_loc / 2);
+  report.num_locals = 4;
+  ir.functions.push_back(report);
+
+  return ir;
+}
+
+}  // namespace xartrek::compiler

@@ -1,0 +1,74 @@
+// Application intermediate representation.
+//
+// The Xar-Trek pipeline operates on C applications after lowering; what
+// its steps actually consume is summarized here: per-function op counts
+// (code-size and HLS models), call sites (instrumentation points and
+// migration points), locals (liveness metadata synthesis), and global
+// data (symbol layout).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xartrek::compiler {
+
+/// Static operation counts of one function body.
+struct IrOpCounts {
+  std::uint64_t int_ops = 0;
+  std::uint64_t fp_ops = 0;
+  std::uint64_t mem_ops = 0;
+  std::uint64_t branch_ops = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return int_ops + fp_ops + mem_ops + branch_ops;
+  }
+};
+
+/// A call site inside a function (a candidate migration point).
+struct IrCallSite {
+  std::string callee;
+  int site_id = 0;  ///< unique within the enclosing function
+};
+
+/// One C function.
+struct IrFunction {
+  std::string name;
+  int lines_of_code = 0;
+  IrOpCounts ops;
+  std::vector<IrCallSite> call_sites;
+  int num_locals = 0;            ///< live-value count at a typical site
+  std::uint64_t global_bytes = 0;  ///< statics/globals attributed here
+  std::uint64_t rodata_bytes = 0;  ///< constants (e.g. embedded images)
+};
+
+/// A whole application after lowering.
+struct AppIr {
+  std::string name;
+  std::vector<IrFunction> functions;
+
+  [[nodiscard]] const IrFunction* find(const std::string& fn_name) const {
+    for (const auto& f : functions) {
+      if (f.name == fn_name) return &f;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] IrFunction* find_mutable(const std::string& fn_name) {
+    for (auto& f : functions) {
+      if (f.name == fn_name) return &f;
+    }
+    return nullptr;
+  }
+  [[nodiscard]] bool has_main() const { return find("main") != nullptr; }
+};
+
+/// Build a plausible IR for a C application of `total_loc` lines whose
+/// hot function is `hot_function` with `hot_loc` lines: `main` plus the
+/// hot function plus a support function.  Op counts derive from LOC at a
+/// fixed ops-per-line density; the paper's apps are 300-900 LOC.
+[[nodiscard]] AppIr make_app_ir(const std::string& app_name,
+                                const std::string& hot_function,
+                                int total_loc, int hot_loc,
+                                std::uint64_t hot_rodata_bytes = 0);
+
+}  // namespace xartrek::compiler

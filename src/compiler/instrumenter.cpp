@@ -1,0 +1,88 @@
+#include "compiler/instrumenter.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace xartrek::compiler {
+
+std::size_t InstrumentedApp::count(Insertion::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(insertions.begin(), insertions.end(),
+                    [kind](const Insertion& i) { return i.kind == kind; }));
+}
+
+InstrumentedApp Instrumenter::instrument(
+    const AppIr& ir, const ApplicationProfile& profile) const {
+  if (!ir.has_main()) {
+    throw Error("instrumenter: application `" + ir.name + "` has no main");
+  }
+
+  InstrumentedApp out;
+  out.ir = ir;
+
+  // Validate selections first (fail before mutating anything).
+  for (const auto& sel : profile.functions) {
+    const IrFunction* fn = ir.find(sel.function);
+    if (fn == nullptr) {
+      throw Error("instrumenter: selected function `" + sel.function +
+                  "` not found in `" + ir.name + "`");
+    }
+    if (!fn->call_sites.empty()) {
+      throw Error("instrumenter: selected function `" + sel.function +
+                  "` is not self-contained (calls other functions); "
+                  "Vitis-style synthesis requires self-contained bodies");
+    }
+  }
+
+  IrFunction* main_fn = out.ir.find_mutable("main");
+  XAR_ASSERT(main_fn != nullptr);
+
+  // Calls inserted at the start of main: client registration, then the
+  // eager FPGA configuration (site ids below 0 mark synthetic sites).
+  main_fn->call_sites.insert(
+      main_fn->call_sites.begin(),
+      {IrCallSite{"__xar_client_init", -1},
+       IrCallSite{"__xar_fpga_configure", -2}});
+  out.insertions.push_back(
+      {Insertion::Kind::kSchedulerClientInit, "main", "__xar_client_init"});
+  out.insertions.push_back(
+      {Insertion::Kind::kFpgaPreconfigure, "main", "__xar_fpga_configure"});
+
+  // Call inserted at the end of main: the client's dynamic threshold
+  // update runs after the selected functions have returned (paper §3.2).
+  main_fn->call_sites.push_back(IrCallSite{"__xar_client_fini", -3});
+  out.insertions.push_back(
+      {Insertion::Kind::kSchedulerClientFini, "main", "__xar_client_fini"});
+
+  // Rewrite every call to a selected function, wherever it appears, to
+  // the three-way dispatch stub; add the stub function itself.
+  for (const auto& sel : profile.functions) {
+    const std::string stub = dispatch_stub_name(sel.function);
+    for (auto& fn : out.ir.functions) {
+      for (auto& site : fn.call_sites) {
+        if (site.callee == sel.function) {
+          site.callee = stub;
+          out.insertions.push_back({Insertion::Kind::kDispatchRewrite,
+                                    fn.name, sel.function + " -> " + stub});
+        }
+      }
+    }
+    IrFunction stub_fn;
+    stub_fn.name = stub;
+    stub_fn.lines_of_code = 40;  // flag check + 3-way call + XRT plumbing
+    stub_fn.ops = IrOpCounts{120, 0, 60, 40};
+    // The stub calls the original software function (flag 0/1) and the
+    // XRT offload path (flag 2); these call sites are also the migration
+    // points where cross-ISA state equivalence holds.
+    stub_fn.call_sites = {IrCallSite{sel.function, 0},
+                          IrCallSite{"__xar_xrt_offload", 1}};
+    stub_fn.num_locals = 8;
+    out.ir.functions.push_back(std::move(stub_fn));
+    out.dispatch_stubs.push_back(stub);
+  }
+
+  return out;
+}
+
+}  // namespace xartrek::compiler

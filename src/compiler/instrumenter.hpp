@@ -1,0 +1,66 @@
+// Step B -- instrumentation.
+//
+// For each selected function the instrumentation pass (paper §3.1):
+//   * inserts a scheduler-client registration call at the start of
+//     `main` and a teardown/threshold-update call at its end;
+//   * inserts, also at the start of `main`, a call that pre-configures
+//     the FPGA with the XCLBIN holding the application's kernels --
+//     eager configuration is what lets later kernel calls skip
+//     initialization (and what beats the always-FPGA baseline in
+//     Figure 6);
+//   * replaces every call to a selected function with a call to a
+//     three-way dispatch stub that routes to the x86, ARM, or FPGA
+//     implementation according to the migration flag set by the
+//     scheduler.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/app_ir.hpp"
+#include "compiler/profile_spec.hpp"
+
+namespace xartrek::compiler {
+
+/// A record of one code insertion/rewrite the pass performed.
+struct Insertion {
+  enum class Kind {
+    kSchedulerClientInit,   ///< start of main
+    kFpgaPreconfigure,      ///< start of main
+    kSchedulerClientFini,   ///< end of main (threshold update hook)
+    kDispatchRewrite,       ///< call site redirected to a dispatch stub
+  };
+  Kind kind;
+  std::string in_function;  ///< where the insertion happened
+  std::string detail;       ///< e.g. rewritten callee name
+};
+
+/// The pass result: the rewritten IR plus an audit trail.
+struct InstrumentedApp {
+  AppIr ir;
+  std::vector<Insertion> insertions;
+
+  /// Names of the dispatch stubs created (one per selected function).
+  std::vector<std::string> dispatch_stubs;
+
+  [[nodiscard]] std::size_t count(Insertion::Kind kind) const;
+};
+
+/// The instrumentation pass.
+class Instrumenter {
+ public:
+  /// Instrument `ir` per `profile`.  Throws if the app has no `main`, if
+  /// a selected function does not exist, or if a selected function is
+  /// not self-contained (calls other functions -- the Vitis restriction
+  /// from paper §3.1: only whole, self-contained functions synthesize).
+  [[nodiscard]] InstrumentedApp instrument(
+      const AppIr& ir, const ApplicationProfile& profile) const;
+
+  /// Name of the dispatch stub generated for `function`.
+  [[nodiscard]] static std::string dispatch_stub_name(
+      const std::string& function) {
+    return "__xar_dispatch_" + function;
+  }
+};
+
+}  // namespace xartrek::compiler

@@ -1,0 +1,151 @@
+#include "compiler/multi_isa_builder.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace xartrek::compiler {
+
+MultiIsaBuilder::MultiIsaBuilder(MultiIsaBuildOptions opts)
+    : opts_(std::move(opts)) {
+  XAR_EXPECTS(!opts_.targets.empty());
+}
+
+std::uint64_t MultiIsaBuilder::code_bytes(const IrFunction& fn,
+                                          isa::IsaKind isa) const {
+  const double density = isa::info_for(isa).code_bytes_per_op;
+  // Prologue/epilogue + alignment overhead per function.
+  return 64 + static_cast<std::uint64_t>(
+                  density * static_cast<double>(fn.ops.total()));
+}
+
+popcorn::MigrationMetadata MultiIsaBuilder::synthesize_metadata(
+    const AppIr& ir) const {
+  popcorn::MigrationMetadata metadata;
+  using popcorn::ValueLocation;
+  using popcorn::ValueType;
+
+  // Types cycle through the C-compatible primitive set.
+  constexpr ValueType kTypeCycle[] = {ValueType::kI64, ValueType::kPtr,
+                                      ValueType::kF64, ValueType::kI32,
+                                      ValueType::kI64, ValueType::kF32};
+
+  for (const auto& fn : ir.functions) {
+    for (const auto& site : fn.call_sites) {
+      popcorn::CallSiteMetadata md;
+      md.function = fn.name;
+      md.site_id = site.site_id;
+
+      // Frame: 16-byte aligned slots for spilled locals + ABI overhead
+      // (x86 pushes the return address; aarch64 stores the fp/lr pair).
+      const auto locals = static_cast<std::uint64_t>(fn.num_locals);
+      for (isa::IsaKind isa : opts_.targets) {
+        const std::uint64_t overhead =
+            isa == isa::IsaKind::kX86_64 ? 24 : 16;
+        md.frame_size[isa] = ((locals * 8 + overhead + 15) / 16) * 16;
+      }
+
+      for (int v = 0; v < fn.num_locals; ++v) {
+        popcorn::LiveValue value;
+        value.name = fn.name + ".l" + std::to_string(v);
+        value.type = kTypeCycle[static_cast<std::size_t>(v) % 6];
+        for (isa::IsaKind isa : opts_.targets) {
+          const auto& cc = isa::info_for(isa).cc;
+          const auto nregs = static_cast<int>(cc.integer_arg_regs.size());
+          // Integer-like values prefer argument registers while they
+          // last; floats and the spill overflow land in frame slots.
+          const bool reg_eligible = value.type != popcorn::ValueType::kF32 &&
+                                    value.type != popcorn::ValueType::kF64;
+          if (reg_eligible && v < nregs) {
+            value.location[isa] = ValueLocation::in_register(
+                cc.integer_arg_regs[static_cast<std::size_t>(v)]);
+          } else {
+            value.location[isa] = ValueLocation::on_stack(
+                static_cast<std::uint64_t>(v) * 8);
+          }
+        }
+        md.live_values.push_back(std::move(value));
+      }
+      metadata.add_site(std::move(md));
+    }
+  }
+  return metadata;
+}
+
+popcorn::MultiIsaBinary MultiIsaBuilder::build(const AppIr& ir) const {
+  // --- Symbols -----------------------------------------------------
+  std::vector<isa::Symbol> symbols;
+
+  // Base + Popcorn runtime text (identical for every app).
+  isa::Symbol rt;
+  rt.name = "__runtime";
+  rt.section = isa::Section::kText;
+  rt.alignment = 4096;
+  for (isa::IsaKind isa : opts_.targets) {
+    const double density_ratio = isa::info_for(isa).code_bytes_per_op /
+                                 isa::info_for(isa::IsaKind::kX86_64)
+                                     .code_bytes_per_op;
+    rt.size_by_isa[isa] = static_cast<std::uint64_t>(
+        static_cast<double>(opts_.base_runtime_text_bytes +
+                            (opts_.targets.size() > 1
+                                 ? opts_.popcorn_runtime_text_bytes
+                                 : 0)) *
+        density_ratio);
+  }
+  symbols.push_back(rt);
+
+  for (const auto& fn : ir.functions) {
+    isa::Symbol text;
+    text.name = fn.name;
+    text.section = isa::Section::kText;
+    text.alignment = 16;
+    for (isa::IsaKind isa : opts_.targets) {
+      text.size_by_isa[isa] = code_bytes(fn, isa);
+    }
+    symbols.push_back(text);
+
+    if (fn.rodata_bytes > 0) {
+      isa::Symbol ro;
+      ro.name = fn.name + ".rodata";
+      ro.section = isa::Section::kRodata;
+      ro.alignment = 64;
+      for (isa::IsaKind isa : opts_.targets) {
+        ro.size_by_isa[isa] = fn.rodata_bytes;  // data agrees across ISAs
+      }
+      symbols.push_back(ro);
+    }
+    if (fn.global_bytes > 0) {
+      isa::Symbol data;
+      data.name = fn.name + ".data";
+      data.section = isa::Section::kData;
+      data.alignment = 64;
+      for (isa::IsaKind isa : opts_.targets) {
+        data.size_by_isa[isa] = fn.global_bytes;
+      }
+      symbols.push_back(data);
+    }
+  }
+
+  isa::AlignedLayout layout = isa::align_symbols(symbols, opts_.targets);
+
+  // --- Section totals ------------------------------------------------
+  std::map<isa::IsaKind, popcorn::SectionSizes> sections;
+  for (isa::IsaKind isa : opts_.targets) {
+    popcorn::SectionSizes sz;
+    for (const auto& sym : symbols) {
+      const std::uint64_t bytes = sym.size_for(isa);
+      switch (sym.section) {
+        case isa::Section::kText:   sz.text += bytes; break;
+        case isa::Section::kRodata: sz.rodata += bytes; break;
+        case isa::Section::kData:   sz.data += bytes; break;
+        case isa::Section::kBss:    sz.bss += bytes; break;
+      }
+    }
+    sections[isa] = sz;
+  }
+
+  return popcorn::MultiIsaBinary(ir.name, opts_.targets, std::move(sections),
+                                 std::move(layout), synthesize_metadata(ir));
+}
+
+}  // namespace xartrek::compiler

@@ -1,0 +1,129 @@
+#include "compiler/profile_spec.hpp"
+
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace xartrek::compiler {
+
+const SelectedFunction* ApplicationProfile::find(
+    const std::string& fn) const {
+  for (const auto& f : functions) {
+    if (f.function == fn) return &f;
+  }
+  return nullptr;
+}
+
+const ApplicationProfile* ProfileSpec::find_application(
+    const std::string& name) const {
+  for (const auto& a : applications) {
+    if (a.name == name) return &a;
+  }
+  return nullptr;
+}
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw Error("profile spec, line " + std::to_string(line) + ": " + msg);
+}
+}  // namespace
+
+ProfileSpec ProfileSpec::parse(std::istream& is) {
+  ProfileSpec spec;
+  ApplicationProfile* current = nullptr;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    // Strip comments and surrounding whitespace.
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;  // blank
+
+    if (keyword == "platform") {
+      if (!(ls >> spec.platform)) fail(lineno, "platform needs a name");
+    } else if (keyword == "application") {
+      if (current != nullptr) {
+        fail(lineno, "nested application (missing `end`?)");
+      }
+      ApplicationProfile app;
+      if (!(ls >> app.name)) fail(lineno, "application needs a name");
+      if (spec.find_application(app.name) != nullptr) {
+        fail(lineno, "duplicate application `" + app.name + "`");
+      }
+      spec.applications.push_back(std::move(app));
+      current = &spec.applications.back();
+    } else if (keyword == "function") {
+      if (current == nullptr) fail(lineno, "function outside application");
+      SelectedFunction fn;
+      if (!(ls >> fn.function)) fail(lineno, "function needs a symbol name");
+      std::string key;
+      while (ls >> key) {
+        if (key == "kernel") {
+          if (!(ls >> fn.kernel_name)) fail(lineno, "kernel needs a value");
+        } else if (key == "input_bytes") {
+          if (!(ls >> fn.input_bytes)) {
+            fail(lineno, "input_bytes needs a value");
+          }
+        } else if (key == "output_bytes") {
+          if (!(ls >> fn.output_bytes)) {
+            fail(lineno, "output_bytes needs a value");
+          }
+        } else if (key == "items") {
+          if (!(ls >> fn.items_per_call) || fn.items_per_call == 0) {
+            fail(lineno, "items needs a positive value");
+          }
+        } else {
+          fail(lineno, "unknown attribute `" + key + "`");
+        }
+      }
+      if (fn.kernel_name.empty()) {
+        fail(lineno, "function `" + fn.function + "` needs a kernel name");
+      }
+      if (current->find(fn.function) != nullptr) {
+        fail(lineno, "duplicate function `" + fn.function + "`");
+      }
+      current->functions.push_back(std::move(fn));
+    } else if (keyword == "end") {
+      if (current == nullptr) fail(lineno, "`end` without application");
+      if (current->functions.empty()) {
+        fail(lineno,
+             "application `" + current->name + "` selects no functions");
+      }
+      current = nullptr;
+    } else {
+      fail(lineno, "unknown keyword `" + keyword + "`");
+    }
+  }
+  if (current != nullptr) {
+    fail(lineno, "unterminated application `" + current->name + "`");
+  }
+  if (spec.platform.empty()) fail(lineno, "missing `platform` line");
+  return spec;
+}
+
+ProfileSpec ProfileSpec::parse_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse(is);
+}
+
+std::string ProfileSpec::serialize() const {
+  std::ostringstream os;
+  os << "# xar-trek profiling spec (step A)\n";
+  os << "platform " << platform << "\n";
+  for (const auto& app : applications) {
+    os << "application " << app.name << "\n";
+    for (const auto& fn : app.functions) {
+      os << "  function " << fn.function << " kernel " << fn.kernel_name
+         << " input_bytes " << fn.input_bytes << " output_bytes "
+         << fn.output_bytes << " items " << fn.items_per_call << "\n";
+    }
+    os << "end\n";
+  }
+  return os.str();
+}
+
+}  // namespace xartrek::compiler

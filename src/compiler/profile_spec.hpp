@@ -1,0 +1,61 @@
+// Step A -- the profiling specification.
+//
+// Profiling is the pipeline's one manual step: an application designer,
+// guided by gprof/valgrind output, writes a text file naming (1) the
+// hardware platform, (2) the applications, and (3) the selected
+// functions of each application that can execute on all three targets
+// (paper §3.1).  This module defines that file format, its parser and
+// serializer.
+//
+// Format (line-oriented, '#' comments; one `function` attribute list
+// per line):
+//
+//   platform alveo-u50
+//   application facedet320
+//     function detect_faces kernel KNL_HW_FD320 input_bytes 76800
+//   end
+//
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xartrek::compiler {
+
+/// One selected function: migrate-able to ARM and implement-able on the
+/// FPGA.
+struct SelectedFunction {
+  std::string function;      ///< C symbol
+  std::string kernel_name;   ///< hardware kernel name
+  std::uint64_t input_bytes = 0;
+  std::uint64_t output_bytes = 0;
+  std::uint64_t items_per_call = 1;  ///< work items per invocation
+};
+
+/// One application entry.
+struct ApplicationProfile {
+  std::string name;
+  std::vector<SelectedFunction> functions;
+
+  [[nodiscard]] const SelectedFunction* find(const std::string& fn) const;
+};
+
+/// The whole spec file.
+struct ProfileSpec {
+  std::string platform;
+  std::vector<ApplicationProfile> applications;
+
+  [[nodiscard]] const ApplicationProfile* find_application(
+      const std::string& name) const;
+
+  /// Parse; throws xartrek::Error with a line number on malformed input.
+  [[nodiscard]] static ProfileSpec parse(std::istream& is);
+  [[nodiscard]] static ProfileSpec parse_string(const std::string& text);
+
+  /// Serialize in the same format (round-trips through parse).
+  [[nodiscard]] std::string serialize() const;
+};
+
+}  // namespace xartrek::compiler

@@ -1,0 +1,35 @@
+#include "compiler/size_model.hpp"
+
+#include "common/assert.hpp"
+
+namespace xartrek::compiler {
+
+double BinarySizeReport::increase_over(std::uint64_t baseline_total) const {
+  XAR_EXPECTS(baseline_total > 0);
+  return 100.0 *
+         (static_cast<double>(xartrek_total()) -
+          static_cast<double>(baseline_total)) /
+         static_cast<double>(baseline_total);
+}
+
+BinarySizeReport size_report(const CompiledApp& app,
+                             const hls::XclbinBuilder& builder) {
+  BinarySizeReport report;
+  report.app = app.name;
+  report.x86_executable =
+      app.x86_only_binary.single_isa_file_bytes(isa::IsaKind::kX86_64);
+  report.multi_isa_executable = app.binary.file_bytes();
+  report.migration_metadata = app.binary.metadata().encoded_size_bytes();
+  for (const auto& [isa_kind, padding] :
+       app.binary.layout().padding_bytes) {
+    report.alignment_padding += padding;
+  }
+  // Marginal XCLBIN bytes: this app's kernel regions + a header share.
+  report.xclbin_marginal = 128 * 1024;
+  for (const auto& xo : app.xos) {
+    report.xclbin_marginal += builder.kernel_region_bytes(xo);
+  }
+  return report;
+}
+
+}  // namespace xartrek::compiler

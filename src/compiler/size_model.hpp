@@ -1,0 +1,48 @@
+// Binary-size accounting (paper §4.5, Figure 10).
+//
+// Three development processes produce different artifact sets per app:
+//   * traditional FPGA flow:      x86 executable + XCLBIN
+//   * Popcorn heterogeneous-ISA:  multi-ISA executable
+//   * Xar-Trek:                   multi-ISA executable + XCLBIN
+// The XCLBIN bytes charged to an application are the *marginal* kernel
+// region bits for its own kernels (the platform shell is shared
+// datacenter infrastructure, like the FPGA itself).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "compiler/xar_compiler.hpp"
+#include "hls/xclbin.hpp"
+
+namespace xartrek::compiler {
+
+/// Per-application size breakdown, in bytes.
+struct BinarySizeReport {
+  std::string app;
+  std::uint64_t x86_executable = 0;
+  std::uint64_t multi_isa_executable = 0;
+  std::uint64_t migration_metadata = 0;
+  std::uint64_t alignment_padding = 0;
+  std::uint64_t xclbin_marginal = 0;
+
+  /// Totals per development process.
+  [[nodiscard]] std::uint64_t traditional_fpga_total() const {
+    return x86_executable + xclbin_marginal;
+  }
+  [[nodiscard]] std::uint64_t popcorn_total() const {
+    return multi_isa_executable;
+  }
+  [[nodiscard]] std::uint64_t xartrek_total() const {
+    return multi_isa_executable + xclbin_marginal;
+  }
+
+  /// Percentage increase of Xar-Trek over a baseline total.
+  [[nodiscard]] double increase_over(std::uint64_t baseline_total) const;
+};
+
+/// Compute the report for one compiled application.
+[[nodiscard]] BinarySizeReport size_report(const CompiledApp& app,
+                                           const hls::XclbinBuilder& builder);
+
+}  // namespace xartrek::compiler

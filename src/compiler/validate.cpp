@@ -1,0 +1,81 @@
+#include "compiler/validate.hpp"
+
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace xartrek::compiler {
+
+std::vector<ValidationIssue> validate_ir(const AppIr& ir) {
+  std::vector<ValidationIssue> issues;
+  auto error = [&issues](std::string msg) {
+    issues.push_back({ValidationIssue::Severity::kError, std::move(msg)});
+  };
+  auto warning = [&issues](std::string msg) {
+    issues.push_back({ValidationIssue::Severity::kWarning, std::move(msg)});
+  };
+
+  if (ir.name.empty()) error("application has no name");
+  if (!ir.has_main()) error("application `" + ir.name + "` has no main");
+  if (ir.functions.empty()) {
+    error("application `" + ir.name + "` has no functions");
+    return issues;
+  }
+
+  std::set<std::string> names;
+  for (const auto& fn : ir.functions) {
+    if (fn.name.empty()) {
+      error("a function has an empty name");
+      continue;
+    }
+    if (!names.insert(fn.name).second) {
+      error("duplicate function `" + fn.name + "`");
+    }
+    if (fn.lines_of_code <= 0) {
+      warning("function `" + fn.name + "` has non-positive LOC");
+    }
+    if (fn.ops.total() == 0) {
+      warning("function `" + fn.name + "` has no operations");
+    }
+    if (fn.num_locals < 0) {
+      error("function `" + fn.name + "` has negative locals");
+    }
+    std::set<int> sites;
+    for (const auto& site : fn.call_sites) {
+      if (!sites.insert(site.site_id).second) {
+        error("function `" + fn.name + "` reuses call-site id " +
+              std::to_string(site.site_id));
+      }
+    }
+  }
+
+  for (const auto& fn : ir.functions) {
+    for (const auto& site : fn.call_sites) {
+      if (site.callee.rfind("__xar_", 0) == 0) continue;  // runtime hook
+      if (ir.find(site.callee) == nullptr) {
+        error("function `" + fn.name + "` calls unknown `" + site.callee +
+              "`");
+      }
+      if (site.callee == fn.name) {
+        warning("function `" + fn.name +
+                "` is directly recursive; recursive selected functions "
+                "cannot be synthesized");
+      }
+    }
+  }
+  return issues;
+}
+
+void validate_ir_or_throw(const AppIr& ir) {
+  std::string combined;
+  for (const auto& issue : validate_ir(ir)) {
+    if (issue.severity != ValidationIssue::Severity::kError) continue;
+    if (!combined.empty()) combined += "; ";
+    combined += issue.message;
+  }
+  if (!combined.empty()) {
+    throw Error("IR validation failed: " + combined);
+  }
+}
+
+}  // namespace xartrek::compiler

@@ -1,0 +1,32 @@
+// IR validation pass.
+//
+// Runs before instrumentation: catches malformed applications (missing
+// main, duplicate functions, calls to nowhere, degenerate op counts)
+// with actionable messages instead of letting them surface as mysterious
+// failures deeper in the pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "compiler/app_ir.hpp"
+
+namespace xartrek::compiler {
+
+/// One validation finding.
+struct ValidationIssue {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string message;
+};
+
+/// Collect all findings for `ir`.  Unknown callees prefixed with
+/// "__xar_" are runtime hooks and are exempt (they are linked in by the
+/// instrumentation step).
+[[nodiscard]] std::vector<ValidationIssue> validate_ir(const AppIr& ir);
+
+/// Throw xartrek::Error listing every error-severity finding; warnings
+/// are ignored.  No-op for a clean IR.
+void validate_ir_or_throw(const AppIr& ir);
+
+}  // namespace xartrek::compiler

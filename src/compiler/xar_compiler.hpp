@@ -1,0 +1,77 @@
+// The Xar-Trek compiler facade: pipeline steps A-F.
+//
+//   A  ProfileSpec           (parsed text file; manual step)
+//   B  Instrumenter          (scheduler hooks + dispatch stubs)
+//   C  MultiIsaBuilder       (Popcorn fat binaries)
+//   D  XoGenerator           (HLS objects per selected function)
+//   E  XclbinPartitioner     (group kernels under the area budget)
+//   F  XclbinBuilder         (loadable images)
+//
+// Step G (threshold estimation) is a *measurement* stage -- it runs the
+// compiled applications on the platform under increasing load -- so it
+// lives with the experiment infrastructure (exp::ThresholdEstimator) and
+// is invoked after compile().
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/app_ir.hpp"
+#include "compiler/instrumenter.hpp"
+#include "compiler/multi_isa_builder.hpp"
+#include "compiler/profile_spec.hpp"
+#include "compiler/xo_generator.hpp"
+#include "fpga/device.hpp"
+#include "hls/xclbin.hpp"
+#include "popcorn/multi_isa_binary.hpp"
+
+namespace xartrek::compiler {
+
+/// Everything produced for one application.
+struct CompiledApp {
+  std::string name;
+  InstrumentedApp instrumented;
+  popcorn::MultiIsaBinary binary;          ///< fat (x86 + ARM) build
+  popcorn::MultiIsaBinary x86_only_binary; ///< baseline single-ISA build
+  std::vector<hls::XoFile> xos;
+};
+
+/// The whole suite: per-app artifacts plus the shared XCLBIN images.
+struct CompiledSuite {
+  std::vector<CompiledApp> apps;
+  std::vector<hls::XclbinSpec> xclbin_specs;
+  std::vector<fpga::XclbinImage> xclbins;
+
+  [[nodiscard]] const CompiledApp* find_app(const std::string& name) const;
+  /// The image holding `kernel`, or nullptr.
+  [[nodiscard]] const fpga::XclbinImage* xclbin_with(
+      const std::string& kernel) const;
+};
+
+/// Facade configuration.
+struct XarCompilerConfig {
+  fpga::FpgaSpec platform = fpga::alveo_u50_spec();
+  hls::HlsOptions hls = {};
+  MultiIsaBuildOptions multi_isa = {};
+};
+
+/// Runs A-F over a suite of applications.
+class XarCompiler {
+ public:
+  explicit XarCompiler(XarCompilerConfig cfg = {});
+
+  /// Compile every application in `spec`.  `irs` maps application names
+  /// to their IR; `kernel_profiles` maps kernel names to synthesis
+  /// inputs.  Missing entries throw.
+  [[nodiscard]] CompiledSuite compile(
+      const ProfileSpec& spec, const std::map<std::string, AppIr>& irs,
+      const std::map<std::string, KernelProfile>& kernel_profiles) const;
+
+  [[nodiscard]] const XarCompilerConfig& config() const { return cfg_; }
+
+ private:
+  XarCompilerConfig cfg_;
+};
+
+}  // namespace xartrek::compiler

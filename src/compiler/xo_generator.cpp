@@ -1,0 +1,34 @@
+#include "compiler/xo_generator.hpp"
+
+#include "common/assert.hpp"
+
+namespace xartrek::compiler {
+
+XoGenerator::XoGenerator(hls::HlsOptions opts) : hls_(opts) {}
+
+std::vector<hls::XoFile> XoGenerator::generate(
+    const ApplicationProfile& app,
+    const std::map<std::string, KernelProfile>& profiles) const {
+  std::vector<hls::XoFile> xos;
+  xos.reserve(app.functions.size());
+  for (const auto& sel : app.functions) {
+    auto it = profiles.find(sel.kernel_name);
+    if (it == profiles.end()) {
+      throw Error("XO generation: no kernel profile for `" +
+                  sel.kernel_name + "` (application `" + app.name + "`)");
+    }
+    hls::KernelSource src;
+    src.source_function = sel.function;
+    src.kernel_name = sel.kernel_name;
+    src.lines_of_code = it->second.lines_of_code;
+    src.ops = it->second.ops;
+    src.unroll_factor = it->second.unroll_factor;
+    src.compute_units = it->second.compute_units;
+    src.iface.input_bytes = sel.input_bytes;
+    src.iface.output_bytes = sel.output_bytes;
+    xos.push_back(hls_.compile(src));
+  }
+  return xos;
+}
+
+}  // namespace xartrek::compiler

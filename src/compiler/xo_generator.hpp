@@ -1,0 +1,41 @@
+// Step D -- Xilinx object generation.
+//
+// Moves each selected function into its own compilation unit and invokes
+// the HLS compiler on it, producing one XO per function (paper §3.1).
+// The op profile for each function comes from the profiling pass; the
+// caller supplies it alongside the profile-spec entry.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compiler/profile_spec.hpp"
+#include "hls/hls_compiler.hpp"
+
+namespace xartrek::compiler {
+
+/// Per-kernel synthesis inputs gathered by profiling.
+struct KernelProfile {
+  hls::OpProfile ops;
+  double unroll_factor = 1.0;
+  int lines_of_code = 200;
+  int compute_units = 1;  ///< Vitis `nk` replication
+};
+
+/// The step-D driver.
+class XoGenerator {
+ public:
+  explicit XoGenerator(hls::HlsOptions opts = {});
+
+  /// Generate XOs for every selected function of `app`.  `profiles` maps
+  /// kernel names to their synthesis inputs; a missing entry throws.
+  [[nodiscard]] std::vector<hls::XoFile> generate(
+      const ApplicationProfile& app,
+      const std::map<std::string, KernelProfile>& profiles) const;
+
+ private:
+  hls::HlsCompiler hls_;
+};
+
+}  // namespace xartrek::compiler

@@ -1,0 +1,171 @@
+#include "fpga/device.hpp"
+
+#include <utility>
+
+namespace xartrek::fpga {
+
+Duration kernel_latency(const HwKernelConfig& k, std::uint64_t items) {
+  XAR_EXPECTS(k.clock_mhz > 0.0);
+  const double cycles = static_cast<double>(k.fixed_cycles) +
+                        k.cycles_per_item * static_cast<double>(items);
+  // cycles / (MHz * 1e3 cycles-per-ms-per-MHz)
+  return Duration::ms(cycles / (k.clock_mhz * 1e3));
+}
+
+bool XclbinImage::contains_kernel(const std::string& name) const {
+  for (const auto& k : kernels) {
+    if (k.name == name) return true;
+  }
+  return false;
+}
+
+FpgaResources XclbinImage::total_kernel_resources() const {
+  FpgaResources sum;
+  for (const auto& k : kernels) {
+    XAR_EXPECTS(k.compute_units >= 1);
+    for (int cu = 0; cu < k.compute_units; ++cu) sum += k.resources;
+  }
+  return sum;
+}
+
+FpgaSpec alveo_u50_spec() {
+  return FpgaSpec{"Xilinx Alveo U50", alveo_u50_total(), alveo_u50_shell(),
+                  Duration::ms(300.0)};
+}
+
+FpgaDevice::FpgaDevice(sim::Simulation& sim, hw::Link& pcie, FpgaSpec spec,
+                       Logger log)
+    : sim_(sim), pcie_(pcie), spec_(std::move(spec)), log_(std::move(log)) {}
+
+void FpgaDevice::reconfigure(const XclbinImage& image, Callback on_done) {
+  XAR_EXPECTS(on_done != nullptr);
+  XAR_EXPECTS(
+      FpgaResources::fits_within(image.total_kernel_resources(),
+                                 spec_.usable()));
+  if (offline_) {
+    // Device lost: the request completes (the driver returns an error
+    // the caller treats as "not resident") without loading anything.
+    log_.warn("fpga: reconfiguration of ", image.id,
+              " dropped -- device offline");
+    sim_.schedule_in(Duration::zero(), std::move(on_done));
+    return;
+  }
+  reconfig_queue_.emplace_back(image, std::move(on_done));
+  if (!reconfig_active_) start_reconfigure();
+}
+
+void FpgaDevice::set_offline(bool offline) {
+  offline_ = offline;
+  if (offline) {
+    kernels_.clear();
+    loaded_.reset();
+    // Drop queued downloads; their completions fire as no-ops.
+    for (auto& [image, cb] : reconfig_queue_) {
+      sim_.schedule_in(Duration::zero(), std::move(cb));
+    }
+    reconfig_queue_.clear();
+    log_.warn("fpga: device taken offline");
+  } else {
+    log_.info("fpga: device back online (no image loaded)");
+  }
+}
+
+void FpgaDevice::start_reconfigure() {
+  XAR_ASSERT(!reconfig_active_);
+  if (reconfig_queue_.empty()) return;
+  reconfig_active_ = true;
+  auto [image, cb] = std::move(reconfig_queue_.front());
+  reconfig_queue_.pop_front();
+
+  // The old configuration dies the moment programming starts.  In-flight
+  // CU work is considered already-drained: the scheduler never initiates
+  // a reconfiguration while routing work to the device (Algorithm 2 only
+  // reconfigures on the "No HW Kernel" paths).
+  kernels_.clear();
+  loaded_.reset();
+
+  log_.debug("fpga: downloading xclbin ", image.id, " (", image.size_bytes,
+             " bytes)");
+  pcie_.transfer(
+      image.size_bytes, [this, image = std::move(image),
+                         done = std::move(cb)]() mutable {
+        sim_.schedule_in(
+            spec_.programming_time,
+            [this, image = std::move(image), done = std::move(done)]() mutable {
+              if (offline_) {
+                // Card died mid-programming: nothing becomes resident.
+                reconfig_active_ = false;
+                done();
+                return;
+              }
+              for (const auto& k : image.kernels) {
+                LoadedKernel loaded;
+                loaded.config = k;
+                for (int cu = 0; cu < k.compute_units; ++cu) {
+                  loaded.cus.push_back(std::make_unique<sim::FifoStation>(
+                      sim_, image.id + "/" + k.name + "." +
+                                std::to_string(cu)));
+                }
+                kernels_.emplace(k.name, std::move(loaded));
+              }
+              loaded_ = std::move(image);
+              ++reconfigs_;
+              reconfig_active_ = false;
+              log_.info("fpga: xclbin ", loaded_->id, " live with ",
+                        kernels_.size(), " kernel(s)");
+              // Serve any queued request before signalling completion so
+              // `reconfiguring()` stays true continuously when requests
+              // are stacked.
+              start_reconfigure();
+              done();
+            });
+      });
+}
+
+bool FpgaDevice::has_kernel(const std::string& name) const {
+  return !reconfig_active_ && kernels_.contains(name);
+}
+
+std::vector<std::string> FpgaDevice::available_kernels() const {
+  std::vector<std::string> names;
+  if (reconfig_active_) return names;
+  names.reserve(kernels_.size());
+  for (const auto& [name, k] : kernels_) names.push_back(name);
+  return names;
+}
+
+sim::FifoStation& FpgaDevice::LoadedKernel::pick_cu() const {
+  XAR_ASSERT(!cus.empty());
+  sim::FifoStation* best = cus.front().get();
+  auto backlog = [](const sim::FifoStation& cu) {
+    return cu.queue_length() + (cu.busy() ? 1 : 0);
+  };
+  for (const auto& cu : cus) {
+    if (backlog(*cu) < backlog(*best)) best = cu.get();
+  }
+  return *best;
+}
+
+void FpgaDevice::execute(const std::string& name, std::uint64_t items,
+                         Callback on_done) {
+  XAR_EXPECTS(on_done != nullptr);
+  auto it = kernels_.find(name);
+  XAR_EXPECTS(it != kernels_.end() && !reconfig_active_);
+  const Duration service = kernel_latency(it->second.config, items);
+  it->second.pick_cu().enqueue(service,
+                               [this, cb = std::move(on_done)]() mutable {
+                                 ++retired_invocations_;
+                                 cb();
+                               });
+}
+
+std::optional<std::string> FpgaDevice::loaded_image() const {
+  if (!loaded_) return std::nullopt;
+  return loaded_->id;
+}
+
+std::uint64_t FpgaDevice::kernel_invocations() const {
+  return retired_invocations_;
+}
+
+}  // namespace xartrek::fpga

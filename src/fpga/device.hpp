@@ -1,0 +1,156 @@
+// FPGA accelerator-card device model.
+//
+// Models an Alveo-class PCIe card: a programmable region that holds the
+// kernels of exactly one XCLBIN at a time, a reconfiguration port that
+// serializes XCLBIN downloads (download over PCIe + fabric programming
+// time), and one FIFO compute unit per loaded kernel.
+//
+// The device is deliberately dumb: *when* to reconfigure and *whether* a
+// kernel is worth calling are the Xar-Trek scheduler's decisions.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/time.hpp"
+#include "fpga/resources.hpp"
+#include "hw/link.hpp"
+#include "sim/fifo_station.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::fpga {
+
+/// Latency/footprint description of one hardware kernel, as produced by
+/// the HLS toolchain model (one per XO file).
+struct HwKernelConfig {
+  std::string name;          ///< e.g. "KNL_HW_FD320"
+  FpgaResources resources;   ///< post-implementation footprint per CU
+  double clock_mhz = 300.0;  ///< achieved kernel clock
+  std::uint64_t fixed_cycles = 0;  ///< pipeline fill + control overhead
+  double cycles_per_item = 0.0;    ///< steady-state cycles per work item
+  /// Replicated compute units (Vitis `nk` option): invocations of the
+  /// same kernel run concurrently up to this count, at `compute_units`
+  /// times the area.
+  int compute_units = 1;
+};
+
+/// Execution latency of a kernel invocation over `items` work items.
+[[nodiscard]] Duration kernel_latency(const HwKernelConfig& k,
+                                      std::uint64_t items);
+
+/// A fully built FPGA configuration image (the output of the XCLBIN
+/// generation step): the set of kernels that become available when the
+/// image is downloaded, plus its on-disk size.
+struct XclbinImage {
+  std::string id;
+  std::vector<HwKernelConfig> kernels;
+  std::uint64_t size_bytes = 0;
+
+  [[nodiscard]] bool contains_kernel(const std::string& name) const;
+  [[nodiscard]] FpgaResources total_kernel_resources() const;
+};
+
+/// Static description of the card.
+struct FpgaSpec {
+  std::string model;
+  FpgaResources total;
+  FpgaResources shell;
+  /// Fabric programming time after the bitstream lands on the card
+  /// (ICAP throughput bound; hundreds of ms for datacenter parts).
+  Duration programming_time = Duration::ms(300.0);
+
+  /// Region available to kernels.
+  [[nodiscard]] FpgaResources usable() const { return total - shell; }
+};
+
+/// The paper's Xilinx Alveo U50.
+[[nodiscard]] FpgaSpec alveo_u50_spec();
+
+/// The device model.  Owns the loaded image and the per-kernel compute
+/// units; reconfiguration requests are serialized FIFO.
+class FpgaDevice {
+ public:
+  using Callback = std::function<void()>;
+
+  FpgaDevice(sim::Simulation& sim, hw::Link& pcie, FpgaSpec spec,
+             Logger log = {});
+  FpgaDevice(const FpgaDevice&) = delete;
+  FpgaDevice& operator=(const FpgaDevice&) = delete;
+
+  /// Download and program `image`.  During reconfiguration the previous
+  /// kernels are torn down immediately (the scheduler must not route work
+  /// here until `on_done`).  Concurrent requests queue FIFO.  Requires
+  /// the image's kernels to fit the usable region.
+  void reconfigure(const XclbinImage& image, Callback on_done);
+
+  /// True while a download/programming is in progress or queued.
+  [[nodiscard]] bool reconfiguring() const {
+    return reconfig_active_ || !reconfig_queue_.empty();
+  }
+
+  /// True when `name` is loaded and callable right now.
+  [[nodiscard]] bool has_kernel(const std::string& name) const;
+
+  /// Names of callable kernels (the scheduler's "Query Available HW
+  /// Kernels", Algorithm 2 line 1).
+  [[nodiscard]] std::vector<std::string> available_kernels() const;
+
+  /// Run kernel `name` over `items` work items; FIFO behind earlier
+  /// invocations of the same kernel.  Requires has_kernel(name).
+  void execute(const std::string& name, std::uint64_t items,
+               Callback on_done);
+
+  /// The currently loaded image id, if any.
+  [[nodiscard]] std::optional<std::string> loaded_image() const;
+
+  /// Failure injection: take the card offline (XRT device lost).  All
+  /// kernels are torn down and every subsequent reconfiguration request
+  /// completes without loading anything, so `has_kernel` stays false
+  /// until the card is brought back.  The Xar-Trek scheduler degrades
+  /// to the CPU-only branches of Algorithm 2; the traditional
+  /// always-FPGA flow stalls -- exactly the contrast the tests assert.
+  void set_offline(bool offline);
+  [[nodiscard]] bool offline() const { return offline_; }
+
+  /// Completed reconfigurations (diagnostics / tests).
+  [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+
+  /// Completed kernel invocations across all CUs.
+  [[nodiscard]] std::uint64_t kernel_invocations() const;
+
+  [[nodiscard]] const FpgaSpec& spec() const { return spec_; }
+
+ private:
+  struct LoadedKernel {
+    HwKernelConfig config;
+    std::vector<std::unique_ptr<sim::FifoStation>> cus;
+
+    /// The least-backlogged compute unit (ties -> lowest index).
+    [[nodiscard]] sim::FifoStation& pick_cu() const;
+  };
+
+  void start_reconfigure();
+
+  sim::Simulation& sim_;
+  hw::Link& pcie_;
+  FpgaSpec spec_;
+  Logger log_;
+
+  std::optional<XclbinImage> loaded_;
+  std::map<std::string, LoadedKernel> kernels_;
+  std::uint64_t retired_invocations_ = 0;
+
+  bool reconfig_active_ = false;
+  bool offline_ = false;
+  std::deque<std::pair<XclbinImage, Callback>> reconfig_queue_;
+  std::uint64_t reconfigs_ = 0;
+};
+
+}  // namespace xartrek::fpga

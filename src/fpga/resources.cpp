@@ -1,0 +1,23 @@
+#include "fpga/resources.hpp"
+
+#include <algorithm>
+
+namespace xartrek::fpga {
+
+double FpgaResources::dominant_fraction(const FpgaResources& cap) const {
+  double worst = 0.0;
+  auto consider = [&worst](std::uint64_t used, std::uint64_t avail) {
+    if (used == 0) return;
+    XAR_EXPECTS(avail > 0);
+    worst = std::max(worst,
+                     static_cast<double>(used) / static_cast<double>(avail));
+  };
+  consider(luts, cap.luts);
+  consider(ffs, cap.ffs);
+  consider(brams, cap.brams);
+  consider(urams, cap.urams);
+  consider(dsps, cap.dsps);
+  return worst;
+}
+
+}  // namespace xartrek::fpga

@@ -1,0 +1,73 @@
+// FPGA logic-resource vectors.
+//
+// Used by the HLS compiler model (to estimate a kernel's footprint), the
+// XCLBIN partitioner (to bin-pack kernels into the programmable region),
+// and the device model (to validate loads).
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+#include "common/assert.hpp"
+
+namespace xartrek::fpga {
+
+/// A resource vector over the five FPGA primitive types.
+struct FpgaResources {
+  std::uint64_t luts = 0;
+  std::uint64_t ffs = 0;
+  std::uint64_t brams = 0;  ///< 36Kb block RAMs
+  std::uint64_t urams = 0;
+  std::uint64_t dsps = 0;
+
+  constexpr FpgaResources operator+(const FpgaResources& o) const {
+    return {luts + o.luts, ffs + o.ffs, brams + o.brams, urams + o.urams,
+            dsps + o.dsps};
+  }
+  constexpr FpgaResources& operator+=(const FpgaResources& o) {
+    luts += o.luts;
+    ffs += o.ffs;
+    brams += o.brams;
+    urams += o.urams;
+    dsps += o.dsps;
+    return *this;
+  }
+  /// Component-wise subtraction; requires *this >= o component-wise.
+  FpgaResources operator-(const FpgaResources& o) const {
+    XAR_EXPECTS(fits_within(o, *this));
+    return {luts - o.luts, ffs - o.ffs, brams - o.brams, urams - o.urams,
+            dsps - o.dsps};
+  }
+
+  constexpr bool operator==(const FpgaResources&) const = default;
+
+  /// True when `a` fits component-wise inside `b`.
+  [[nodiscard]] static constexpr bool fits_within(const FpgaResources& a,
+                                                  const FpgaResources& b) {
+    return a.luts <= b.luts && a.ffs <= b.ffs && a.brams <= b.brams &&
+           a.urams <= b.urams && a.dsps <= b.dsps;
+  }
+
+  /// Largest utilization fraction across resource types relative to `cap`
+  /// (the bin-packing "size" of a kernel).  Requires every cap component
+  /// that this vector uses to be nonzero.
+  [[nodiscard]] double dominant_fraction(const FpgaResources& cap) const;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const FpgaResources& r) {
+  return os << "{LUT:" << r.luts << " FF:" << r.ffs << " BRAM:" << r.brams
+            << " URAM:" << r.urams << " DSP:" << r.dsps << "}";
+}
+
+/// Total resources of a Xilinx Alveo U50 (UltraScale+ XCU50).
+[[nodiscard]] constexpr FpgaResources alveo_u50_total() {
+  return FpgaResources{872'000, 1'743'000, 1'344, 640, 5'952};
+}
+
+/// Resources consumed by the U50 platform shell (host interface, HBM
+/// controllers, reconfiguration logic) -- unavailable to kernels.
+[[nodiscard]] constexpr FpgaResources alveo_u50_shell() {
+  return FpgaResources{170'000, 340'000, 270, 28, 1'180};
+}
+
+}  // namespace xartrek::fpga

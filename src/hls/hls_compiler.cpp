@@ -1,0 +1,85 @@
+#include "hls/hls_compiler.hpp"
+
+#include <cmath>
+
+#include "common/assert.hpp"
+
+namespace xartrek::hls {
+
+HlsCompiler::HlsCompiler(HlsOptions opts) : opts_(opts) {
+  XAR_EXPECTS(opts_.target_clock_mhz > 0.0);
+  XAR_EXPECTS(opts_.baseline_ilp >= 1.0);
+}
+
+XoFile HlsCompiler::compile(const KernelSource& src) const {
+  XAR_EXPECTS(!src.kernel_name.empty());
+  XAR_EXPECTS(src.unroll_factor >= 1.0);
+
+  const double unroll = src.unroll_factor;
+  const OpProfile& ops = src.ops;
+
+  // --- Resource model -----------------------------------------------
+  // Control/interface baseline plus per-op logic, all scaled by the
+  // unroll factor (replicated datapaths).
+  fpga::FpgaResources res;
+  const double lut_est =
+      4'000.0 + unroll * (42.0 * static_cast<double>(ops.int_ops) +
+                          210.0 * static_cast<double>(ops.fp_ops) +
+                          24.0 * static_cast<double>(ops.mem_ops +
+                                                     ops.irregular_mem_ops));
+  res.luts = static_cast<std::uint64_t>(lut_est);
+  res.ffs = static_cast<std::uint64_t>(lut_est * 1.45);
+  res.dsps = static_cast<std::uint64_t>(
+      std::ceil(unroll * 4.0 * static_cast<double>(ops.fp_ops)));
+  // On-chip buffering for the streamed interface, double-buffered,
+  // capped by a 256 KiB local working set (larger data streams through).
+  const double buffer_bytes = std::min<double>(
+      256.0 * 1024,
+      static_cast<double>(src.iface.input_bytes + src.iface.output_bytes));
+  res.brams = static_cast<std::uint64_t>(
+      std::ceil(2.0 * buffer_bytes / 4608.0));  // 36Kb blocks
+  res.urams = res.brams > 256 ? (res.brams - 256) / 8 : 0;
+
+  if (!fpga::FpgaResources::fits_within(res, fpga::alveo_u50_total())) {
+    throw Error("HLS: kernel `" + src.kernel_name +
+                "` exceeds a full U50 device; cannot be selected");
+  }
+
+  // --- Latency model -------------------------------------------------
+  // The body pipelines at baseline_ilp * unroll regular ops per cycle,
+  // bounded below by an initiation interval of 1; irregular accesses
+  // serialize with a full off-chip stall each.
+  const double regular_ops = static_cast<double>(ops.int_ops + ops.fp_ops +
+                                                 ops.mem_ops);
+  const double ii_regular =
+      std::max(1.0, regular_ops / (opts_.baseline_ilp * unroll));
+  const double cycles_per_iter =
+      ii_regular + static_cast<double>(ops.irregular_mem_ops) *
+                       opts_.irregular_stall_cycles;
+
+  fpga::HwKernelConfig cfg;
+  cfg.name = src.kernel_name;
+  cfg.resources = res;
+  cfg.clock_mhz = opts_.target_clock_mhz;
+  cfg.fixed_cycles = 2'000;  // pipeline fill + AXI control handshakes
+  cfg.cycles_per_item = cycles_per_iter * ops.iterations_per_item;
+  XAR_EXPECTS(src.compute_units >= 1);
+  cfg.compute_units = src.compute_units;
+
+  // --- Artifact economics ---------------------------------------------
+  XoFile xo;
+  xo.kernel_name = src.kernel_name;
+  xo.source_function = src.source_function;
+  xo.config = cfg;
+  xo.iface = src.iface;
+  // XO carries netlist + metadata: roughly proportional to logic.
+  xo.file_bytes = 96 * 1024 + res.luts * 14 + res.dsps * 400;
+  // Synthesis walltime grows with design size (minutes; reported only,
+  // never simulated -- kernels are precompiled, like TornadoVM's
+  // precompiled modules, paper §6).
+  xo.synthesis_walltime =
+      Duration::seconds(90.0 + static_cast<double>(res.luts) / 2'000.0);
+  return xo;
+}
+
+}  // namespace xartrek::hls

@@ -1,0 +1,76 @@
+#include "hls/report.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace xartrek::hls {
+
+namespace {
+[[nodiscard]] std::string pct(std::uint64_t used, std::uint64_t avail) {
+  if (avail == 0) return "-";
+  return TextTable::num(100.0 * static_cast<double>(used) /
+                            static_cast<double>(avail),
+                        1) +
+         "%";
+}
+}  // namespace
+
+std::string utilization_report(const XoFile& xo,
+                               const fpga::FpgaSpec& platform) {
+  const fpga::FpgaResources cap = platform.usable();
+  const fpga::FpgaResources& r = xo.config.resources;
+
+  TextTable table("Synthesis report: " + xo.kernel_name + " (from " +
+                  xo.source_function + ")");
+  table.set_header({"resource", "used (per CU)", "available", "util"});
+  table.add_row({"LUT", std::to_string(r.luts), std::to_string(cap.luts),
+                 pct(r.luts, cap.luts)});
+  table.add_row({"FF", std::to_string(r.ffs), std::to_string(cap.ffs),
+                 pct(r.ffs, cap.ffs)});
+  table.add_row({"BRAM", std::to_string(r.brams), std::to_string(cap.brams),
+                 pct(r.brams, cap.brams)});
+  table.add_row({"URAM", std::to_string(r.urams), std::to_string(cap.urams),
+                 pct(r.urams, cap.urams)});
+  table.add_row({"DSP", std::to_string(r.dsps), std::to_string(cap.dsps),
+                 pct(r.dsps, cap.dsps)});
+
+  std::ostringstream os;
+  os << table.render();
+  os << "clock: " << xo.config.clock_mhz << " MHz, compute units: "
+     << xo.config.compute_units << "\n";
+  os << "latency: " << xo.config.fixed_cycles << " + "
+     << TextTable::num(xo.config.cycles_per_item, 1)
+     << " cycles/item  (~"
+     << TextTable::num(fpga::kernel_latency(xo.config, 1).to_ms(), 2)
+     << " ms for one item)\n";
+  os << "synthesis walltime: "
+     << TextTable::num(xo.synthesis_walltime.to_seconds(), 0) << " s, XO "
+     << xo.file_bytes / 1024 << " KiB\n";
+  return os.str();
+}
+
+std::string xclbin_report(const XclbinSpec& spec,
+                          const fpga::FpgaSpec& platform) {
+  const fpga::FpgaResources cap = platform.usable();
+  TextTable table("XCLBIN plan: " + spec.id + " on " + platform.model);
+  table.set_header({"kernel", "CUs", "LUT", "BRAM", "DSP",
+                    "dominant util"});
+  for (const auto& xo : spec.xos) {
+    const auto& r = xo.config.resources;
+    table.add_row({xo.kernel_name, std::to_string(xo.config.compute_units),
+                   std::to_string(r.luts), std::to_string(r.brams),
+                   std::to_string(r.dsps),
+                   TextTable::num(100.0 * r.dominant_fraction(cap), 1) +
+                       "%"});
+  }
+  const auto total = spec.total_resources();
+  std::ostringstream os;
+  os << table.render();
+  os << "image total: LUT " << pct(total.luts, cap.luts) << ", BRAM "
+     << pct(total.brams, cap.brams) << ", DSP " << pct(total.dsps, cap.dsps)
+     << " of the usable region\n";
+  return os.str();
+}
+
+}  // namespace xartrek::hls

@@ -1,0 +1,26 @@
+// Vitis-style utilization and latency reports.
+//
+// Step D/F artifacts in the real toolchain come with synthesis reports;
+// operators read them to decide unrolling and XCLBIN grouping.  This
+// module renders the equivalent for our XO files and XCLBIN specs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "hls/hls_compiler.hpp"
+#include "hls/xclbin.hpp"
+
+namespace xartrek::hls {
+
+/// Per-kernel utilization against a platform's usable area, plus the
+/// latency model summary -- one XO's "synthesis report".
+[[nodiscard]] std::string utilization_report(const XoFile& xo,
+                                             const fpga::FpgaSpec& platform);
+
+/// Whole-image report: every kernel's share and the image's headroom.
+[[nodiscard]] std::string xclbin_report(const XclbinSpec& spec,
+                                        const fpga::FpgaSpec& platform);
+
+}  // namespace xartrek::hls

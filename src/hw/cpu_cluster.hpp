@@ -1,0 +1,78 @@
+// CPU cluster model.
+//
+// Wraps a processor-sharing resource with a named CPU description.  Job
+// demands are expressed directly in milliseconds-at-full-speed *on this
+// cluster* -- callers supply per-target demands (an app's x86 demand and
+// ARM demand differ), so no frequency scaling happens here.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/time.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::hw {
+
+/// Static description of a CPU (one row of the paper's testbed table).
+struct CpuSpec {
+  std::string model;   ///< e.g. "Intel Xeon Bronze 3104"
+  int cores;           ///< physical cores available to applications
+  double ghz;          ///< nominal clock (documentation / size model only)
+  int memory_gb;       ///< installed DRAM (documentation only)
+};
+
+/// The paper's x86 host: Dell 7920, Xeon Bronze 3104, 6 cores @ 1.7 GHz.
+[[nodiscard]] CpuSpec xeon_bronze_3104();
+
+/// The paper's ARM server: Cavium ThunderX, 96 cores @ 2 GHz.
+[[nodiscard]] CpuSpec cavium_thunderx();
+
+/// A multi-core CPU under processor sharing.
+///
+/// Two distinct notions live here.  *Contention* comes from the jobs in
+/// the processor-sharing pool (CPU bursts).  *Load* -- the metric the
+/// Xar-Trek scheduler samples, and the unit of every threshold -- is the
+/// number of processes resident on the server (paper Table 3 defines
+/// low/medium/high by process count).  A process between CPU bursts, or
+/// blocked on an FPGA/ARM offload, still counts toward load; processes
+/// therefore attach explicitly for their lifetime.
+class CpuCluster {
+ public:
+  using JobId = sim::PsResource::JobId;
+
+  CpuCluster(sim::Simulation& sim, CpuSpec spec);
+
+  /// Run `demand` milliseconds-at-full-speed of work; `on_complete` fires
+  /// when it finishes under whatever contention materializes.
+  JobId run(Duration demand, std::function<void()> on_complete);
+
+  /// Abort a job (used when an app is torn down at a horizon).
+  bool cancel(JobId id) { return pool_.cancel(id); }
+
+  /// A process arrived on / departed from this server.
+  void attach_process() { ++resident_; }
+  void detach_process() {
+    XAR_EXPECTS(resident_ > 0);
+    --resident_;
+  }
+
+  /// Number of resident processes -- the scheduler's load metric.
+  [[nodiscard]] int load() const { return resident_; }
+
+  /// Jobs currently inside the PS pool (contention diagnostics).
+  [[nodiscard]] int active_jobs() const {
+    return static_cast<int>(pool_.active_jobs());
+  }
+
+  [[nodiscard]] const CpuSpec& spec() const { return spec_; }
+  [[nodiscard]] const sim::PsResource& pool() const { return pool_; }
+
+ private:
+  CpuSpec spec_;
+  sim::PsResource pool_;
+  int resident_ = 0;
+};
+
+}  // namespace xartrek::hw

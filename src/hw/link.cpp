@@ -1,0 +1,38 @@
+#include "hw/link.hpp"
+
+#include <utility>
+
+namespace xartrek::hw {
+
+LinkSpec ethernet_1gbps() {
+  // 1 Gbps = 125 MB/s = 0.125 MB/ms.  Latency covers NIC + kernel network
+  // stack traversal on both ends (order of a hundred microseconds).
+  return LinkSpec{"ethernet-1gbps", 0.125, Duration::micros(120)};
+}
+
+LinkSpec pcie_gen3() {
+  // The paper quotes 32 GB/s for the FPGA attachment; DMA setup costs a
+  // few microseconds per transfer.
+  return LinkSpec{"pcie-32gbps", 32.0, Duration::micros(5)};
+}
+
+Link::Link(sim::Simulation& sim, LinkSpec spec)
+    : sim_(sim),
+      spec_(std::move(spec)),
+      pool_(sim, sim::PsResource::Config{spec_.name,
+                                         spec_.bandwidth_mb_per_ms,
+                                         spec_.bandwidth_mb_per_ms}) {
+  XAR_EXPECTS(spec_.bandwidth_mb_per_ms > 0.0);
+}
+
+void Link::transfer(std::uint64_t bytes, std::function<void()> on_complete) {
+  XAR_EXPECTS(on_complete != nullptr);
+  const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
+  // Fixed latency first, then bandwidth-shared payload time.
+  sim_.schedule_in(spec_.latency,
+                   [this, mb, cb = std::move(on_complete)]() mutable {
+                     pool_.submit(mb, std::move(cb));
+                   });
+}
+
+}  // namespace xartrek::hw

@@ -1,0 +1,57 @@
+// Interconnect link model.
+//
+// A Link is a bandwidth-shared channel with a fixed per-message latency.
+// The testbed has two: 1 Gbps Ethernet between the x86 and ARM servers
+// (carries Popcorn state transfers and DSM page pulls) and a PCIe
+// attachment to the Alveo card (carries XCLBIN downloads and kernel
+// buffers).  Both are shared among all concurrent users, which is why
+// the paper measures migration cost "in locus" rather than predicting it.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/time.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::hw {
+
+/// Static description of a link.
+struct LinkSpec {
+  std::string name;
+  double bandwidth_mb_per_ms;  ///< MB per millisecond (1 GB/s = 1.0)
+  Duration latency;            ///< per-transfer fixed cost (propagation +
+                               ///< stack traversal)
+};
+
+/// The paper's 1 Gbps server-to-server Ethernet.
+[[nodiscard]] LinkSpec ethernet_1gbps();
+
+/// The paper's PCIe attachment (32 GB/s nominal).
+[[nodiscard]] LinkSpec pcie_gen3();
+
+/// A shared channel inside a Simulation.
+class Link {
+ public:
+  Link(sim::Simulation& sim, LinkSpec spec);
+
+  /// Transfer `bytes` across the link; `on_complete` fires when the last
+  /// byte lands.  Zero-byte transfers still pay the latency.
+  void transfer(std::uint64_t bytes, std::function<void()> on_complete);
+
+  /// Transfers currently in flight.
+  [[nodiscard]] std::size_t in_flight() const { return pool_.active_jobs(); }
+
+  /// Total bytes delivered (tests).
+  [[nodiscard]] double delivered_mb() const { return pool_.delivered_work(); }
+
+  [[nodiscard]] const LinkSpec& spec() const { return spec_; }
+
+ private:
+  sim::Simulation& sim_;
+  LinkSpec spec_;
+  sim::PsResource pool_;  // demand unit: megabytes
+};
+
+}  // namespace xartrek::hw

@@ -1,0 +1,78 @@
+// ISA descriptions for the multi-ISA substrate.
+//
+// The Popcorn-style migration machinery needs, for each ISA: the register
+// file, the calling convention (where arguments/returns/locals live), and
+// the data layout.  Two ISAs are modelled -- the two in the paper's
+// testbed -- but everything is table-driven so adding RISC-V is a data
+// change.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xartrek::isa {
+
+enum class IsaKind { kX86_64, kAarch64 };
+
+[[nodiscard]] constexpr const char* to_string(IsaKind k) {
+  switch (k) {
+    case IsaKind::kX86_64:  return "x86-64";
+    case IsaKind::kAarch64: return "aarch64";
+  }
+  return "?";
+}
+
+/// All ISAs known to the library, in canonical order.
+[[nodiscard]] std::vector<IsaKind> all_isas();
+
+/// One architectural register.
+struct Register {
+  std::string name;
+  bool callee_saved = false;
+};
+
+/// Primitive data layout facts the state transformer relies on.
+struct DataLayout {
+  unsigned pointer_bytes = 8;
+  unsigned stack_alignment = 16;
+  bool little_endian = true;
+  /// x86-64 red zone (bytes below rsp usable without adjustment);
+  /// aarch64 has none.
+  unsigned red_zone_bytes = 0;
+};
+
+/// Calling convention facts: which registers carry arguments and results.
+struct CallingConvention {
+  std::vector<std::string> integer_arg_regs;
+  std::string integer_ret_reg;
+  std::string stack_pointer;
+  std::string frame_pointer;
+  std::string link_register;  ///< empty when return addresses live on stack
+};
+
+/// A complete ISA description.
+struct IsaInfo {
+  IsaKind kind;
+  std::vector<Register> general_regs;
+  CallingConvention cc;
+  DataLayout layout;
+
+  /// Average encoded bytes per abstract IR operation; drives the
+  /// multi-ISA binary size model (paper Figure 10).
+  double code_bytes_per_op = 4.0;
+
+  [[nodiscard]] bool has_register(const std::string& name) const;
+  [[nodiscard]] bool is_callee_saved(const std::string& name) const;
+};
+
+/// Description of the System V x86-64 ABI subset Xar-Trek needs.
+[[nodiscard]] const IsaInfo& x86_64_info();
+
+/// Description of the AAPCS64 subset.
+[[nodiscard]] const IsaInfo& aarch64_info();
+
+/// Lookup by kind.
+[[nodiscard]] const IsaInfo& info_for(IsaKind kind);
+
+}  // namespace xartrek::isa

@@ -1,0 +1,75 @@
+#include "isa/symbol.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/assert.hpp"
+
+namespace xartrek::isa {
+
+std::uint64_t Symbol::max_size() const {
+  std::uint64_t m = 0;
+  for (const auto& [isa, sz] : size_by_isa) m = std::max(m, sz);
+  return m;
+}
+
+std::uint64_t Symbol::size_for(IsaKind isa) const {
+  auto it = size_by_isa.find(isa);
+  return it == size_by_isa.end() ? 0 : it->second;
+}
+
+std::uint64_t AlignedLayout::address_of(const std::string& name) const {
+  auto it = vaddr_of.find(name);
+  XAR_EXPECTS(it != vaddr_of.end());
+  return it->second;
+}
+
+namespace {
+[[nodiscard]] constexpr bool is_pow2(std::uint64_t v) {
+  return v != 0 && (v & (v - 1)) == 0;
+}
+[[nodiscard]] constexpr std::uint64_t align_up(std::uint64_t v,
+                                               std::uint64_t a) {
+  return (v + a - 1) & ~(a - 1);
+}
+}  // namespace
+
+AlignedLayout align_symbols(const std::vector<Symbol>& symbols,
+                            const std::vector<IsaKind>& isas,
+                            std::uint64_t base) {
+  XAR_EXPECTS(!isas.empty());
+  std::set<std::string> seen;
+  for (const auto& s : symbols) {
+    if (!is_pow2(s.alignment)) {
+      throw Error("symbol `" + s.name + "` has non-power-of-two alignment");
+    }
+    if (!seen.insert(s.name).second) {
+      throw Error("duplicate symbol `" + s.name + "` in alignment input");
+    }
+  }
+
+  AlignedLayout layout;
+  for (IsaKind isa : isas) layout.padding_bytes[isa] = 0;
+
+  std::uint64_t cursor = base;
+  const Section order[] = {Section::kText, Section::kRodata, Section::kData,
+                           Section::kBss};
+  for (Section sec : order) {
+    for (const auto& s : symbols) {
+      if (s.section != sec) continue;
+      cursor = align_up(cursor, s.alignment);
+      layout.vaddr_of[s.name] = cursor;
+      const std::uint64_t window = s.max_size();
+      for (IsaKind isa : isas) {
+        const std::uint64_t own = s.size_for(isa);
+        XAR_ASSERT(own <= window);
+        layout.padding_bytes[isa] += window - own;
+      }
+      cursor += window;
+    }
+  }
+  layout.image_span = cursor - base;
+  return layout;
+}
+
+}  // namespace xartrek::isa

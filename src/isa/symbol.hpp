@@ -1,0 +1,68 @@
+// Cross-ISA symbol alignment.
+//
+// Popcorn-style multi-ISA binaries place every symbol (function, global,
+// static) at the *same virtual address* in each per-ISA image so that
+// pointers mean the same thing on every ISA and migrated state needs no
+// pointer fixups.  Since per-ISA code sizes differ, the aligner walks
+// sections in a canonical order and assigns each symbol the next address
+// that satisfies its alignment and fits the largest per-ISA size; the
+// smaller images carry padding.  That padding is part of the multi-ISA
+// size overhead measured in the paper's Figure 10.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace xartrek::isa {
+
+enum class Section { kText, kRodata, kData, kBss };
+
+[[nodiscard]] constexpr const char* to_string(Section s) {
+  switch (s) {
+    case Section::kText:   return ".text";
+    case Section::kRodata: return ".rodata";
+    case Section::kData:   return ".data";
+    case Section::kBss:    return ".bss";
+  }
+  return "?";
+}
+
+/// One symbol as emitted for every target ISA.
+struct Symbol {
+  std::string name;
+  Section section = Section::kText;
+  std::uint64_t alignment = 16;  ///< power of two
+  /// Encoded size per ISA (text differs; data sections usually agree).
+  std::map<IsaKind, std::uint64_t> size_by_isa;
+
+  [[nodiscard]] std::uint64_t max_size() const;
+  [[nodiscard]] std::uint64_t size_for(IsaKind isa) const;
+};
+
+/// The aligner's result: one virtual address per symbol (identical across
+/// ISAs) plus per-ISA padding accounting.
+struct AlignedLayout {
+  std::map<std::string, std::uint64_t> vaddr_of;
+  std::map<IsaKind, std::uint64_t> padding_bytes;
+  std::uint64_t image_span = 0;  ///< bytes from base to end of last symbol
+
+  [[nodiscard]] std::uint64_t address_of(const std::string& name) const;
+};
+
+/// Compute an aligned layout for `symbols` across `isas`.
+///
+/// Symbols are laid out section by section (text, rodata, data, bss) in
+/// the order given within each section, starting at `base`.  Every ISA's
+/// image reserves the same [address, address + max_size) window per
+/// symbol; the difference between the window and an ISA's own size is
+/// charged to that ISA's padding.  Throws on duplicate symbol names or a
+/// non-power-of-two alignment.
+[[nodiscard]] AlignedLayout align_symbols(const std::vector<Symbol>& symbols,
+                                          const std::vector<IsaKind>& isas,
+                                          std::uint64_t base = 0x400000);
+
+}  // namespace xartrek::isa

@@ -1,0 +1,194 @@
+#include "popcorn/dsm.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xartrek::popcorn {
+
+Dsm::Dsm(sim::Simulation& sim, hw::Link& link, Config cfg)
+    : sim_(sim), link_(link), cfg_(cfg) {
+  XAR_EXPECTS(cfg_.nodes >= 2);
+  XAR_EXPECTS(cfg_.page_size > 0);
+  XAR_EXPECTS(cfg_.memory_bytes % cfg_.page_size == 0);
+  pages_ = cfg_.memory_bytes / cfg_.page_size;
+  memory_.resize(cfg_.nodes);
+  page_states_.resize(cfg_.nodes);
+  for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+    memory_[n].assign(cfg_.memory_bytes, std::byte{0});
+    page_states_[n].assign(pages_,
+                           n == 0 ? PageState::kModified : PageState::kInvalid);
+  }
+}
+
+PageState Dsm::page_state(std::size_t node, std::uint64_t page) const {
+  XAR_EXPECTS(node < cfg_.nodes && page < pages_);
+  return page_states_[node][page];
+}
+
+void Dsm::read(std::size_t node, std::uint64_t addr, std::uint64_t len,
+               ReadCallback on_done) {
+  XAR_EXPECTS(node < cfg_.nodes);
+  XAR_EXPECTS(addr + len <= cfg_.memory_bytes);
+  XAR_EXPECTS(on_done != nullptr);
+  op_queue_.push_back(
+      Op{false, node, addr, len, {}, std::move(on_done), nullptr});
+  if (!op_active_) start_next_op();
+}
+
+void Dsm::write(std::size_t node, std::uint64_t addr,
+                std::vector<std::byte> data, Callback on_done) {
+  XAR_EXPECTS(node < cfg_.nodes);
+  XAR_EXPECTS(addr + data.size() <= cfg_.memory_bytes);
+  XAR_EXPECTS(on_done != nullptr);
+  op_queue_.push_back(Op{true, node, addr, data.size(), std::move(data),
+                         nullptr, std::move(on_done)});
+  if (!op_active_) start_next_op();
+}
+
+void Dsm::start_next_op() {
+  if (op_queue_.empty()) {
+    op_active_ = false;
+    return;
+  }
+  op_active_ = true;
+  // Keep the op alive across the asynchronous page-ensure chain.
+  auto op = std::make_shared<Op>(std::move(op_queue_.front()));
+  op_queue_.pop_front();
+
+  const std::uint64_t first = page_of(op->addr);
+  const std::uint64_t last =
+      op->len == 0 ? first : page_of(op->addr + op->len - 1);
+  ensure_pages(op->node, first, last, op->is_write, [this, op] {
+    if (op->is_write) {
+      std::copy(op->data.begin(), op->data.end(),
+                memory_[op->node].begin() + static_cast<long>(op->addr));
+      auto cb = std::move(op->on_write);
+      start_next_op();
+      cb();
+    } else {
+      std::vector<std::byte> out(
+          memory_[op->node].begin() + static_cast<long>(op->addr),
+          memory_[op->node].begin() + static_cast<long>(op->addr + op->len));
+      auto cb = std::move(op->on_read);
+      start_next_op();
+      cb(std::move(out));
+    }
+  });
+}
+
+void Dsm::ensure_pages(std::size_t node, std::uint64_t first_page,
+                       std::uint64_t last_page, bool exclusive,
+                       Callback on_ready) {
+  if (first_page > last_page) {
+    on_ready();
+    return;
+  }
+  ensure_one_page(node, first_page, exclusive,
+                  [this, node, first_page, last_page, exclusive,
+                   cb = std::move(on_ready)]() mutable {
+                    ensure_pages(node, first_page + 1, last_page, exclusive,
+                                 std::move(cb));
+                  });
+}
+
+void Dsm::ensure_one_page(std::size_t node, std::uint64_t page,
+                          bool exclusive, Callback on_ready) {
+  PageState& mine = page_states_[node][page];
+
+  auto finish_exclusive = [this, node, page] {
+    for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+      if (n != node && page_states_[n][page] != PageState::kInvalid) {
+        page_states_[n][page] = PageState::kInvalid;
+        ++stats_.invalidations;
+      }
+    }
+    page_states_[node][page] = PageState::kModified;
+  };
+
+  if (mine == PageState::kModified ||
+      (mine == PageState::kShared && !exclusive)) {
+    ++stats_.local_page_hits;
+    // Local hit: complete asynchronously for uniform caller semantics.
+    sim_.schedule_in(Duration::zero(), std::move(on_ready));
+    return;
+  }
+
+  if (mine == PageState::kShared && exclusive) {
+    // Upgrade: invalidation round trip, no payload.
+    sim_.schedule_in(link_.spec().latency,
+                     [finish_exclusive, cb = std::move(on_ready)]() mutable {
+                       finish_exclusive();
+                       cb();
+                     });
+    return;
+  }
+
+  // Invalid: pull the page from the owner or any sharer.
+  std::size_t source = cfg_.nodes;
+  for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+    if (n == node) continue;
+    if (page_states_[n][page] == PageState::kModified) {
+      source = n;
+      break;
+    }
+    if (page_states_[n][page] == PageState::kShared && source == cfg_.nodes) {
+      source = n;
+    }
+  }
+  XAR_ASSERT(source < cfg_.nodes);  // some node always holds the page
+
+  link_.transfer(
+      cfg_.page_size,
+      [this, node, page, source, exclusive, finish_exclusive,
+       cb = std::move(on_ready)]() mutable {
+        const std::uint64_t off = page * cfg_.page_size;
+        std::copy(memory_[source].begin() + static_cast<long>(off),
+                  memory_[source].begin() +
+                      static_cast<long>(off + cfg_.page_size),
+                  memory_[node].begin() + static_cast<long>(off));
+        ++stats_.page_transfers;
+        if (exclusive) {
+          finish_exclusive();
+        } else {
+          // Owner downgrades to Shared on a read pull.
+          page_states_[source][page] = PageState::kShared;
+          page_states_[node][page] = PageState::kShared;
+        }
+        cb();
+      });
+}
+
+void Dsm::check_invariants() const {
+  for (std::uint64_t p = 0; p < pages_; ++p) {
+    std::size_t modified = 0;
+    std::size_t shared = 0;
+    for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+      if (page_states_[n][p] == PageState::kModified) ++modified;
+      if (page_states_[n][p] == PageState::kShared) ++shared;
+    }
+    if (modified > 1) throw Error("DSM: two Modified copies of a page");
+    if (modified == 1 && shared > 0) {
+      throw Error("DSM: Modified coexists with Shared");
+    }
+    if (modified + shared == 0) throw Error("DSM: page with no valid copy");
+    // All Shared copies must agree bytewise.
+    if (shared >= 2) {
+      const std::vector<std::byte>* ref = nullptr;
+      for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+        if (page_states_[n][p] != PageState::kShared) continue;
+        if (ref == nullptr) {
+          ref = &memory_[n];
+          continue;
+        }
+        const std::uint64_t off = p * cfg_.page_size;
+        if (!std::equal(ref->begin() + static_cast<long>(off),
+                        ref->begin() + static_cast<long>(off + cfg_.page_size),
+                        memory_[n].begin() + static_cast<long>(off))) {
+          throw Error("DSM: divergent Shared copies");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace xartrek::popcorn

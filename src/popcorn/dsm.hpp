@@ -1,0 +1,110 @@
+// Page-granularity distributed shared memory.
+//
+// Popcorn Linux implements DSM as a first-class OS abstraction so that a
+// thread resuming on the other server observes sequentially-consistent
+// memory (paper §2).  This model implements an MSI protocol over the
+// inter-server link: each node holds a full-size memory replica plus a
+// per-page state; reads pull remote pages, writes invalidate remote
+// copies.  It is both *functional* (bytes really move; tests check
+// coherence invariants) and *costed* (each page pull occupies the shared
+// Ethernet link, which is where the paper's x86->ARM migration overhead
+// comes from).
+//
+// Simplification: operations are serialized through a single FIFO -- one
+// memory transaction is in flight at a time.  Migration traffic in
+// Xar-Trek is coarse (one burst per migration), so per-page pipelining
+// would change nothing the scheduler can observe.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "hw/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::popcorn {
+
+/// MSI page state.
+enum class PageState { kInvalid, kShared, kModified };
+
+/// A multi-node DSM instance.
+class Dsm {
+ public:
+  using Callback = std::function<void()>;
+  using ReadCallback = std::function<void(std::vector<std::byte>)>;
+
+  struct Config {
+    std::size_t nodes = 2;
+    std::uint64_t memory_bytes = 1 << 20;
+    std::uint64_t page_size = 4096;
+  };
+
+  struct Stats {
+    std::uint64_t local_page_hits = 0;
+    std::uint64_t page_transfers = 0;
+    std::uint64_t invalidations = 0;
+  };
+
+  /// Node 0 starts as the exclusive (Modified) owner of every page: the
+  /// application begins life on the x86 host.
+  Dsm(sim::Simulation& sim, hw::Link& link, Config cfg);
+
+  /// Read `len` bytes at `addr` as seen by `node`; pulls pages as needed.
+  void read(std::size_t node, std::uint64_t addr, std::uint64_t len,
+            ReadCallback on_done);
+
+  /// Write `data` at `addr` from `node`; acquires exclusive ownership of
+  /// the spanned pages (invalidating remote copies) first.
+  void write(std::size_t node, std::uint64_t addr,
+             std::vector<std::byte> data, Callback on_done);
+
+  [[nodiscard]] PageState page_state(std::size_t node,
+                                     std::uint64_t page) const;
+  [[nodiscard]] std::uint64_t page_count() const { return pages_; }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+  /// Protocol invariants: per page, at most one Modified copy and no
+  /// Shared copy coexisting with a Modified one; all Shared copies hold
+  /// identical bytes.  Throws on violation (tests call this).
+  void check_invariants() const;
+
+ private:
+  struct Op {
+    bool is_write;
+    std::size_t node;
+    std::uint64_t addr;
+    std::uint64_t len;
+    std::vector<std::byte> data;  // writes
+    ReadCallback on_read;
+    Callback on_write;
+  };
+
+  void start_next_op();
+  void ensure_pages(std::size_t node, std::uint64_t first_page,
+                    std::uint64_t last_page, bool exclusive,
+                    Callback on_ready);
+  void ensure_one_page(std::size_t node, std::uint64_t page, bool exclusive,
+                       Callback on_ready);
+
+  [[nodiscard]] std::uint64_t page_of(std::uint64_t addr) const {
+    return addr / cfg_.page_size;
+  }
+
+  sim::Simulation& sim_;
+  hw::Link& link_;
+  Config cfg_;
+  std::uint64_t pages_;
+  std::vector<std::vector<std::byte>> memory_;        // [node][byte]
+  std::vector<std::vector<PageState>> page_states_;   // [node][page]
+  Stats stats_;
+  std::deque<Op> op_queue_;
+  bool op_active_ = false;
+};
+
+}  // namespace xartrek::popcorn

@@ -1,0 +1,154 @@
+#include "popcorn/fat_binary_io.hpp"
+
+#include "common/binary_io.hpp"
+
+namespace xartrek::popcorn {
+
+namespace {
+
+[[nodiscard]] std::uint8_t isa_tag(isa::IsaKind kind) {
+  return kind == isa::IsaKind::kX86_64 ? 0 : 1;
+}
+[[nodiscard]] isa::IsaKind isa_from_tag(std::uint8_t tag) {
+  switch (tag) {
+    case 0: return isa::IsaKind::kX86_64;
+    case 1: return isa::IsaKind::kAarch64;
+    default: throw Error("fat binary: unknown ISA tag");
+  }
+}
+[[nodiscard]] ValueType type_from_tag(std::uint8_t tag) {
+  if (tag > static_cast<std::uint8_t>(ValueType::kPtr)) {
+    throw Error("fat binary: unknown value-type tag");
+  }
+  return static_cast<ValueType>(tag);
+}
+
+}  // namespace
+
+std::vector<std::byte> write_fat_binary(const MultiIsaBinary& binary) {
+  BinaryWriter w;
+  w.u32(kFatMagic);
+  w.u8(kFatVersion);
+  w.str(binary.name());
+
+  w.u8(static_cast<std::uint8_t>(binary.isas().size()));
+  for (isa::IsaKind kind : binary.isas()) {
+    const SectionSizes& s = binary.sections_for(kind);
+    w.u8(isa_tag(kind));
+    w.u64(s.text);
+    w.u64(s.rodata);
+    w.u64(s.data);
+    w.u64(s.bss);
+  }
+
+  const isa::AlignedLayout& layout = binary.layout();
+  w.u64(layout.image_span);
+  w.u8(static_cast<std::uint8_t>(layout.padding_bytes.size()));
+  for (const auto& [kind, bytes] : layout.padding_bytes) {
+    w.u8(isa_tag(kind));
+    w.u64(bytes);
+  }
+  w.u32(static_cast<std::uint32_t>(layout.vaddr_of.size()));
+  for (const auto& [name, vaddr] : layout.vaddr_of) {
+    w.str(name);
+    w.u64(vaddr);
+  }
+
+  const auto& sites = binary.metadata().sites();
+  w.u32(static_cast<std::uint32_t>(sites.size()));
+  for (const auto& site : sites) {
+    w.str(site.function);
+    w.i32(site.site_id);
+    w.u8(static_cast<std::uint8_t>(site.frame_size.size()));
+    for (const auto& [kind, size] : site.frame_size) {
+      w.u8(isa_tag(kind));
+      w.u64(size);
+    }
+    w.u32(static_cast<std::uint32_t>(site.live_values.size()));
+    for (const auto& value : site.live_values) {
+      w.str(value.name);
+      w.u8(static_cast<std::uint8_t>(value.type));
+      w.u8(static_cast<std::uint8_t>(value.location.size()));
+      for (const auto& [kind, loc] : value.location) {
+        w.u8(isa_tag(kind));
+        w.u8(loc.kind == ValueLocation::Kind::kRegister ? 0 : 1);
+        w.str(loc.reg);
+        w.u64(loc.offset);
+      }
+    }
+  }
+  return w.take();
+}
+
+MultiIsaBinary read_fat_binary(std::span<const std::byte> image) {
+  BinaryReader r(image);
+  if (r.u32() != kFatMagic) throw Error("fat binary: bad magic");
+  if (r.u8() != kFatVersion) throw Error("fat binary: unsupported version");
+  const std::string name = r.str();
+
+  const std::uint8_t n_isas = r.u8();
+  std::vector<isa::IsaKind> isas;
+  std::map<isa::IsaKind, SectionSizes> sections;
+  for (std::uint8_t i = 0; i < n_isas; ++i) {
+    const isa::IsaKind kind = isa_from_tag(r.u8());
+    SectionSizes s;
+    s.text = r.u64();
+    s.rodata = r.u64();
+    s.data = r.u64();
+    s.bss = r.u64();
+    isas.push_back(kind);
+    sections[kind] = s;
+  }
+
+  isa::AlignedLayout layout;
+  layout.image_span = r.u64();
+  const std::uint8_t n_paddings = r.u8();
+  for (std::uint8_t i = 0; i < n_paddings; ++i) {
+    const isa::IsaKind kind = isa_from_tag(r.u8());
+    layout.padding_bytes[kind] = r.u64();
+  }
+  const std::uint32_t n_symbols = r.u32();
+  for (std::uint32_t i = 0; i < n_symbols; ++i) {
+    const std::string sym = r.str();
+    layout.vaddr_of[sym] = r.u64();
+  }
+
+  MigrationMetadata metadata;
+  const std::uint32_t n_sites = r.u32();
+  for (std::uint32_t i = 0; i < n_sites; ++i) {
+    CallSiteMetadata site;
+    site.function = r.str();
+    site.site_id = r.i32();
+    const std::uint8_t n_frames = r.u8();
+    for (std::uint8_t f = 0; f < n_frames; ++f) {
+      const isa::IsaKind kind = isa_from_tag(r.u8());
+      site.frame_size[kind] = r.u64();
+    }
+    const std::uint32_t n_values = r.u32();
+    for (std::uint32_t v = 0; v < n_values; ++v) {
+      LiveValue value;
+      value.name = r.str();
+      value.type = type_from_tag(r.u8());
+      const std::uint8_t n_locs = r.u8();
+      for (std::uint8_t l = 0; l < n_locs; ++l) {
+        const isa::IsaKind kind = isa_from_tag(r.u8());
+        ValueLocation loc;
+        loc.kind = r.u8() == 0 ? ValueLocation::Kind::kRegister
+                               : ValueLocation::Kind::kStackSlot;
+        loc.reg = r.str();
+        loc.offset = r.u64();
+        value.location[kind] = loc;
+      }
+      site.live_values.push_back(std::move(value));
+    }
+    metadata.add_site(std::move(site));
+  }
+
+  if (r.remaining() != 0) {
+    throw Error("fat binary: trailing bytes after descriptor");
+  }
+  return MultiIsaBinary(name, std::move(isas), std::move(sections),
+                        std::move(layout), std::move(metadata));
+}
+
+}  // namespace xartrek::popcorn

@@ -1,0 +1,44 @@
+// Fat-binary image format.
+//
+// A multi-ISA executable is distributed as one artifact containing the
+// per-ISA images, the cross-ISA-aligned symbol table, and the migration
+// metadata section.  This module defines that container: writing a
+// MultiIsaBinary to a byte image and parsing it back losslessly.  It
+// gives the compiler pipeline a concrete deliverable (what would be
+// `app.xar` on disk) and the size model a ground truth: the encoded
+// *descriptor* plus the section payload sizes equals
+// MultiIsaBinary::file_bytes() up to the fixed container overhead.
+//
+// Layout (little-endian):
+//   magic "XFAT" | version u8 | name str
+//   n_isas u8 { isa u8, text u64, rodata u64, data u64, bss u64 }
+//   layout: image_span u64, n_paddings u8 { isa u8, bytes u64 },
+//           n_symbols u32 { name str, vaddr u64 }
+//   metadata: n_sites u32 { function str, site_id i32,
+//             n_frames u8 { isa u8, frame_size u64 },
+//             n_values u32 { name str, type u8,
+//                            n_locations u8 { isa u8, kind u8,
+//                                             reg str, offset u64 } } }
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "popcorn/multi_isa_binary.hpp"
+
+namespace xartrek::popcorn {
+
+/// Encode the binary's descriptor image.
+[[nodiscard]] std::vector<std::byte> write_fat_binary(
+    const MultiIsaBinary& binary);
+
+/// Parse a descriptor image; throws xartrek::Error on bad magic,
+/// version, truncation, unknown ISA/type tags, or trailing bytes.
+[[nodiscard]] MultiIsaBinary read_fat_binary(
+    std::span<const std::byte> image);
+
+inline constexpr std::uint32_t kFatMagic = 0x54414658;  // "XFAT"
+inline constexpr std::uint8_t kFatVersion = 1;
+
+}  // namespace xartrek::popcorn

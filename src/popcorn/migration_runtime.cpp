@@ -1,0 +1,65 @@
+#include "popcorn/migration_runtime.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace xartrek::popcorn {
+
+void MigrationRuntime::migrate(const MachineState& state,
+                               isa::IsaKind dst_isa,
+                               std::uint64_t working_set_bytes,
+                               MigrationCallback on_arrival,
+                               bool charge_transform_cost) {
+  XAR_EXPECTS(on_arrival != nullptr);
+  // Transform eagerly (functional result), optionally charging its CPU
+  // time before the wire transfer starts.
+  MachineState transformed = transformer_->transform(state, dst_isa);
+  const std::uint64_t payload =
+      working_set_bytes + transformed.frame_size() +
+      64 * 8;  // register file image
+
+  auto send = [this, payload, transformed = std::move(transformed),
+               cb = std::move(on_arrival)]() mutable {
+    ethernet_.transfer(payload, [this, transformed = std::move(transformed),
+                                 cb = std::move(cb)]() mutable {
+      ++migrations_;
+      cb(std::move(transformed));
+    });
+  };
+
+  if (charge_transform_cost) {
+    sim_.schedule_in(transformer_->transform_cost(state), std::move(send));
+  } else {
+    send();
+  }
+}
+
+void MigrationRuntime::migrate_stack(
+    const ThreadStack& stack, isa::IsaKind dst_isa,
+    std::uint64_t working_set_bytes,
+    std::function<void(ThreadStack)> on_arrival,
+    bool charge_transform_cost) {
+  XAR_EXPECTS(on_arrival != nullptr);
+  XAR_EXPECTS(!stack.empty());
+  ThreadStack transformed = transformer_->transform_stack(stack, dst_isa);
+  const std::uint64_t payload =
+      working_set_bytes + transformed.total_frame_bytes() + 64 * 8;
+
+  auto send = [this, payload, transformed = std::move(transformed),
+               cb = std::move(on_arrival)]() mutable {
+    ethernet_.transfer(payload, [this, transformed = std::move(transformed),
+                                 cb = std::move(cb)]() mutable {
+      ++migrations_;
+      cb(std::move(transformed));
+    });
+  };
+  if (charge_transform_cost) {
+    sim_.schedule_in(transformer_->stack_transform_cost(stack),
+                     std::move(send));
+  } else {
+    send();
+  }
+}
+
+}  // namespace xartrek::popcorn

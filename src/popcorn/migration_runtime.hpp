@@ -1,0 +1,68 @@
+// The Popcorn migration run-time (software x86 <-> ARM migration).
+//
+// When the Xar-Trek scheduler decides to move a function to the ARM
+// server, this run-time (1) transforms the thread's dynamic state to the
+// destination ISA format (source-CPU work), (2) ships the transformed
+// state plus the function's working set over the shared Ethernet link,
+// and (3) resumes at the same migration point on the destination.  The
+// return trip mirrors it.  All of this is the "communication overhead"
+// the paper folds into its in-locus threshold measurements.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+#include "hw/link.hpp"
+#include "popcorn/machine_state.hpp"
+#include "popcorn/state_transform.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::popcorn {
+
+/// Orchestrates one-way thread migrations between ISA-different nodes.
+class MigrationRuntime {
+ public:
+  using MigrationCallback = std::function<void(MachineState)>;
+
+  MigrationRuntime(sim::Simulation& sim, hw::Link& ethernet,
+                   const StateTransformer& transformer)
+      : sim_(sim), ethernet_(ethernet), transformer_(&transformer) {}
+
+  /// Migrate a thread whose state is `state` to `dst_isa`, shipping
+  /// `working_set_bytes` of program data along with the transformed
+  /// state.  `on_arrival` fires on the destination with the transformed
+  /// state once the transfer completes.
+  ///
+  /// Timing: transform cost elapses first (it runs on the source CPU;
+  /// callers who model CPU contention should charge it there instead and
+  /// pass charge_transform_cost = false), then the Ethernet transfer.
+  void migrate(const MachineState& state, isa::IsaKind dst_isa,
+               std::uint64_t working_set_bytes, MigrationCallback on_arrival,
+               bool charge_transform_cost = true);
+
+  /// Migrate a whole call stack: every activation record is rewritten
+  /// and the payload includes all frames (real Popcorn ships the full
+  /// stack region).
+  void migrate_stack(const ThreadStack& stack, isa::IsaKind dst_isa,
+                     std::uint64_t working_set_bytes,
+                     std::function<void(ThreadStack)> on_arrival,
+                     bool charge_transform_cost = true);
+
+  /// The transformer's CPU cost for this state (exposed so callers can
+  /// charge it to a contended CPU pool).
+  [[nodiscard]] Duration transform_cost(const MachineState& state) const {
+    return transformer_->transform_cost(state);
+  }
+
+  /// Completed migrations (diagnostics).
+  [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
+
+ private:
+  sim::Simulation& sim_;
+  hw::Link& ethernet_;
+  const StateTransformer* transformer_;
+  std::uint64_t migrations_ = 0;
+};
+
+}  // namespace xartrek::popcorn

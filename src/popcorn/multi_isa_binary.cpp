@@ -1,0 +1,49 @@
+#include "popcorn/multi_isa_binary.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace xartrek::popcorn {
+
+MultiIsaBinary::MultiIsaBinary(std::string name,
+                               std::vector<isa::IsaKind> isas,
+                               std::map<isa::IsaKind, SectionSizes> sections,
+                               isa::AlignedLayout layout,
+                               MigrationMetadata metadata)
+    : name_(std::move(name)),
+      isas_(std::move(isas)),
+      sections_(std::move(sections)),
+      layout_(std::move(layout)),
+      metadata_(std::move(metadata)) {
+  XAR_EXPECTS(!isas_.empty());
+  for (isa::IsaKind isa : isas_) {
+    XAR_EXPECTS(sections_.contains(isa));
+  }
+}
+
+const SectionSizes& MultiIsaBinary::sections_for(isa::IsaKind isa) const {
+  auto it = sections_.find(isa);
+  XAR_EXPECTS(it != sections_.end());
+  return it->second;
+}
+
+std::uint64_t MultiIsaBinary::image_file_bytes(isa::IsaKind isa) const {
+  std::uint64_t padding = 0;
+  auto it = layout_.padding_bytes.find(isa);
+  if (it != layout_.padding_bytes.end()) padding = it->second;
+  return sections_for(isa).file_bytes() + padding;
+}
+
+std::uint64_t MultiIsaBinary::file_bytes() const {
+  std::uint64_t total = kElfOverheadBytes;
+  for (isa::IsaKind isa : isas_) total += image_file_bytes(isa);
+  total += metadata_.encoded_size_bytes();
+  return total;
+}
+
+std::uint64_t MultiIsaBinary::single_isa_file_bytes(isa::IsaKind isa) const {
+  return kElfOverheadBytes + sections_for(isa).file_bytes();
+}
+
+}  // namespace xartrek::popcorn

@@ -1,0 +1,70 @@
+// Multi-ISA binary model.
+//
+// The product of the Popcorn compiler (Xar-Trek step C): one fat
+// executable containing machine code for every target ISA, symbols
+// aligned at identical virtual addresses (with padding), plus the
+// migration metadata section.  The size accounting here feeds the
+// paper's Figure 10 comparison.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+#include "isa/symbol.hpp"
+#include "popcorn/metadata.hpp"
+
+namespace xartrek::popcorn {
+
+/// Per-ISA section byte counts (before alignment padding).
+struct SectionSizes {
+  std::uint64_t text = 0;
+  std::uint64_t rodata = 0;
+  std::uint64_t data = 0;
+  std::uint64_t bss = 0;
+
+  [[nodiscard]] std::uint64_t file_bytes() const {
+    return text + rodata + data;  // bss occupies no file space
+  }
+};
+
+/// A built multi-ISA executable.
+class MultiIsaBinary {
+ public:
+  MultiIsaBinary(std::string name, std::vector<isa::IsaKind> isas,
+                 std::map<isa::IsaKind, SectionSizes> sections,
+                 isa::AlignedLayout layout, MigrationMetadata metadata);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const std::vector<isa::IsaKind>& isas() const { return isas_; }
+  [[nodiscard]] const isa::AlignedLayout& layout() const { return layout_; }
+  [[nodiscard]] const MigrationMetadata& metadata() const { return metadata_; }
+  [[nodiscard]] const SectionSizes& sections_for(isa::IsaKind isa) const;
+
+  /// File bytes contributed by one ISA's image, including its share of
+  /// alignment padding.
+  [[nodiscard]] std::uint64_t image_file_bytes(isa::IsaKind isa) const;
+
+  /// Total on-disk size of the fat binary: ELF/program-header overhead +
+  /// every ISA image + the migration metadata section.
+  [[nodiscard]] std::uint64_t file_bytes() const;
+
+  /// On-disk size of a hypothetical single-ISA build (no padding, no
+  /// migration metadata) -- the "Vanilla" baseline in Figure 10.
+  [[nodiscard]] std::uint64_t single_isa_file_bytes(isa::IsaKind isa) const;
+
+ private:
+  std::string name_;
+  std::vector<isa::IsaKind> isas_;
+  std::map<isa::IsaKind, SectionSizes> sections_;
+  isa::AlignedLayout layout_;
+  MigrationMetadata metadata_;
+};
+
+/// Fixed per-executable container overhead (ELF header, program/section
+/// headers, dynamic linking tables).
+inline constexpr std::uint64_t kElfOverheadBytes = 12 * 1024;
+
+}  // namespace xartrek::popcorn

@@ -1,0 +1,53 @@
+// Cross-ISA program-state transformation.
+//
+// At a migration point the Popcorn run-time rewrites the thread's dynamic
+// state (registers + stack frame) from the source ISA's format to the
+// destination's, guided by compiler-emitted liveness metadata.  This is
+// the "state transformation" of paper §2; Xar-Trek invokes it on every
+// x86 <-> ARM migration (FPGA offloads skip it -- hardware kernels take
+// self-contained in-memory data, paper footnote 4).
+#pragma once
+
+#include "common/time.hpp"
+#include "popcorn/machine_state.hpp"
+#include "popcorn/metadata.hpp"
+
+namespace xartrek::popcorn {
+
+/// Transforms MachineStates between ISA formats using a metadata table.
+class StateTransformer {
+ public:
+  explicit StateTransformer(const MigrationMetadata& metadata)
+      : metadata_(&metadata) {}
+
+  /// Produce `src`'s state re-laid-out for `dst_isa`.
+  ///
+  /// Every live value recorded for the (function, site) pair is read from
+  /// its source location and written to its destination location; the
+  /// destination frame is sized per the destination frame-size table and
+  /// its stack/frame pointers are set to the frame bounds.  Throws if the
+  /// migration point is unknown or a value lacks a location for either
+  /// ISA (a compiler bug in real Popcorn; a metadata bug here).
+  [[nodiscard]] MachineState transform(const MachineState& src,
+                                       isa::IsaKind dst_isa) const;
+
+  /// CPU cost model for one transformation: per-site fixed overhead plus
+  /// a per-live-value cost.  Charged on the *source* CPU by the migration
+  /// run-time.
+  [[nodiscard]] Duration transform_cost(const MachineState& src) const;
+
+  /// Rewrite a whole call stack, outermost to innermost: every
+  /// activation record is re-laid-out for the destination ISA so the
+  /// thread unwinds correctly after it resumes there.
+  [[nodiscard]] ThreadStack transform_stack(const ThreadStack& src,
+                                            isa::IsaKind dst_isa) const;
+
+  /// Cost of a whole-stack rewrite (the per-frame costs, with the fixed
+  /// machinery overhead paid once).
+  [[nodiscard]] Duration stack_transform_cost(const ThreadStack& src) const;
+
+ private:
+  const MigrationMetadata* metadata_;
+};
+
+}  // namespace xartrek::popcorn

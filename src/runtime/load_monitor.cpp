@@ -1,0 +1,18 @@
+#include "runtime/load_monitor.hpp"
+
+namespace xartrek::runtime {
+
+LoadMonitor::LoadMonitor(sim::Simulation& sim, const hw::CpuCluster& x86,
+                         Duration period)
+    : sim_(sim), x86_(x86), period_(period) {
+  XAR_EXPECTS(period > Duration::zero());
+  sample();
+}
+
+void LoadMonitor::sample() {
+  last_sample_ = x86_.load();
+  ++samples_;
+  tick_ = sim_.schedule_in(period_, [this] { sample(); });
+}
+
+}  // namespace xartrek::runtime

@@ -1,0 +1,122 @@
+#include "runtime/migration_executor.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace xartrek::runtime {
+
+MigrationExecutor::MigrationExecutor(platform::Testbed& testbed, Logger log)
+    : testbed_(testbed), log_(std::move(log)) {}
+
+void MigrationExecutor::execute(Target target, const FunctionCosts& costs,
+                                DoneCallback on_done, bool wait_for_fpga) {
+  XAR_EXPECTS(on_done != nullptr);
+  switch (target) {
+    case Target::kX86:  execute_x86(costs, std::move(on_done)); return;
+    case Target::kArm:  execute_arm(costs, std::move(on_done)); return;
+    case Target::kFpga:
+      execute_fpga(costs, std::move(on_done), wait_for_fpga);
+      return;
+  }
+  XAR_ASSERT(false);
+}
+
+void MigrationExecutor::execute_x86(const FunctionCosts& costs,
+                                    DoneCallback on_done) {
+  const TimePoint start = testbed_.simulation().now();
+  testbed_.x86().run(costs.x86_ms, [this, start, cb = std::move(on_done)] {
+    cb(testbed_.simulation().now() - start);
+  });
+}
+
+void MigrationExecutor::execute_arm(const FunctionCosts& costs,
+                                    DoneCallback on_done) {
+  const TimePoint start = testbed_.simulation().now();
+  auto& sim = testbed_.simulation();
+
+  // Outbound: transform on the (contended) x86 host, then the wire.
+  testbed_.x86().run(costs.transform_ms, [this, &sim, costs, start,
+                                          cb = std::move(on_done)]() mutable {
+    testbed_.ethernet().transfer(costs.migrate_bytes, [this, &sim, costs,
+                                                       start,
+                                                       cb = std::move(
+                                                           cb)]() mutable {
+      // Remote execution on the ARM cluster.
+      testbed_.arm().run(costs.arm_ms, [this, &sim, costs, start,
+                                        cb = std::move(cb)]() mutable {
+        // Return trip: transform on ARM, results back over the wire.
+        testbed_.arm().run(
+            costs.transform_ms,
+            [this, &sim, costs, start, cb = std::move(cb)]() mutable {
+              testbed_.ethernet().transfer(
+                  costs.return_bytes,
+                  [&sim, start, cb = std::move(cb)]() mutable {
+                    cb(sim.now() - start);
+                  });
+            });
+      });
+    });
+  });
+}
+
+void MigrationExecutor::execute_fpga(const FunctionCosts& costs,
+                                     DoneCallback on_done,
+                                     bool wait_for_fpga) {
+  const TimePoint start = testbed_.simulation().now();
+  auto& sim = testbed_.simulation();
+  auto& device = testbed_.fpga();
+
+  if (!device.has_kernel(costs.kernel_name)) {
+    if (wait_for_fpga) {
+      // Poll until the kernel appears (lazy-configuration stall).
+      sim.schedule_in(Duration::ms(10.0), [this, costs,
+                                           cb = std::move(on_done), start] {
+        execute_fpga(costs,
+                     [cb, start, this](Duration) {
+                       cb(testbed_.simulation().now() - start);
+                     },
+                     true);
+      });
+      return;
+    }
+    // Kernel vanished between decision and call: benign race; run the
+    // software version locally instead.
+    ++fallbacks_;
+    log_.debug("executor: kernel ", costs.kernel_name,
+               " not resident; falling back to x86");
+    execute_x86(costs, std::move(on_done));
+    return;
+  }
+
+  // XRT call overhead (runs on the host but is not core-bound: driver
+  // submission + interrupt path), then DMA in, kernel, DMA out.
+  sim.schedule_in(costs.xrt_call_overhead, [this, &sim, &device, costs,
+                                            start,
+                                            cb = std::move(on_done)]() mutable {
+    testbed_.pcie().transfer(costs.fpga_input_bytes, [this, &sim, &device,
+                                                      costs, start,
+                                                      cb = std::move(
+                                                          cb)]() mutable {
+      if (!device.has_kernel(costs.kernel_name)) {
+        // Evicted mid-flight (reconfiguration won the race).
+        ++fallbacks_;
+        execute_x86(costs, [cb = std::move(cb), start, this](Duration) {
+          cb(testbed_.simulation().now() - start);
+        });
+        return;
+      }
+      device.execute(costs.kernel_name, costs.fpga_items, [this, &sim, costs,
+                                                           start,
+                                                           cb = std::move(
+                                                               cb)]() mutable {
+        testbed_.pcie().transfer(costs.fpga_output_bytes,
+                                 [&sim, start, cb = std::move(cb)]() mutable {
+                                   cb(sim.now() - start);
+                                 });
+      });
+    });
+  });
+}
+
+}  // namespace xartrek::runtime

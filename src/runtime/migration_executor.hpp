@@ -1,0 +1,77 @@
+// Migration executor -- runs the selected function where the scheduler
+// decided.
+//
+//  x86:  the function's software demand enters the x86 run queue.
+//  ARM:  Popcorn software migration -- state transformation on the
+//        source CPU, program state + working set over the shared
+//        Ethernet, ARM execution, then the return trip (paper §3.2;
+//        the costs the threshold estimator measures "in locus").
+//  FPGA: XRT hardware migration -- fixed OpenCL call overhead, input
+//        DMA over shared PCIe, the kernel's compute unit, output DMA.
+//        No state transformation: hardware kernels take self-contained
+//        in-memory data (paper footnote 4).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/log.hpp"
+#include "common/time.hpp"
+#include "platform/testbed.hpp"
+#include "runtime/target.hpp"
+
+namespace xartrek::runtime {
+
+/// Everything the executor needs to cost one invocation of one selected
+/// function.  Produced by the application model (apps::BenchmarkSpec).
+struct FunctionCosts {
+  // Software path.
+  Duration x86_ms = Duration::zero();  ///< demand on the x86 cluster
+  Duration arm_ms = Duration::zero();  ///< demand on the ARM cluster
+  // ARM migration path.
+  std::uint64_t migrate_bytes = 0;     ///< x86 -> ARM state + working set
+  std::uint64_t return_bytes = 0;      ///< ARM -> x86 results + state
+  Duration transform_ms = Duration::zero();  ///< per-direction transform
+  // FPGA path.
+  std::string kernel_name;
+  std::uint64_t fpga_items = 1;
+  std::uint64_t fpga_input_bytes = 0;
+  std::uint64_t fpga_output_bytes = 0;
+  Duration xrt_call_overhead = Duration::ms(1.0);  ///< OpenCL enqueue etc.
+};
+
+/// Executes function invocations on the testbed.
+class MigrationExecutor {
+ public:
+  /// Callback receives the invocation's elapsed (wall) simulated time.
+  using DoneCallback = std::function<void(Duration elapsed)>;
+
+  explicit MigrationExecutor(platform::Testbed& testbed, Logger log = {});
+
+  /// Run one invocation on `target`.
+  ///
+  /// `wait_for_fpga`: block until the kernel is resident before
+  /// offloading (the traditional lazy-configuration flow; used by the
+  /// always-FPGA baseline and the blocking ablation).  Without it, an
+  /// FPGA decision whose kernel vanished (evicted by a competing
+  /// reconfiguration) falls back to x86 -- mirroring the real system,
+  /// where the flag check and the kernel call race benignly.
+  void execute(Target target, const FunctionCosts& costs,
+               DoneCallback on_done, bool wait_for_fpga = false);
+
+  /// Executions that wanted the FPGA but fell back to x86 (diagnostics).
+  [[nodiscard]] std::uint64_t fpga_fallbacks() const { return fallbacks_; }
+
+ private:
+  void execute_x86(const FunctionCosts& costs, DoneCallback on_done);
+  void execute_arm(const FunctionCosts& costs, DoneCallback on_done);
+  void execute_fpga(const FunctionCosts& costs, DoneCallback on_done,
+                    bool wait_for_fpga);
+
+  platform::Testbed& testbed_;
+  Logger log_;
+  std::uint64_t fallbacks_ = 0;
+};
+
+}  // namespace xartrek::runtime

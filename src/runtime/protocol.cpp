@@ -1,0 +1,160 @@
+#include "runtime/protocol.hpp"
+
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/binary_io.hpp"
+
+namespace xartrek::runtime {
+
+namespace {
+
+using Writer = BinaryWriter;
+using Reader = BinaryReader;
+
+[[nodiscard]] Target target_from_wire(std::uint8_t v) {
+  switch (v) {
+    case 0: return Target::kX86;
+    case 1: return Target::kArm;
+    case 2: return Target::kFpga;
+    default: throw Error("protocol: invalid target id");
+  }
+}
+
+void encode_payload(const PlacementRequestMsg& m, Writer& w) {
+  w.str(m.app);
+  w.str(m.kernel);
+  w.u32(m.pid);
+}
+void encode_payload(const PlacementReplyMsg& m, Writer& w) {
+  w.u8(static_cast<std::uint8_t>(m.target));
+  w.u8(m.wait_for_fpga ? 1 : 0);
+  w.i32(m.observed_load);
+}
+void encode_payload(const ThresholdReportMsg& m, Writer& w) {
+  w.str(m.app);
+  w.u8(static_cast<std::uint8_t>(m.executed_on));
+  w.f64(m.exec_time_ms);
+  w.i32(m.x86_load);
+}
+void encode_payload(const TableSyncMsg& m, Writer& w) {
+  w.str(m.entry.app);
+  w.str(m.entry.kernel_name);
+  w.i32(m.entry.fpga_threshold);
+  w.i32(m.entry.arm_threshold);
+  w.f64(m.entry.x86_exec.to_ms());
+  w.f64(m.entry.arm_exec.to_ms());
+  w.f64(m.entry.fpga_exec.to_ms());
+}
+
+[[nodiscard]] MessageType type_of(const Message& m) {
+  if (std::holds_alternative<PlacementRequestMsg>(m)) {
+    return MessageType::kPlacementRequest;
+  }
+  if (std::holds_alternative<PlacementReplyMsg>(m)) {
+    return MessageType::kPlacementReply;
+  }
+  if (std::holds_alternative<ThresholdReportMsg>(m)) {
+    return MessageType::kThresholdReport;
+  }
+  return MessageType::kTableSync;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_message(const Message& message) {
+  Writer payload;
+  std::visit([&payload](const auto& m) { encode_payload(m, payload); },
+             message);
+
+  Writer framed;
+  framed.u16(kProtocolMagic);
+  framed.u8(kProtocolVersion);
+  framed.u8(static_cast<std::uint8_t>(type_of(message)));
+  framed.u32(static_cast<std::uint32_t>(payload.size()));
+  auto out = framed.take();
+  auto body = payload.take();
+  out.insert(out.end(), body.begin(), body.end());
+  XAR_ENSURES(out.size() >= kHeaderBytes);
+  return out;
+}
+
+namespace {
+struct Header {
+  MessageType type;
+  std::uint32_t payload_len;
+};
+
+[[nodiscard]] Header parse_header(std::span<const std::byte> buffer) {
+  if (buffer.size() < kHeaderBytes) {
+    throw Error("protocol: buffer shorter than header");
+  }
+  Reader r(buffer.first(kHeaderBytes));
+  if (r.u16() != kProtocolMagic) throw Error("protocol: bad magic");
+  if (r.u8() != kProtocolVersion) {
+    throw Error("protocol: unsupported version");
+  }
+  const std::uint8_t type = r.u8();
+  if (type < 1 || type > 4) throw Error("protocol: unknown message type");
+  return Header{static_cast<MessageType>(type), r.u32()};
+}
+}  // namespace
+
+MessageType peek_message_type(std::span<const std::byte> buffer) {
+  return parse_header(buffer).type;
+}
+
+Message decode_message(std::span<const std::byte> buffer) {
+  const Header header = parse_header(buffer);
+  if (buffer.size() != kHeaderBytes + header.payload_len) {
+    throw Error("protocol: payload length mismatch");
+  }
+  Reader r(buffer.subspan(kHeaderBytes));
+
+  Message out;
+  switch (header.type) {
+    case MessageType::kPlacementRequest: {
+      PlacementRequestMsg m;
+      m.app = r.str();
+      m.kernel = r.str();
+      m.pid = r.u32();
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kPlacementReply: {
+      PlacementReplyMsg m;
+      m.target = target_from_wire(r.u8());
+      m.wait_for_fpga = r.u8() != 0;
+      m.observed_load = r.i32();
+      out = m;
+      break;
+    }
+    case MessageType::kThresholdReport: {
+      ThresholdReportMsg m;
+      m.app = r.str();
+      m.executed_on = target_from_wire(r.u8());
+      m.exec_time_ms = r.f64();
+      m.x86_load = r.i32();
+      out = std::move(m);
+      break;
+    }
+    case MessageType::kTableSync: {
+      TableSyncMsg m;
+      m.entry.app = r.str();
+      m.entry.kernel_name = r.str();
+      m.entry.fpga_threshold = r.i32();
+      m.entry.arm_threshold = r.i32();
+      m.entry.x86_exec = Duration::ms(r.f64());
+      m.entry.arm_exec = Duration::ms(r.f64());
+      m.entry.fpga_exec = Duration::ms(r.f64());
+      out = std::move(m);
+      break;
+    }
+  }
+  if (r.remaining() != 0) {
+    throw Error("protocol: trailing bytes after payload");
+  }
+  return out;
+}
+
+}  // namespace xartrek::runtime

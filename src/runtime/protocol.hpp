@@ -1,0 +1,103 @@
+// Scheduler wire protocol.
+//
+// The paper's scheduler is split between per-application clients and a
+// server on the x86 host, communicating over sockets (§3.2).  This
+// module defines the message set and a compact binary codec:
+//
+//   PlacementRequest   client -> server   "where should <app> run?"
+//   PlacementReply     server -> client   the migration-flag value
+//   ThresholdReport    client -> server   Algorithm-1 observation
+//   TableSync          server -> client   full threshold-table row
+//
+// Framing: every message starts with a fixed 8-byte header (magic,
+// version, type, payload length).  Integers are little-endian; strings
+// are length-prefixed.  The codec is strict: trailing bytes, truncated
+// payloads, bad magic/version/type all throw xartrek::Error -- a
+// scheduler must not act on a mangled request.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.hpp"
+#include "runtime/target.hpp"
+#include "runtime/threshold_table.hpp"
+
+namespace xartrek::runtime {
+
+/// Message type tags (wire values are stable).
+enum class MessageType : std::uint8_t {
+  kPlacementRequest = 1,
+  kPlacementReply = 2,
+  kThresholdReport = 3,
+  kTableSync = 4,
+};
+
+/// Client -> server: ask for a placement decision.
+struct PlacementRequestMsg {
+  std::string app;
+  std::string kernel;
+  std::uint32_t pid = 0;  ///< client process id (diagnostics)
+
+  bool operator==(const PlacementRequestMsg&) const = default;
+};
+
+/// Server -> client: the decision (the migration-flag value).
+struct PlacementReplyMsg {
+  Target target = Target::kX86;
+  bool wait_for_fpga = false;
+  std::int32_t observed_load = 0;
+
+  bool operator==(const PlacementReplyMsg&) const = default;
+};
+
+/// Client -> server: an Algorithm-1 observation (on function return).
+struct ThresholdReportMsg {
+  std::string app;
+  Target executed_on = Target::kX86;
+  double exec_time_ms = 0.0;
+  std::int32_t x86_load = 0;
+
+  bool operator==(const ThresholdReportMsg&) const = default;
+};
+
+/// Server -> client: a threshold-table row (table synchronization).
+struct TableSyncMsg {
+  ThresholdEntry entry;
+
+  bool operator==(const TableSyncMsg& o) const {
+    return entry.app == o.entry.app &&
+           entry.kernel_name == o.entry.kernel_name &&
+           entry.fpga_threshold == o.entry.fpga_threshold &&
+           entry.arm_threshold == o.entry.arm_threshold &&
+           entry.x86_exec == o.entry.x86_exec &&
+           entry.arm_exec == o.entry.arm_exec &&
+           entry.fpga_exec == o.entry.fpga_exec;
+  }
+};
+
+/// Any protocol message.
+using Message = std::variant<PlacementRequestMsg, PlacementReplyMsg,
+                             ThresholdReportMsg, TableSyncMsg>;
+
+/// Serialize a message into a framed byte buffer.
+[[nodiscard]] std::vector<std::byte> encode_message(const Message& message);
+
+/// Parse one framed message.  Throws xartrek::Error on bad magic,
+/// unsupported version, unknown type, truncation, or trailing bytes.
+[[nodiscard]] Message decode_message(std::span<const std::byte> buffer);
+
+/// The message type a framed buffer claims to carry (header peek);
+/// throws on a malformed header.
+[[nodiscard]] MessageType peek_message_type(std::span<const std::byte> buffer);
+
+/// Wire constants, exposed for tests.
+inline constexpr std::uint16_t kProtocolMagic = 0x5854;  // "XT"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kHeaderBytes = 8;
+
+}  // namespace xartrek::runtime

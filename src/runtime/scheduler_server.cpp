@@ -1,0 +1,174 @@
+#include "runtime/scheduler_server.hpp"
+
+#include <utility>
+
+#include "common/assert.hpp"
+#include "runtime/protocol.hpp"
+
+namespace xartrek::runtime {
+
+Target decide_placement(int x86_load, int arm_threshold, int fpga_threshold,
+                        bool hw_kernel_available, bool& wants_reconfigure) {
+  wants_reconfigure = false;
+  const bool no_kernel = !hw_kernel_available;
+
+  // Algorithm 2, lines 9-13: stay on x86, configure in the background.
+  if (x86_load <= arm_threshold && x86_load > fpga_threshold && no_kernel) {
+    wants_reconfigure = true;
+    return Target::kX86;
+  }
+  // Lines 14-18: migrate to ARM, configure in the background.
+  if (x86_load > arm_threshold && x86_load > fpga_threshold && no_kernel) {
+    wants_reconfigure = true;
+    return Target::kArm;
+  }
+  // Lines 19-21: both thresholds respected -- stay.
+  if (x86_load <= arm_threshold && x86_load <= fpga_threshold) {
+    return Target::kX86;
+  }
+  // Lines 22-24: only the ARM threshold exceeded.
+  if (x86_load > arm_threshold && x86_load <= fpga_threshold) {
+    return Target::kArm;
+  }
+  // Lines 25-31: FPGA threshold exceeded and the kernel is resident; the
+  // smaller threshold implies the smaller execution time on that target.
+  if (x86_load > fpga_threshold && hw_kernel_available) {
+    return fpga_threshold < arm_threshold ? Target::kFpga : Target::kArm;
+  }
+  XAR_ASSERT(false);  // the five branches cover all combinations
+}
+
+std::string explain_placement(int x86_load, int arm_threshold,
+                              int fpga_threshold,
+                              bool hw_kernel_available) {
+  bool wants_reconfigure = false;
+  const Target target = decide_placement(
+      x86_load, arm_threshold, fpga_threshold, hw_kernel_available,
+      wants_reconfigure);
+  std::string why;
+  const std::string load = "load " + std::to_string(x86_load);
+  const std::string thrs = " (ARM_THR " + std::to_string(arm_threshold) +
+                           ", FPGA_THR " + std::to_string(fpga_threshold) +
+                           ")";
+  if (!hw_kernel_available && wants_reconfigure) {
+    why = load + " exceeds FPGA_THR but the kernel is not resident" + thrs +
+          "; running on " + to_string(target) +
+          " while the XCLBIN loads in the background [lines " +
+          (target == Target::kX86 ? "9-13" : "14-18") + "]";
+  } else if (target == Target::kX86) {
+    why = load + " within both thresholds" + thrs +
+          "; staying on x86 [lines 19-21]";
+  } else if (target == Target::kArm) {
+    why = x86_load <= fpga_threshold
+              ? load + " exceeds only ARM_THR" + thrs +
+                    "; migrating to ARM [lines 22-24]"
+              : load + " exceeds FPGA_THR with the kernel resident, but "
+                    "ARM_THR < FPGA_THR implies ARM is the faster "
+                    "target" +
+                    thrs + " [lines 25-31]";
+  } else {
+    why = load + " exceeds FPGA_THR, kernel resident, FPGA_THR < ARM_THR" +
+          thrs + "; migrating to the FPGA [lines 25-31]";
+  }
+  return why;
+}
+
+SchedulerServer::SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
+                                 fpga::FpgaDevice& device,
+                                 ThresholdTable& table,
+                                 std::vector<fpga::XclbinImage> xclbins,
+                                 Options opts, Logger log)
+    : sim_(sim),
+      monitor_(monitor),
+      device_(device),
+      table_(table),
+      xclbins_(std::move(xclbins)),
+      opts_(opts),
+      log_(std::move(log)) {}
+
+std::vector<std::vector<std::byte>> SchedulerServer::broadcast_table()
+    const {
+  std::vector<std::vector<std::byte>> frames;
+  for (const auto& app : table_.app_names()) {
+    TableSyncMsg msg;
+    msg.entry = table_.at(app);
+    frames.push_back(encode_message(msg));
+  }
+  return frames;
+}
+
+const fpga::XclbinImage* SchedulerServer::image_with(
+    const std::string& kernel) const {
+  for (const auto& image : xclbins_) {
+    if (image.contains_kernel(kernel)) return &image;
+  }
+  return nullptr;
+}
+
+void SchedulerServer::maybe_start_reconfiguration(const std::string& kernel) {
+  if (device_.reconfiguring()) return;  // one download at a time
+  const fpga::XclbinImage* image = image_with(kernel);
+  if (image == nullptr) {
+    log_.warn("server: no XCLBIN provides kernel ", kernel);
+    return;
+  }
+  ++stats_.reconfigurations_started;
+  log_.info("server: reconfiguring FPGA with ", image->id, " for kernel ",
+            kernel);
+  device_.reconfigure(*image, [this, id = image->id] {
+    log_.debug("server: reconfiguration ", id, " complete");
+  });
+}
+
+void SchedulerServer::request_placement(const std::string& app,
+                                        DecisionCallback on_decision) {
+  XAR_EXPECTS(on_decision != nullptr);
+  // The client marshals its request over the socket; the server decodes
+  // it after the round-trip delay.  Running the real codec on every
+  // request keeps the wire format honest in every experiment.
+  const std::vector<std::byte> wire =
+      encode_message(PlacementRequestMsg{app, /*kernel=*/"", /*pid=*/0});
+  sim_.schedule_in(opts_.request_overhead, [this, wire,
+                                            cb = std::move(on_decision)] {
+    ++stats_.requests;
+    const auto request =
+        std::get<PlacementRequestMsg>(decode_message(wire));
+    const std::string& app = request.app;
+    const ThresholdEntry& entry = table_.at(app);
+    const int load = monitor_.x86_load();
+    const bool kernel_ready = device_.has_kernel(entry.kernel_name);
+
+    PlacementDecision decision;
+    decision.observed_load = load;
+
+    bool wants_reconfigure = false;
+    decision.target =
+        decide_placement(load, entry.arm_threshold, entry.fpga_threshold,
+                         kernel_ready, wants_reconfigure);
+
+    if (wants_reconfigure) {
+      const bool was_reconfiguring = device_.reconfiguring();
+      maybe_start_reconfiguration(entry.kernel_name);
+      decision.reconfiguration_started = !was_reconfiguring;
+      if (!opts_.hide_reconfiguration &&
+          load > entry.fpga_threshold &&
+          entry.fpga_threshold < entry.arm_threshold) {
+        // Blocking ablation: the traditional flow stalls the caller on
+        // the configuration instead of running elsewhere meanwhile.
+        decision.target = Target::kFpga;
+        decision.wait_for_fpga = true;
+      }
+    }
+
+    switch (decision.target) {
+      case Target::kX86:  ++stats_.to_x86; break;
+      case Target::kArm:  ++stats_.to_arm; break;
+      case Target::kFpga: ++stats_.to_fpga; break;
+    }
+    log_.trace("server: app=", app, " load=", load, " -> ",
+               to_string(decision.target));
+    cb(decision);
+  });
+}
+
+}  // namespace xartrek::runtime

@@ -1,0 +1,118 @@
+// The scheduler server -- placement policy (paper Algorithm 2).
+//
+// Runs on the x86 host.  On initialization it queries the hardware
+// kernels in the loaded XCLBIN, establishes the client socket, and
+// starts the x86-load timer.  Each application request is answered with
+// a placement decision derived from the threshold table, the sampled
+// x86 load, and kernel residency; when the needed kernel is absent and
+// the load is past FPGA_THR, the server starts a background
+// reconfiguration while the function continues on a CPU -- hiding the
+// transfer and programming latency (paper §3.4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/log.hpp"
+#include "common/time.hpp"
+#include "fpga/device.hpp"
+#include "runtime/load_monitor.hpp"
+#include "runtime/target.hpp"
+#include "runtime/threshold_table.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::runtime {
+
+/// The server's answer to one placement request.
+struct PlacementDecision {
+  Target target = Target::kX86;
+  /// True when this request triggered a background reconfiguration.
+  bool reconfiguration_started = false;
+  /// True when the executor must wait for the FPGA to become ready
+  /// before offloading (only under the blocking-configuration ablation).
+  bool wait_for_fpga = false;
+  int observed_load = 0;
+};
+
+/// Pure policy core of Algorithm 2 (lines 9-31), exposed for exhaustive
+/// property testing.  `wants_reconfigure` is set when the policy asks
+/// for the FPGA to be (re)configured in the background.
+[[nodiscard]] Target decide_placement(int x86_load, int arm_threshold,
+                                      int fpga_threshold,
+                                      bool hw_kernel_available,
+                                      bool& wants_reconfigure);
+
+/// Operator-facing explanation of what Algorithm 2 would decide and
+/// which pseudocode branch fires -- for dashboards and postmortems
+/// ("why did digit2000 run on x86 at 14:03?").
+[[nodiscard]] std::string explain_placement(int x86_load, int arm_threshold,
+                                            int fpga_threshold,
+                                            bool hw_kernel_available);
+
+/// The server.
+class SchedulerServer {
+ public:
+  using DecisionCallback = std::function<void(PlacementDecision)>;
+
+  struct Options {
+    /// Socket round trip between client and server (loopback).
+    Duration request_overhead = Duration::micros(80.0);
+    /// Algorithm 2's latency hiding: keep running on a CPU while the
+    /// XCLBIN loads.  Off = traditional blocking configure-on-use
+    /// (ablation 3 in DESIGN.md).
+    bool hide_reconfiguration = true;
+  };
+
+  struct Stats {
+    std::uint64_t requests = 0;
+    std::uint64_t to_x86 = 0;
+    std::uint64_t to_arm = 0;
+    std::uint64_t to_fpga = 0;
+    std::uint64_t reconfigurations_started = 0;
+  };
+
+  SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
+                  fpga::FpgaDevice& device, ThresholdTable& table,
+                  std::vector<fpga::XclbinImage> xclbins)
+      : SchedulerServer(sim, monitor, device, table, std::move(xclbins),
+                        Options(), Logger{}) {}
+  SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
+                  fpga::FpgaDevice& device, ThresholdTable& table,
+                  std::vector<fpga::XclbinImage> xclbins, Options opts,
+                  Logger log = {});
+
+  /// Handle one client request for `app` (Algorithm 2 main loop body).
+  /// The callback fires after the socket round trip with the decision.
+  void request_placement(const std::string& app, DecisionCallback on_decision);
+
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+  [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// The image that contains `kernel`, or nullptr (the server's "Query
+  /// Available HW Kernels" bookkeeping).
+  [[nodiscard]] const fpga::XclbinImage* image_with(
+      const std::string& kernel) const;
+
+  /// Marshal the whole threshold table as TableSync wire messages (the
+  /// server pushes these to clients so their local copies track the
+  /// refined thresholds).
+  [[nodiscard]] std::vector<std::vector<std::byte>> broadcast_table() const;
+
+ private:
+  void maybe_start_reconfiguration(const std::string& kernel);
+
+  sim::Simulation& sim_;
+  LoadMonitor& monitor_;
+  fpga::FpgaDevice& device_;
+  ThresholdTable& table_;
+  std::vector<fpga::XclbinImage> xclbins_;
+  Options opts_;
+  Logger log_;
+  Stats stats_;
+};
+
+}  // namespace xartrek::runtime

@@ -1,0 +1,22 @@
+// Migration targets (the paper's migration flag).
+//
+// The scheduler client monitors a per-function flag whose value selects
+// where the next invocation executes: 0 = x86 (do not migrate), 1 = ARM
+// (software migration via the Popcorn run-time), 2 = FPGA (hardware
+// migration via XRT) -- paper §3.2, Figure 2 ("Flag equals target ID").
+#pragma once
+
+namespace xartrek::runtime {
+
+enum class Target : int { kX86 = 0, kArm = 1, kFpga = 2 };
+
+[[nodiscard]] constexpr const char* to_string(Target t) {
+  switch (t) {
+    case Target::kX86:  return "x86";
+    case Target::kArm:  return "ARM";
+    case Target::kFpga: return "FPGA";
+  }
+  return "?";
+}
+
+}  // namespace xartrek::runtime

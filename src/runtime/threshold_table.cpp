@@ -1,0 +1,36 @@
+#include "runtime/threshold_table.hpp"
+
+#include <utility>
+
+namespace xartrek::runtime {
+
+void ThresholdTable::upsert(ThresholdEntry entry) {
+  XAR_EXPECTS(!entry.app.empty());
+  XAR_EXPECTS(entry.fpga_threshold >= 0 && entry.arm_threshold >= 0);
+  entries_[entry.app] = std::move(entry);
+}
+
+const ThresholdEntry& ThresholdTable::at(const std::string& app) const {
+  auto it = entries_.find(app);
+  if (it == entries_.end()) {
+    throw Error("threshold table has no entry for `" + app + "`");
+  }
+  return it->second;
+}
+
+ThresholdEntry& ThresholdTable::at_mutable(const std::string& app) {
+  auto it = entries_.find(app);
+  if (it == entries_.end()) {
+    throw Error("threshold table has no entry for `" + app + "`");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ThresholdTable::app_names() const {
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace xartrek::runtime

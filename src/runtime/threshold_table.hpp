@@ -1,0 +1,76 @@
+// The threshold table.
+//
+// One row per application (paper §3.1, step G output): the hardware
+// kernel implementing its selected function, the x86 CPU load above
+// which migrating to the FPGA beats staying (FPGA_THR), and the load
+// above which migrating to ARM beats staying (ARM_THR).  The table also
+// carries the in-isolation execution times of the three scenarios --
+// Algorithm 1 compares fresh measurements against them and refines the
+// thresholds at run time.
+//
+// Loads are in the paper's unit: number of resident processes on the
+// x86 server.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "runtime/target.hpp"
+
+namespace xartrek::runtime {
+
+/// One application's row.
+struct ThresholdEntry {
+  std::string app;
+  std::string kernel_name;   ///< hardware kernel of the selected function
+  int fpga_threshold = 0;    ///< FPGA_THR (x86 load, process count)
+  int arm_threshold = 0;     ///< ARM_THR
+  /// Reference whole-run execution times per scenario (step G / refined).
+  Duration x86_exec = Duration::zero();
+  Duration arm_exec = Duration::zero();
+  Duration fpga_exec = Duration::zero();
+
+  [[nodiscard]] Duration exec_for(Target t) const {
+    switch (t) {
+      case Target::kX86:  return x86_exec;
+      case Target::kArm:  return arm_exec;
+      case Target::kFpga: return fpga_exec;
+    }
+    return Duration::zero();
+  }
+  void set_exec(Target t, Duration d) {
+    switch (t) {
+      case Target::kX86:  x86_exec = d; break;
+      case Target::kArm:  arm_exec = d; break;
+      case Target::kFpga: fpga_exec = d; break;
+    }
+  }
+};
+
+/// The shared table.  The scheduler server reads it per request; every
+/// application's client updates it on function return.  (In the real
+/// system the table crosses a socket; here readers and writers share the
+/// object within the simulation's single event loop.)
+class ThresholdTable {
+ public:
+  /// Add or replace a row.
+  void upsert(ThresholdEntry entry);
+
+  [[nodiscard]] bool contains(const std::string& app) const {
+    return entries_.contains(app);
+  }
+  [[nodiscard]] const ThresholdEntry& at(const std::string& app) const;
+  [[nodiscard]] ThresholdEntry& at_mutable(const std::string& app);
+
+  [[nodiscard]] std::vector<std::string> app_names() const;
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+ private:
+  std::map<std::string, ThresholdEntry> entries_;
+};
+
+}  // namespace xartrek::runtime

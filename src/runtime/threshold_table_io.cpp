@@ -1,0 +1,93 @@
+#include "runtime/threshold_table_io.hpp"
+
+#include <limits>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace xartrek::runtime {
+
+std::string serialize_threshold_table(const ThresholdTable& table) {
+  std::ostringstream os;
+  // Full double precision: the reference times feed Algorithm 1's
+  // comparisons and must survive a round trip exactly.
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << "# xar-trek threshold table (step G output)\n";
+  for (const auto& app : table.app_names()) {
+    const ThresholdEntry& e = table.at(app);
+    os << "app " << e.app << " kernel " << e.kernel_name << " fpga_thr "
+       << e.fpga_threshold << " arm_thr " << e.arm_threshold << " x86_ms "
+       << e.x86_exec.to_ms() << " arm_ms " << e.arm_exec.to_ms()
+       << " fpga_ms " << e.fpga_exec.to_ms() << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw Error("threshold table, line " + std::to_string(line) + ": " + msg);
+}
+}  // namespace
+
+ThresholdTable parse_threshold_table(std::istream& is) {
+  ThresholdTable table;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    if (auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+    if (keyword != "app") fail(lineno, "expected `app`");
+
+    ThresholdEntry e;
+    if (!(ls >> e.app)) fail(lineno, "app needs a name");
+    bool have_kernel = false;
+    bool have_fpga = false;
+    bool have_arm = false;
+    std::string key;
+    while (ls >> key) {
+      if (key == "kernel") {
+        if (!(ls >> e.kernel_name)) fail(lineno, "kernel needs a value");
+        have_kernel = true;
+      } else if (key == "fpga_thr") {
+        if (!(ls >> e.fpga_threshold) || e.fpga_threshold < 0) {
+          fail(lineno, "fpga_thr needs a non-negative value");
+        }
+        have_fpga = true;
+      } else if (key == "arm_thr") {
+        if (!(ls >> e.arm_threshold) || e.arm_threshold < 0) {
+          fail(lineno, "arm_thr needs a non-negative value");
+        }
+        have_arm = true;
+      } else if (key == "x86_ms" || key == "arm_ms" || key == "fpga_ms") {
+        double v = 0.0;
+        if (!(ls >> v) || v < 0.0) fail(lineno, key + " needs a value");
+        if (key == "x86_ms") e.x86_exec = Duration::ms(v);
+        if (key == "arm_ms") e.arm_exec = Duration::ms(v);
+        if (key == "fpga_ms") e.fpga_exec = Duration::ms(v);
+      } else {
+        fail(lineno, "unknown key `" + key + "`");
+      }
+    }
+    if (!have_kernel || !have_fpga || !have_arm) {
+      fail(lineno, "entry for `" + e.app +
+                       "` is missing kernel/fpga_thr/arm_thr");
+    }
+    if (table.contains(e.app)) {
+      fail(lineno, "duplicate app `" + e.app + "`");
+    }
+    table.upsert(std::move(e));
+  }
+  return table;
+}
+
+ThresholdTable parse_threshold_table_string(const std::string& text) {
+  std::istringstream is(text);
+  return parse_threshold_table(is);
+}
+
+}  // namespace xartrek::runtime

@@ -1,0 +1,38 @@
+#include "sim/fifo_station.hpp"
+
+#include <utility>
+
+namespace xartrek::sim {
+
+void FifoStation::enqueue(Duration service, Callback on_complete) {
+  XAR_EXPECTS(service >= Duration::zero());
+  XAR_EXPECTS(on_complete != nullptr);
+  queue_.push_back(Request{service, std::move(on_complete)});
+  if (!busy_) start_next();
+}
+
+void FifoStation::start_next() {
+  XAR_ASSERT(!busy_);
+  if (queue_.empty()) return;
+  Request req = std::move(queue_.front());
+  queue_.pop_front();
+  busy_ = true;
+  busy_since_ = sim_.now();
+  sim_.schedule_in(req.service, [this, cb = std::move(req.on_complete)]() mutable {
+    busy_ = false;
+    busy_accum_ += sim_.now() - busy_since_;
+    ++completed_;
+    // Start the next request before invoking the callback so a callback
+    // that re-enqueues observes a consistent queue.
+    start_next();
+    cb();
+  });
+}
+
+Duration FifoStation::busy_time() const {
+  Duration t = busy_accum_;
+  if (busy_) t += sim_.now() - busy_since_;
+  return t;
+}
+
+}  // namespace xartrek::sim

@@ -1,0 +1,64 @@
+// Single-server FIFO station.
+//
+// Models exclusive-use devices: an FPGA compute unit executes exactly one
+// kernel invocation at a time, queueing the rest in arrival order.  Also
+// used for the reconfiguration port (one XCLBIN download at a time).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::sim {
+
+/// A one-at-a-time server with a FIFO queue inside a Simulation.
+class FifoStation {
+ public:
+  using Callback = std::function<void()>;
+
+  FifoStation(Simulation& sim, std::string name)
+      : sim_(sim), name_(std::move(name)) {}
+  FifoStation(const FifoStation&) = delete;
+  FifoStation& operator=(const FifoStation&) = delete;
+
+  /// Enqueue a request taking `service` time once it reaches the server.
+  /// `on_complete` fires when service finishes.
+  void enqueue(Duration service, Callback on_complete);
+
+  /// True while a request is in service.
+  [[nodiscard]] bool busy() const { return busy_; }
+
+  /// Requests waiting behind the one in service.
+  [[nodiscard]] std::size_t queue_length() const { return queue_.size(); }
+
+  /// Completed request count (diagnostics).
+  [[nodiscard]] std::uint64_t completed() const { return completed_; }
+
+  /// Cumulative busy time (utilization accounting for tests/benches).
+  [[nodiscard]] Duration busy_time() const;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  struct Request {
+    Duration service;
+    Callback on_complete;
+  };
+
+  void start_next();
+
+  Simulation& sim_;
+  std::string name_;
+  std::deque<Request> queue_;
+  bool busy_ = false;
+  std::uint64_t completed_ = 0;
+  Duration busy_accum_ = Duration::zero();
+  TimePoint busy_since_ = TimePoint::origin();
+};
+
+}  // namespace xartrek::sim

@@ -1,0 +1,98 @@
+#include "sim/ps_resource.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace xartrek::sim {
+
+namespace {
+// Completion tolerance: service demands are milliseconds-scale doubles;
+// anything below a femto-unit of residual demand is rounding noise.
+constexpr double kEps = 1e-9;
+}  // namespace
+
+PsResource::PsResource(Simulation& sim, Config cfg)
+    : sim_(sim), cfg_(std::move(cfg)), last_advance_(sim.now()) {
+  XAR_EXPECTS(cfg_.capacity > 0.0);
+  XAR_EXPECTS(cfg_.per_job_cap > 0.0);
+}
+
+PsResource::JobId PsResource::submit(double demand, Callback on_complete) {
+  XAR_EXPECTS(demand >= 0.0);
+  XAR_EXPECTS(on_complete != nullptr);
+  advance();
+  const JobId id = next_id_++;
+  jobs_.emplace(id, Job{demand, std::move(on_complete)});
+  reschedule();
+  return id;
+}
+
+bool PsResource::cancel(JobId id) {
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) return false;
+  advance();
+  jobs_.erase(it);
+  reschedule();
+  return true;
+}
+
+double PsResource::delivered_work() const {
+  // Include service accrued since the last bookkeeping point.
+  const double elapsed = (sim_.now() - last_advance_).to_ms();
+  const double rate = rate_per_job(jobs_.size());
+  return delivered_ + elapsed * rate * static_cast<double>(jobs_.size());
+}
+
+double PsResource::remaining_demand(JobId id) const {
+  auto it = jobs_.find(id);
+  XAR_EXPECTS(it != jobs_.end());
+  const double elapsed = (sim_.now() - last_advance_).to_ms();
+  const double served = elapsed * rate_per_job(jobs_.size());
+  const double rem = it->second.remaining - served;
+  return rem > 0.0 ? rem : 0.0;
+}
+
+void PsResource::advance() {
+  const double elapsed = (sim_.now() - last_advance_).to_ms();
+  last_advance_ = sim_.now();
+  if (elapsed <= 0.0 || jobs_.empty()) return;
+  const double served = elapsed * rate_per_job(jobs_.size());
+  delivered_ += served * static_cast<double>(jobs_.size());
+  for (auto& [id, job] : jobs_) {
+    job.remaining -= served;
+    if (job.remaining < 0.0) job.remaining = 0.0;
+  }
+}
+
+void PsResource::reschedule() {
+  pending_.cancel();
+  if (jobs_.empty()) return;
+  double min_remaining = jobs_.begin()->second.remaining;
+  for (const auto& [id, job] : jobs_) {
+    if (job.remaining < min_remaining) min_remaining = job.remaining;
+  }
+  const double rate = rate_per_job(jobs_.size());
+  XAR_ASSERT(rate > 0.0);
+  const Duration dt = Duration::ms(min_remaining / rate);
+  pending_ = sim_.schedule_in(dt, [this] { on_tick(); });
+}
+
+void PsResource::on_tick() {
+  advance();
+  // Collect finished jobs first, then run their callbacks after internal
+  // state is consistent: callbacks routinely resubmit work to this very
+  // resource (CP.22 in spirit -- never call unknown code mid-update).
+  std::vector<Callback> done;
+  for (auto it = jobs_.begin(); it != jobs_.end();) {
+    if (it->second.remaining <= kEps) {
+      done.push_back(std::move(it->second.on_complete));
+      it = jobs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  reschedule();
+  for (auto& cb : done) cb();
+}
+
+}  // namespace xartrek::sim

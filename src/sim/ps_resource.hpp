@@ -1,0 +1,106 @@
+// Processor-sharing resource.
+//
+// Models a pool of identical servers (CPU cores) or a shared channel
+// (Ethernet, PCIe) under egalitarian processor sharing: with `n` active
+// jobs the resource serves each at rate
+//
+//     r(n) = min(per_job_cap, capacity / n)
+//
+// For a c-core cluster running single-threaded processes, capacity = c
+// core-units and per_job_cap = 1 (a process cannot use more than one
+// core), which is exactly the contention model behind the paper's
+// load-threshold estimation: an application that takes T ms alone takes
+// ~T*n/c ms when n > c instances share the cluster.
+//
+// For a link, capacity = bandwidth (bytes/ms) and per_job_cap = capacity
+// (one transfer may saturate the link); concurrent transfers share
+// bandwidth fairly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::sim {
+
+/// A processor-sharing multi-server resource inside a Simulation.
+class PsResource {
+ public:
+  using JobId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  struct Config {
+    std::string name;     ///< for diagnostics
+    double capacity;      ///< total service units per ms (> 0)
+    double per_job_cap;   ///< max service units per ms for one job (> 0)
+  };
+
+  PsResource(Simulation& sim, Config cfg);
+  PsResource(const PsResource&) = delete;
+  PsResource& operator=(const PsResource&) = delete;
+
+  /// Submit a job demanding `demand` service units (>= 0).  `on_complete`
+  /// fires from the event loop when the job's demand has been served.
+  /// Completion order among jobs finishing at the same instant follows
+  /// submission order.
+  JobId submit(double demand, Callback on_complete);
+
+  /// Remove a job before completion.  Returns false if the job already
+  /// completed (or never existed).  The callback does not fire.
+  bool cancel(JobId id);
+
+  /// Jobs currently in service.  This is the paper's "CPU load" metric
+  /// when the resource is the x86 cluster: *every* resident process
+  /// counts, whether or not it currently holds a core.
+  [[nodiscard]] std::size_t active_jobs() const { return jobs_.size(); }
+
+  /// Service rate a job enjoys right now (0 when idle).
+  [[nodiscard]] double current_rate_per_job() const {
+    return rate_per_job(jobs_.size());
+  }
+
+  /// Total service units delivered since construction (for conservation
+  /// checks in tests).
+  [[nodiscard]] double delivered_work() const;
+
+  /// Remaining demand of a job (for tests).  Requires the job be active.
+  [[nodiscard]] double remaining_demand(JobId id) const;
+
+  [[nodiscard]] const Config& config() const { return cfg_; }
+
+ private:
+  struct Job {
+    double remaining;
+    Callback on_complete;
+  };
+
+  [[nodiscard]] double rate_per_job(std::size_t n) const {
+    if (n == 0) return 0.0;
+    const double fair = cfg_.capacity / static_cast<double>(n);
+    return fair < cfg_.per_job_cap ? fair : cfg_.per_job_cap;
+  }
+
+  /// Charge elapsed service to every active job and update accounting.
+  void advance();
+
+  /// (Re)arm the next-completion event from current state.
+  void reschedule();
+
+  /// Event body: complete every job whose demand is exhausted.
+  void on_tick();
+
+  Simulation& sim_;
+  Config cfg_;
+  std::map<JobId, Job> jobs_;  // ordered: completion ties resolve by id
+  JobId next_id_ = 1;
+  TimePoint last_advance_ = TimePoint::origin();
+  double delivered_ = 0.0;
+  Simulation::EventHandle pending_;
+};
+
+}  // namespace xartrek::sim

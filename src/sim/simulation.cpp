@@ -1,0 +1,49 @@
+#include "sim/simulation.hpp"
+
+#include <limits>
+#include <utility>
+
+namespace xartrek::sim {
+
+Simulation::EventHandle Simulation::schedule_at(TimePoint t, Callback cb) {
+  XAR_EXPECTS(t >= now_);
+  XAR_EXPECTS(cb != nullptr);
+  auto alive = std::make_shared<bool>(true);
+  queue_.push(Event{t, next_seq_++, alive, std::move(cb)});
+  return EventHandle{std::move(alive)};
+}
+
+bool Simulation::step(TimePoint horizon) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > horizon) return false;
+    // Move the event out before executing: the callback may schedule
+    // further events and mutate the queue.
+    Event ev{top.at, top.seq, top.alive, std::move(const_cast<Event&>(top).cb)};
+    queue_.pop();
+    if (!*ev.alive) continue;  // cancelled
+    XAR_ASSERT(ev.at >= now_);
+    now_ = ev.at;
+    *ev.alive = false;  // the event has fired; handles become inert
+    ++executed_;
+    ev.cb();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run() {
+  std::size_t n = 0;
+  while (step(TimePoint::at_ms(std::numeric_limits<double>::infinity()))) ++n;
+  return n;
+}
+
+std::size_t Simulation::run_until(TimePoint horizon) {
+  XAR_EXPECTS(horizon >= now_);
+  std::size_t n = 0;
+  while (step(horizon)) ++n;
+  if (horizon > now_) now_ = horizon;
+  return n;
+}
+
+}  // namespace xartrek::sim

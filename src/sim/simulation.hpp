@@ -1,0 +1,112 @@
+// Discrete-event simulation core.
+//
+// A Simulation owns a virtual clock and an event queue.  Components
+// (CPU clusters, links, the FPGA, the scheduler) register callbacks at
+// future time points; `run`/`run_until` drains the queue in timestamp
+// order, breaking ties by insertion order so executions are fully
+// deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+
+namespace xartrek::sim {
+
+/// The event-driven simulator.  Not copyable: components hold references
+/// to it for the lifetime of an experiment.
+class Simulation {
+ public:
+  using Callback = std::function<void()>;
+
+  /// A cancellation handle for a scheduled event.  Default-constructed
+  /// handles are inert.  Handles are cheap to copy; cancelling any copy
+  /// cancels the event.
+  class EventHandle {
+   public:
+    EventHandle() = default;
+
+    /// Prevent the event from firing.  Idempotent; safe after the event
+    /// has already run (then a no-op).
+    void cancel() {
+      if (alive_) *alive_ = false;
+    }
+
+    /// True if the event is still scheduled to fire.
+    [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+
+   private:
+    friend class Simulation;
+    explicit EventHandle(std::shared_ptr<bool> alive)
+        : alive_(std::move(alive)) {}
+    std::shared_ptr<bool> alive_;
+  };
+
+  Simulation() = default;
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  /// Current simulated time.
+  [[nodiscard]] TimePoint now() const { return now_; }
+
+  /// Schedule `cb` at absolute time `t`.  Requires t >= now().
+  EventHandle schedule_at(TimePoint t, Callback cb);
+
+  /// Schedule `cb` after delay `d`.  Requires d >= 0.
+  EventHandle schedule_in(Duration d, Callback cb) {
+    XAR_EXPECTS(d >= Duration::zero());
+    return schedule_at(now_ + d, std::move(cb));
+  }
+
+  /// Run until the queue is empty.  Returns the number of events executed.
+  std::size_t run();
+
+  /// Run events with timestamp <= horizon; afterwards the clock reads
+  /// exactly `horizon` (even if the queue drained earlier).  Returns the
+  /// number of events executed.
+  std::size_t run_until(TimePoint horizon);
+
+  /// Execute at most one event with timestamp <= horizon.  Returns false
+  /// (and leaves the clock untouched) when none remains.  Lets callers
+  /// run until an external condition holds even while periodic
+  /// components (load monitors, load generators) keep the queue
+  /// populated forever.
+  bool step_one(TimePoint horizon) { return step(horizon); }
+
+  /// Number of events currently scheduled (including cancelled husks not
+  /// yet reaped); intended for tests and diagnostics.
+  [[nodiscard]] std::size_t queued_events() const { return queue_.size(); }
+
+  /// Total events executed since construction.
+  [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at;
+    std::uint64_t seq;
+    std::shared_ptr<bool> alive;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;  // FIFO among same-time events
+    }
+  };
+
+  /// Pop and execute one runnable event with timestamp <= horizon.
+  /// Returns false if none remains.
+  bool step(TimePoint horizon);
+
+  TimePoint now_ = TimePoint::origin();
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace xartrek::sim

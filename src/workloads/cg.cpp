@@ -1,0 +1,140 @@
+#include "workloads/cg.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "common/assert.hpp"
+
+namespace xartrek::workloads {
+
+CsrMatrix make_spd_matrix(Rng& rng, int n, int nz_per_row) {
+  XAR_EXPECTS(n >= 2);
+  XAR_EXPECTS(nz_per_row >= 1);
+
+  // Build symmetric off-diagonal structure with a map-of-rows, then add a
+  // dominant diagonal.
+  std::vector<std::map<std::int32_t, double>> rows(
+      static_cast<std::size_t>(n));
+  const int half = std::max(1, nz_per_row / 2);
+  for (int i = 0; i < n; ++i) {
+    for (int e = 0; e < half; ++e) {
+      const auto j = static_cast<std::int32_t>(rng.uniform_int(0, n - 1));
+      if (j == i) continue;
+      const double v = rng.uniform_real(-0.5, 0.5);
+      rows[static_cast<std::size_t>(i)][j] = v;
+      rows[static_cast<std::size_t>(j)][static_cast<std::int32_t>(i)] = v;
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    double dominance = 1.0;
+    for (const auto& [j, v] : rows[static_cast<std::size_t>(i)]) {
+      dominance += std::abs(v);
+    }
+    rows[static_cast<std::size_t>(i)][static_cast<std::int32_t>(i)] =
+        dominance;
+  }
+
+  CsrMatrix a;
+  a.n = n;
+  a.row_ptr.reserve(static_cast<std::size_t>(n) + 1);
+  a.row_ptr.push_back(0);
+  for (int i = 0; i < n; ++i) {
+    for (const auto& [j, v] : rows[static_cast<std::size_t>(i)]) {
+      a.col_idx.push_back(j);
+      a.values.push_back(v);
+    }
+    a.row_ptr.push_back(static_cast<std::int32_t>(a.col_idx.size()));
+  }
+  return a;
+}
+
+void spmv(const CsrMatrix& a, const std::vector<double>& x,
+          std::vector<double>& y) {
+  XAR_EXPECTS(static_cast<int>(x.size()) == a.n);
+  y.assign(static_cast<std::size_t>(a.n), 0.0);
+  for (int i = 0; i < a.n; ++i) {
+    double sum = 0.0;
+    for (std::int32_t p = a.row_ptr[static_cast<std::size_t>(i)];
+         p < a.row_ptr[static_cast<std::size_t>(i) + 1]; ++p) {
+      sum += a.values[static_cast<std::size_t>(p)] *
+             x[static_cast<std::size_t>(
+                 a.col_idx[static_cast<std::size_t>(p)])];
+    }
+    y[static_cast<std::size_t>(i)] = sum;
+  }
+}
+
+namespace {
+[[nodiscard]] double dot(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+}  // namespace
+
+double conj_grad(const CsrMatrix& a, const std::vector<double>& x,
+                 std::vector<double>& z, int iterations) {
+  const auto n = static_cast<std::size_t>(a.n);
+  z.assign(n, 0.0);
+  std::vector<double> r = x;
+  std::vector<double> p = r;
+  std::vector<double> q(n, 0.0);
+  double rho = dot(r, r);
+
+  for (int it = 0; it < iterations; ++it) {
+    spmv(a, p, q);
+    const double alpha = rho / dot(p, q);
+    for (std::size_t i = 0; i < n; ++i) {
+      z[i] += alpha * p[i];
+      r[i] -= alpha * q[i];
+    }
+    const double rho_new = dot(r, r);
+    const double beta = rho_new / rho;
+    rho = rho_new;
+    for (std::size_t i = 0; i < n; ++i) p[i] = r[i] + beta * p[i];
+  }
+
+  // NPB reports ||x - A z|| as the residual.
+  spmv(a, z, q);
+  double norm = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = x[i] - q[i];
+    norm += d * d;
+  }
+  return std::sqrt(norm);
+}
+
+CgResult cg_benchmark(const CsrMatrix& a, const CgClass& cls) {
+  const auto n = static_cast<std::size_t>(a.n);
+  std::vector<double> x(n, 1.0);
+  std::vector<double> z;
+  CgResult result;
+  for (int outer = 0; outer < cls.outer_iters; ++outer) {
+    result.final_residual = conj_grad(a, x, z);
+    result.zeta = cls.shift + 1.0 / dot(x, z);
+    const double znorm = std::sqrt(dot(z, z));
+    XAR_ASSERT(znorm > 0.0);
+    for (std::size_t i = 0; i < n; ++i) x[i] = z[i] / znorm;
+    ++result.outer_iterations;
+  }
+  return result;
+}
+
+hls::OpProfile cg_op_profile(const CgClass& cls) {
+  // Body = one SpMV nonzero: multiply-accumulate plus a data-dependent
+  // x[col] gather (irregular on a PCIe/HBM FPGA).  One work item = one
+  // outer iteration = 25 CG steps over n rows x nz nonzeros, plus vector
+  // updates folded into the per-iteration regular cost.
+  const auto n = static_cast<double>(cls.n);
+  const auto nz = static_cast<double>(cls.nz_per_row);
+  hls::OpProfile ops;
+  ops.fp_ops = 2;
+  ops.int_ops = 1;
+  ops.mem_ops = 1;
+  ops.irregular_mem_ops = 1;  // the x[col] gather
+  ops.iterations_per_item = 25.0 * n * nz * (1.0 + 10.0 / nz);
+  return ops;
+}
+
+}  // namespace xartrek::workloads

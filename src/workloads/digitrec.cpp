@@ -1,0 +1,131 @@
+#include "workloads/digitrec.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <utility>
+
+#include "common/assert.hpp"
+
+namespace xartrek::workloads {
+
+namespace {
+// Mask for the top word: 196 = 3*64 + 4 bits.
+constexpr std::uint64_t kTopWordMask = 0xFull;
+
+void mask_digit(DigitBits& bits) { bits[3] &= kTopWordMask; }
+}  // namespace
+
+int popcount196(const DigitBits& bits) {
+  int n = 0;
+  for (std::size_t w = 0; w < bits.size(); ++w) {
+    const std::uint64_t v = w == 3 ? (bits[w] & kTopWordMask) : bits[w];
+    n += std::popcount(v);
+  }
+  return n;
+}
+
+int hamming196(const DigitBits& a, const DigitBits& b) {
+  DigitBits x;
+  for (std::size_t w = 0; w < x.size(); ++w) x[w] = a[w] ^ b[w];
+  return popcount196(x);
+}
+
+int knn_classify(std::span<const LabeledDigit> training,
+                 const DigitBits& sample, int k) {
+  XAR_EXPECTS(k >= 1);
+  XAR_EXPECTS(!training.empty());
+  const std::size_t kk = std::min<std::size_t>(
+      static_cast<std::size_t>(k), training.size());
+
+  // Maintain the k best (distance, label) pairs -- same structure the
+  // Rosetta HLS kernel keeps in registers.
+  std::vector<std::pair<int, int>> best;  // (distance, label)
+  best.reserve(kk + 1);
+  for (const auto& t : training) {
+    const int d = hamming196(t.bits, sample);
+    if (best.size() < kk) {
+      best.emplace_back(d, t.label);
+      std::push_heap(best.begin(), best.end());
+    } else if (d < best.front().first) {
+      std::pop_heap(best.begin(), best.end());
+      best.back() = {d, t.label};
+      std::push_heap(best.begin(), best.end());
+    }
+  }
+
+  int votes[10] = {0};
+  for (const auto& [d, label] : best) ++votes[label];
+  int winner = 0;
+  for (int c = 1; c < 10; ++c) {
+    if (votes[c] > votes[winner]) winner = c;  // ties -> smaller label
+  }
+  return winner;
+}
+
+DigitDataset make_synthetic_digits(Rng& rng, int train_per_class,
+                                   int num_tests, double noise_flip_bits) {
+  XAR_EXPECTS(train_per_class >= 1);
+  XAR_EXPECTS(num_tests >= 0);
+  XAR_EXPECTS(noise_flip_bits >= 0.0);
+
+  std::array<DigitBits, 10> prototypes;
+  for (auto& p : prototypes) {
+    for (auto& w : p) w = static_cast<std::uint64_t>(
+                          rng.uniform_int(0, std::numeric_limits<std::int64_t>::max())) |
+                      (static_cast<std::uint64_t>(rng.uniform_int(0, 1)) << 63);
+    mask_digit(p);
+  }
+
+  auto noisy_sample = [&](int label) {
+    LabeledDigit d;
+    d.label = label;
+    d.bits = prototypes[static_cast<std::size_t>(label)];
+    const int flips = static_cast<int>(rng.exponential_mean(
+        std::max(noise_flip_bits, 1e-9)));
+    for (int f = 0; f < flips; ++f) {
+      const auto bit = static_cast<std::uint64_t>(rng.uniform_int(0, 195));
+      d.bits[bit / 64] ^= (1ull << (bit % 64));
+    }
+    mask_digit(d.bits);
+    return d;
+  };
+
+  DigitDataset ds;
+  ds.training.reserve(static_cast<std::size_t>(train_per_class) * 10);
+  for (int c = 0; c < 10; ++c) {
+    for (int i = 0; i < train_per_class; ++i) {
+      ds.training.push_back(noisy_sample(c));
+    }
+  }
+  ds.tests.reserve(static_cast<std::size_t>(num_tests));
+  for (int i = 0; i < num_tests; ++i) {
+    ds.tests.push_back(noisy_sample(static_cast<int>(rng.uniform_int(0, 9))));
+  }
+  return ds;
+}
+
+DigitRecResult digitrec_kernel(const DigitDataset& dataset, int k) {
+  DigitRecResult result;
+  for (const auto& test : dataset.tests) {
+    const int predicted = knn_classify(dataset.training, test.bits, k);
+    ++result.total;
+    if (predicted == test.label) ++result.correct;
+  }
+  return result;
+}
+
+hls::OpProfile digitrec_op_profile(std::size_t training_size) {
+  // Body = one training digest: 4 XOR + 4 popcount + compare/insert
+  // bookkeeping; the kernel streams the whole training set per test
+  // digit (one work item = one test digit).
+  hls::OpProfile ops;
+  ops.int_ops = 14;
+  ops.mem_ops = 4;
+  ops.fp_ops = 0;
+  ops.irregular_mem_ops = 0;  // fully streaming -- FPGA-friendly
+  ops.iterations_per_item = static_cast<double>(training_size);
+  return ops;
+}
+
+}  // namespace xartrek::workloads

@@ -1,0 +1,78 @@
+// Digit recognition: K-nearest-neighbours over 196-bit digit digests.
+//
+// Follows the Rosetta `digitrec` benchmark the paper evaluates
+// (Digit500 / Digit2000): each handwritten digit is downsampled to a
+// 14x14 binary image (196 bits); classification finds the K=3 nearest
+// training digests under Hamming distance and majority-votes their
+// labels.  This is the genuinely-executed software path; the hardware
+// kernel path computes the identical function under the HLS latency
+// model (popcount-dense, no irregular access -- exactly why the paper's
+// FPGA wins on it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hls/hls_compiler.hpp"
+
+namespace xartrek::workloads {
+
+/// A 196-bit digest (14x14 binary image), little-endian across words;
+/// bits 196..255 are always zero.
+using DigitBits = std::array<std::uint64_t, 4>;
+
+/// One labelled digit.
+struct LabeledDigit {
+  DigitBits bits{};
+  int label = 0;  ///< 0..9
+};
+
+/// Training + test corpus.
+struct DigitDataset {
+  std::vector<LabeledDigit> training;
+  std::vector<LabeledDigit> tests;
+};
+
+/// Number of set bits in the (masked) 196-bit digest.
+[[nodiscard]] int popcount196(const DigitBits& bits);
+
+/// Hamming distance between two digests.
+[[nodiscard]] int hamming196(const DigitBits& a, const DigitBits& b);
+
+/// Classify `sample` by K-NN majority vote over `training` (ties break
+/// toward the smaller label, matching Rosetta).  Requires k >= 1 and a
+/// non-empty training set.
+[[nodiscard]] int knn_classify(std::span<const LabeledDigit> training,
+                               const DigitBits& sample, int k = 3);
+
+/// Synthetic corpus: ten random 196-bit class prototypes; every sample is
+/// its class prototype with a Binomial(noise_flip_bits)-ish number of
+/// random bits flipped.  Low noise => near-perfect KNN accuracy, which
+/// the tests assert.
+[[nodiscard]] DigitDataset make_synthetic_digits(Rng& rng,
+                                                 int train_per_class,
+                                                 int num_tests,
+                                                 double noise_flip_bits);
+
+/// Batch-classification result.
+struct DigitRecResult {
+  int total = 0;
+  int correct = 0;
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0 : static_cast<double>(correct) / total;
+  }
+};
+
+/// The selected function: classify every test digit (this whole routine
+/// is what migrates between x86, ARM and the FPGA).
+[[nodiscard]] DigitRecResult digitrec_kernel(const DigitDataset& dataset,
+                                             int k = 3);
+
+/// Per-test-item op profile for the HLS model, given the training-set
+/// size (the kernel streams the whole training set per test digit).
+[[nodiscard]] hls::OpProfile digitrec_op_profile(std::size_t training_size);
+
+}  // namespace xartrek::workloads

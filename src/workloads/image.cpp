@@ -1,0 +1,123 @@
+#include "workloads/image.hpp"
+
+#include <algorithm>
+#include <istream>
+#include <ostream>
+#include <string>
+
+namespace xartrek::workloads {
+
+GrayImage::GrayImage(int width, int height, std::uint8_t fill)
+    : width_(width),
+      height_(height),
+      pixels_(static_cast<std::size_t>(width) *
+                  static_cast<std::size_t>(height),
+              fill) {
+  XAR_EXPECTS(width > 0 && height > 0);
+}
+
+void write_pgm(std::ostream& os, const GrayImage& image) {
+  os << "P5\n"
+     << image.width() << " " << image.height() << "\n"
+     << "255\n";
+  os.write(reinterpret_cast<const char*>(image.pixels().data()),
+           static_cast<std::streamsize>(image.pixels().size()));
+}
+
+GrayImage read_pgm(std::istream& is) {
+  std::string magic;
+  is >> magic;
+  if (magic != "P5") throw Error("read_pgm: not a binary PGM (P5) stream");
+  int width = 0;
+  int height = 0;
+  int maxval = 0;
+  is >> width >> height >> maxval;
+  if (!is || width <= 0 || height <= 0 || maxval != 255) {
+    throw Error("read_pgm: malformed header");
+  }
+  is.get();  // single whitespace after header
+  GrayImage image(width, height);
+  std::vector<char> buf(static_cast<std::size_t>(width) *
+                        static_cast<std::size_t>(height));
+  is.read(buf.data(), static_cast<std::streamsize>(buf.size()));
+  if (!is) throw Error("read_pgm: truncated pixel data");
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      image.set(x, y,
+                static_cast<std::uint8_t>(
+                    buf[static_cast<std::size_t>(y) *
+                            static_cast<std::size_t>(width) +
+                        static_cast<std::size_t>(x)]));
+    }
+  }
+  return image;
+}
+
+namespace {
+void draw_face(GrayImage& img, const PlantedFace& f, Rng& rng) {
+  constexpr std::uint8_t kSkin = 205;
+  constexpr std::uint8_t kEyes = 80;
+  constexpr std::uint8_t kMouth = 105;
+  const int s = f.size;
+  auto band = [&](double top_frac, double bot_frac) {
+    return std::pair<int, int>{f.y + static_cast<int>(top_frac * s),
+                               f.y + static_cast<int>(bot_frac * s)};
+  };
+  const auto [eye_top, eye_bot] = band(0.25, 0.42);
+  const auto [mouth_top, mouth_bot] = band(0.67, 0.83);
+  for (int y = f.y; y < f.y + s; ++y) {
+    for (int x = f.x; x < f.x + s; ++x) {
+      std::uint8_t v = kSkin;
+      if (y >= eye_top && y < eye_bot) v = kEyes;
+      else if (y >= mouth_top && y < mouth_bot) v = kMouth;
+      const int noisy =
+          static_cast<int>(v) + static_cast<int>(rng.normal(0.0, 4.0));
+      img.set(x, y, static_cast<std::uint8_t>(std::clamp(noisy, 0, 255)));
+    }
+  }
+}
+
+[[nodiscard]] bool overlaps(const PlantedFace& a, const PlantedFace& b,
+                            int margin) {
+  return a.x < b.x + b.size + margin && b.x < a.x + a.size + margin &&
+         a.y < b.y + b.size + margin && b.y < a.y + a.size + margin;
+}
+}  // namespace
+
+SyntheticScene make_scene(Rng& rng, int width, int height, int num_faces,
+                          int min_face, int max_face) {
+  XAR_EXPECTS(width >= min_face && height >= min_face);
+  XAR_EXPECTS(min_face >= 24 && max_face >= min_face);
+  SyntheticScene scene;
+  scene.image = GrayImage(width, height);
+  // Mid-gray noisy background, clearly darker than face skin.
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const int v = 120 + static_cast<int>(rng.normal(0.0, 10.0));
+      scene.image.set(x, y, static_cast<std::uint8_t>(std::clamp(v, 0, 255)));
+    }
+  }
+  int attempts = 0;
+  while (static_cast<int>(scene.faces.size()) < num_faces &&
+         attempts < 200 * std::max(1, num_faces)) {
+    ++attempts;
+    const int cap = std::min({max_face, width, height});
+    const int size = static_cast<int>(rng.uniform_int(min_face, cap));
+    if (width - size < 0 || height - size < 0) continue;
+    PlantedFace f{static_cast<int>(rng.uniform_int(0, width - size)),
+                  static_cast<int>(rng.uniform_int(0, height - size)), size};
+    bool ok = true;
+    for (const auto& other : scene.faces) {
+      if (overlaps(f, other, 6)) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) continue;
+    draw_face(scene.image, f, rng);
+    scene.faces.push_back(f);
+  }
+  return scene;
+}
+
+}  // namespace xartrek::workloads

@@ -1,0 +1,78 @@
+// Grayscale images, PGM I/O and synthetic scene generation.
+//
+// The paper's throughput experiments (Figures 6 and 8) feed the face
+// detector WIDER-dataset images converted to PGM.  We have no WIDER
+// here, so scenes are synthesized: noisy background plus planted
+// face-like patterns whose geometry matches what the detector cascade
+// looks for (see face_detect.hpp).  Tests assert recall/precision on
+// the planted ground truth.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace xartrek::workloads {
+
+/// An 8-bit grayscale image.
+class GrayImage {
+ public:
+  GrayImage() = default;
+  GrayImage(int width, int height, std::uint8_t fill = 0);
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+
+  [[nodiscard]] std::uint8_t at(int x, int y) const {
+    XAR_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return pixels_[static_cast<std::size_t>(y) *
+                       static_cast<std::size_t>(width_) +
+                   static_cast<std::size_t>(x)];
+  }
+  void set(int x, int y, std::uint8_t v) {
+    XAR_EXPECTS(x >= 0 && x < width_ && y >= 0 && y < height_);
+    pixels_[static_cast<std::size_t>(y) * static_cast<std::size_t>(width_) +
+            static_cast<std::size_t>(x)] = v;
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& pixels() const {
+    return pixels_;
+  }
+  [[nodiscard]] std::uint64_t byte_size() const { return pixels_.size(); }
+
+ private:
+  int width_ = 0;
+  int height_ = 0;
+  std::vector<std::uint8_t> pixels_;
+};
+
+/// Binary PGM (P5) serialization.
+void write_pgm(std::ostream& os, const GrayImage& image);
+[[nodiscard]] GrayImage read_pgm(std::istream& is);
+
+/// Ground truth for one planted face.
+struct PlantedFace {
+  int x = 0;     ///< top-left
+  int y = 0;
+  int size = 0;  ///< square side
+};
+
+/// A generated scene and its ground truth.
+struct SyntheticScene {
+  GrayImage image;
+  std::vector<PlantedFace> faces;
+};
+
+/// Generate a noisy scene with `num_faces` non-overlapping faces of sizes
+/// in [min_face, max_face].  Faces follow the canonical layout the
+/// default cascade detects: bright skin, dark eye band at 25-42% height,
+/// dark mouth band at 67-83% height.
+[[nodiscard]] SyntheticScene make_scene(Rng& rng, int width, int height,
+                                        int num_faces, int min_face = 24,
+                                        int max_face = 72);
+
+}  // namespace xartrek::workloads

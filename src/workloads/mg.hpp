@@ -1,0 +1,74 @@
+// NPB-style MG: 3-D multigrid Poisson solver.
+//
+// The paper uses NPB MG class B purely as the *background load
+// generator* for the medium/high-load experiments (Figures 4-8): n
+// simultaneous MG-B processes soak the x86 cores.  The solver here is a
+// standard V-cycle on a periodic cube -- weighted-Jacobi smoothing,
+// full-weighting restriction, trilinear prolongation -- functional
+// enough to unit-test convergence, plus a work model for the simulator.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+
+namespace xartrek::workloads {
+
+/// A periodic n x n x n grid of doubles (n a power of two).
+class Grid3 {
+ public:
+  explicit Grid3(int n, double fill = 0.0);
+
+  [[nodiscard]] int n() const { return n_; }
+
+  [[nodiscard]] double at(int i, int j, int k) const {
+    return data_[index(i, j, k)];
+  }
+  void set(int i, int j, int k, double v) { data_[index(i, j, k)] = v; }
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+ private:
+  [[nodiscard]] std::size_t index(int i, int j, int k) const {
+    auto wrap = [this](int v) {
+      const int m = v % n_;
+      return static_cast<std::size_t>(m < 0 ? m + n_ : m);
+    };
+    return (wrap(i) * static_cast<std::size_t>(n_) + wrap(j)) *
+               static_cast<std::size_t>(n_) +
+           wrap(k);
+  }
+  int n_;
+  std::vector<double> data_;
+};
+
+/// r = rhs - A u for the 7-point periodic Laplacian (A = -lap, h = 1).
+void mg_residual(const Grid3& u, const Grid3& rhs, Grid3& r);
+
+/// ||rhs - A u||_2.
+[[nodiscard]] double mg_residual_norm(const Grid3& u, const Grid3& rhs);
+
+/// One weighted-Jacobi sweep (weight 2/3) on A u = rhs.
+void mg_smooth(Grid3& u, const Grid3& rhs);
+
+/// Full-weighting restriction to the n/2 grid.
+void mg_restrict(const Grid3& fine, Grid3& coarse);
+
+/// Trilinear prolongation and correction: u_fine += P(e_coarse).
+void mg_prolong_add(const Grid3& coarse, Grid3& fine);
+
+/// One V-cycle with `pre`/`post` smoothing sweeps, recursing to a 4^3
+/// coarsest grid (smoothed heavily there).
+void mg_vcycle(Grid3& u, const Grid3& rhs, int pre = 2, int post = 2);
+
+/// Random zero-mean right-hand side (solvable on a periodic domain).
+[[nodiscard]] Grid3 mg_random_rhs(Rng& rng, int n);
+
+/// Work model: grid points touched by one V-cycle (for the simulator's
+/// load-generator cost).
+[[nodiscard]] std::uint64_t mg_vcycle_points(int n, int pre = 2, int post = 2);
+
+}  // namespace xartrek::workloads

@@ -1,0 +1,168 @@
+#include "workloads/serialization.hpp"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/assert.hpp"
+
+namespace xartrek::workloads {
+
+namespace {
+constexpr char kDigitMagic[4] = {'X', 'D', 'I', 'G'};
+
+void put_u32(std::ostream& os, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    os.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+void put_u64(std::ostream& os, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    os.put(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+std::uint32_t get_u32(std::istream& is) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    const int c = is.get();
+    if (c == EOF) throw Error("digit dataset: truncated file");
+    v |= static_cast<std::uint32_t>(c & 0xFF) << (8 * i);
+  }
+  return v;
+}
+std::uint64_t get_u64(std::istream& is) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    const int c = is.get();
+    if (c == EOF) throw Error("digit dataset: truncated file");
+    v |= static_cast<std::uint64_t>(c & 0xFF) << (8 * i);
+  }
+  return v;
+}
+
+void write_digits(std::ostream& os, const std::vector<LabeledDigit>& v) {
+  put_u32(os, static_cast<std::uint32_t>(v.size()));
+  for (const auto& d : v) {
+    for (std::uint64_t w : d.bits) put_u64(os, w);
+    os.put(static_cast<char>(d.label));
+  }
+}
+std::vector<LabeledDigit> read_digits(std::istream& is) {
+  const std::uint32_t n = get_u32(is);
+  std::vector<LabeledDigit> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    LabeledDigit d;
+    for (auto& w : d.bits) w = get_u64(is);
+    const int label = is.get();
+    if (label == EOF) throw Error("digit dataset: truncated file");
+    if (label < 0 || label > 9) {
+      throw Error("digit dataset: label out of range");
+    }
+    d.label = label;
+    out.push_back(d);
+  }
+  return out;
+}
+}  // namespace
+
+void write_digit_dataset(std::ostream& os, const DigitDataset& dataset) {
+  os.write(kDigitMagic, 4);
+  write_digits(os, dataset.training);
+  write_digits(os, dataset.tests);
+}
+
+DigitDataset read_digit_dataset(std::istream& is) {
+  char magic[4];
+  is.read(magic, 4);
+  if (!is || std::string(magic, 4) != std::string(kDigitMagic, 4)) {
+    throw Error("digit dataset: bad magic");
+  }
+  DigitDataset ds;
+  ds.training = read_digits(is);
+  ds.tests = read_digits(is);
+  return ds;
+}
+
+void write_cascade(std::ostream& os, const Cascade& cascade) {
+  os << "cascade window " << cascade.base_window << "\n";
+  for (const auto& stage : cascade.stages) {
+    os << "stage\n";
+    for (const auto& f : stage.features) {
+      os << "  feature A " << f.ax << " " << f.ay << " " << f.aw << " "
+         << f.ah << " B " << f.bx << " " << f.by << " " << f.bw << " "
+         << f.bh << " thr " << f.threshold << "\n";
+    }
+    os << "end\n";
+  }
+}
+
+Cascade read_cascade(std::istream& is) {
+  Cascade cascade;
+  cascade.stages.clear();
+  std::string line;
+  int lineno = 0;
+  bool saw_header = false;
+  CascadeStage* current = nullptr;
+  auto fail = [&lineno](const std::string& msg) -> void {
+    throw Error("cascade, line " + std::to_string(lineno) + ": " + msg);
+  };
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string keyword;
+    if (!(ls >> keyword)) continue;
+    if (keyword == "cascade") {
+      std::string window_kw;
+      if (!(ls >> window_kw >> cascade.base_window) ||
+          window_kw != "window" || cascade.base_window < 8) {
+        fail("malformed cascade header");
+      }
+      saw_header = true;
+    } else if (keyword == "stage") {
+      if (!saw_header) fail("stage before cascade header");
+      if (current != nullptr) fail("nested stage");
+      cascade.stages.emplace_back();
+      current = &cascade.stages.back();
+    } else if (keyword == "feature") {
+      if (current == nullptr) fail("feature outside stage");
+      HaarFeature f;
+      std::string a_kw;
+      std::string b_kw;
+      std::string thr_kw;
+      if (!(ls >> a_kw >> f.ax >> f.ay >> f.aw >> f.ah >> b_kw >> f.bx >>
+            f.by >> f.bw >> f.bh >> thr_kw >> f.threshold) ||
+          a_kw != "A" || b_kw != "B" || thr_kw != "thr") {
+        fail("malformed feature");
+      }
+      if (f.aw <= 0 || f.ah <= 0 || f.bw <= 0 || f.bh <= 0) {
+        fail("feature with non-positive rectangle");
+      }
+      current->features.push_back(f);
+    } else if (keyword == "end") {
+      if (current == nullptr) fail("end without stage");
+      if (current->features.empty()) fail("empty stage");
+      current = nullptr;
+    } else {
+      fail("unknown keyword `" + keyword + "`");
+    }
+  }
+  if (current != nullptr) fail("unterminated stage");
+  if (!saw_header) fail("missing cascade header");
+  if (cascade.stages.empty()) fail("cascade has no stages");
+  return cascade;
+}
+
+std::string cascade_to_string(const Cascade& cascade) {
+  std::ostringstream os;
+  os.precision(12);
+  write_cascade(os, cascade);
+  return os.str();
+}
+
+Cascade cascade_from_string(const std::string& text) {
+  std::istringstream is(text);
+  return read_cascade(is);
+}
+
+}  // namespace xartrek::workloads

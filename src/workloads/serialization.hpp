@@ -1,0 +1,37 @@
+// Workload artifact serialization.
+//
+// The paper's modified benchmarks read their inputs from files (images
+// from WIDER-converted PGMs, digit corpora from data files); detector
+// cascades are deployment artifacts an operator may tune.  This module
+// provides the file formats: a binary digit-corpus format and a text
+// cascade format, both strict round-trippers.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "workloads/digitrec.hpp"
+#include "workloads/face_detect.hpp"
+
+namespace xartrek::workloads {
+
+/// Binary digit corpus: magic "XDIG", u32 counts, then packed 4x u64
+/// words + u8 label per digit.
+void write_digit_dataset(std::ostream& os, const DigitDataset& dataset);
+[[nodiscard]] DigitDataset read_digit_dataset(std::istream& is);
+
+/// Text cascade format:
+///
+///   cascade window 24
+///   stage
+///     feature A 0 0 24 6 B 0 6 24 4 thr 0.15
+///   end
+///
+void write_cascade(std::ostream& os, const Cascade& cascade);
+[[nodiscard]] Cascade read_cascade(std::istream& is);
+
+/// Convenience string forms.
+[[nodiscard]] std::string cascade_to_string(const Cascade& cascade);
+[[nodiscard]] Cascade cascade_from_string(const std::string& text);
+
+}  // namespace xartrek::workloads

@@ -1,0 +1,68 @@
+#include "xrt/xrt.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xartrek::xrt {
+
+Buffer::Buffer(Device& device, std::uint64_t bytes)
+    : device_(device), host_(bytes, std::byte{0}), shadow_(bytes, std::byte{0}) {}
+
+void Buffer::sync_to_device(Callback on_done) {
+  XAR_EXPECTS(on_done != nullptr);
+  device_.pcie().transfer(host_.size(),
+                          [this, cb = std::move(on_done)]() mutable {
+                            std::copy(host_.begin(), host_.end(),
+                                      shadow_.begin());
+                            cb();
+                          });
+}
+
+void Buffer::sync_from_device(Callback on_done) {
+  XAR_EXPECTS(on_done != nullptr);
+  device_.pcie().transfer(shadow_.size(),
+                          [this, cb = std::move(on_done)]() mutable {
+                            std::copy(shadow_.begin(), shadow_.end(),
+                                      host_.begin());
+                            cb();
+                          });
+}
+
+Kernel::Kernel(Device& device, std::string name)
+    : device_(device), name_(std::move(name)) {}
+
+void Kernel::enqueue(std::uint64_t items, Callback on_done) {
+  if (!device_.kernel_ready(name_)) {
+    throw Error("XRT: kernel `" + name_ + "` is not loaded on the device");
+  }
+  device_.card().execute(name_, items, std::move(on_done));
+}
+
+Device::Device(sim::Simulation& sim, fpga::FpgaDevice& card, hw::Link& pcie)
+    : sim_(sim), card_(card), pcie_(pcie) {}
+
+void Device::load_xclbin(const fpga::XclbinImage& image, Callback on_done) {
+  card_.reconfigure(image, std::move(on_done));
+}
+
+void offload(Device& device, Kernel& kernel, Buffer* in, Buffer* out,
+             std::uint64_t items, std::function<void()> on_done) {
+  XAR_EXPECTS(on_done != nullptr);
+  auto run_kernel = [&device, &kernel, out, items,
+                     cb = std::move(on_done)]() mutable {
+    kernel.enqueue(items, [out, cb = std::move(cb)]() mutable {
+      if (out != nullptr) {
+        out->sync_from_device(std::move(cb));
+      } else {
+        cb();
+      }
+    });
+  };
+  if (in != nullptr) {
+    in->sync_to_device(std::move(run_kernel));
+  } else {
+    run_kernel();
+  }
+}
+
+}  // namespace xartrek::xrt

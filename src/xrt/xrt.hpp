@@ -1,0 +1,114 @@
+// XRT-style host run-time API.
+//
+// Xar-Trek's hardware migration path drives the accelerator card through
+// OpenCL APIs in the Xilinx Runtime Library: configure the card, manage
+// host<->card buffers, and orchestrate kernel execution (paper §3.2).
+// This module reproduces that narrow waist: Device wraps the card model,
+// Buffer owns host-side bytes and a device-side shadow synchronized over
+// PCIe, Kernel launches named compute units, and `offload` chains the
+// canonical write-buffers -> execute -> read-buffers sequence that the
+// instrumented application performs per hardware call.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "fpga/device.hpp"
+#include "hw/link.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::xrt {
+
+class Device;
+
+/// A host buffer with a device-side shadow.  Functional: bytes written on
+/// the host genuinely appear device-side after sync_to_device (tests rely
+/// on this); costed: each sync occupies the shared PCIe link.
+class Buffer {
+ public:
+  using Callback = std::function<void()>;
+
+  Buffer(Device& device, std::uint64_t bytes);
+
+  [[nodiscard]] std::uint64_t size() const { return host_.size(); }
+
+  /// Host-side contents.
+  [[nodiscard]] std::span<std::byte> host() { return host_; }
+  [[nodiscard]] std::span<const std::byte> host() const { return host_; }
+
+  /// Device-side contents (valid after a sync; tests/diagnostics).
+  [[nodiscard]] std::span<const std::byte> device_shadow() const {
+    return shadow_;
+  }
+
+  /// DMA host -> card.
+  void sync_to_device(Callback on_done);
+  /// DMA card -> host.
+  void sync_from_device(Callback on_done);
+
+ private:
+  Device& device_;
+  std::vector<std::byte> host_;
+  std::vector<std::byte> shadow_;
+};
+
+/// Handle to a named kernel on a device.  Validity is checked at enqueue
+/// time: the XCLBIN holding the kernel may have been replaced since the
+/// handle was created.
+class Kernel {
+ public:
+  using Callback = std::function<void()>;
+
+  Kernel(Device& device, std::string name);
+
+  /// Launch over `items` work items.  Throws if the kernel is not
+  /// currently loaded (the Xar-Trek scheduler is responsible for never
+  /// routing work to an absent kernel).
+  void enqueue(std::uint64_t items, Callback on_done);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  Device& device_;
+  std::string name_;
+};
+
+/// The card as seen by one host process.
+class Device {
+ public:
+  using Callback = std::function<void()>;
+
+  Device(sim::Simulation& sim, fpga::FpgaDevice& card, hw::Link& pcie);
+
+  /// Download an XCLBIN (serialized with any other download).
+  void load_xclbin(const fpga::XclbinImage& image, Callback on_done);
+
+  /// True if `name` is loaded and callable.
+  [[nodiscard]] bool kernel_ready(const std::string& name) const {
+    return card_.has_kernel(name);
+  }
+
+  [[nodiscard]] fpga::FpgaDevice& card() { return card_; }
+  [[nodiscard]] hw::Link& pcie() { return pcie_; }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  fpga::FpgaDevice& card_;
+  hw::Link& pcie_;
+};
+
+/// The canonical per-call offload sequence the instrumented application
+/// performs: sync inputs, execute, sync outputs.  `in` and `out` may be
+/// null (kernels without inputs or outputs).
+void offload(Device& device, Kernel& kernel, Buffer* in, Buffer* out,
+             std::uint64_t items, std::function<void()> on_done);
+
+}  // namespace xartrek::xrt

@@ -1,0 +1,281 @@
+// Edge-case and contention tests across the stack: links under
+// contention, zero-cost operations, stack migration, 3-node DSM,
+// single-ISA builds, multi-function instrumentation, the decision
+// explainer, and the periodic load controller.
+#include <gtest/gtest.h>
+
+#include "apps/benchmark_spec.hpp"
+#include "compiler/instrumenter.hpp"
+#include "compiler/multi_isa_builder.hpp"
+#include "exp/experiment.hpp"
+#include "exp/figures.hpp"
+#include "exp/threshold_estimator.hpp"
+#include "exp/trace.hpp"
+#include "hw/link.hpp"
+#include "popcorn/dsm.hpp"
+#include "popcorn/migration_runtime.hpp"
+#include "runtime/migration_executor.hpp"
+#include "runtime/scheduler_server.hpp"
+#include "sim/fifo_station.hpp"
+
+namespace xartrek {
+namespace {
+
+TEST(LinkEdgeTest, ZeroByteTransferPaysOnlyLatency) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  double done = -1;
+  eth.transfer(0, [&] { done = sim.now().to_ms(); });
+  sim.run();
+  EXPECT_NEAR(done, 0.12, 1e-9);  // the fixed latency only
+}
+
+TEST(FifoEdgeTest, ZeroServiceRequestCompletesInstantly) {
+  sim::Simulation sim;
+  sim::FifoStation cu(sim, "cu");
+  bool done = false;
+  cu.enqueue(Duration::zero(), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 0.0);
+}
+
+TEST(ExecutorContentionTest, ConcurrentArmMigrationsShareEthernet) {
+  // Two simultaneous ARM migrations halve each other's wire bandwidth;
+  // both finish later than a lone migration would.
+  platform::Testbed testbed;
+  runtime::MigrationExecutor executor(testbed);
+  runtime::FunctionCosts costs;
+  costs.arm_ms = Duration::ms(100);
+  costs.migrate_bytes = 4 << 20;  // 4 MiB -> 32 ms alone
+  costs.return_bytes = 0;
+  costs.transform_ms = Duration::zero();
+
+  auto run_n = [&](int n) {
+    platform::Testbed tb;
+    runtime::MigrationExecutor ex(tb);
+    std::vector<double> done;
+    for (int i = 0; i < n; ++i) {
+      ex.execute(runtime::Target::kArm, costs,
+                 [&done](Duration d) { done.push_back(d.to_ms()); });
+    }
+    while (static_cast<int>(done.size()) < n &&
+           tb.simulation().step_one(TimePoint::at_ms(1e9))) {
+    }
+    return done.back();
+  };
+  const double lone = run_n(1);
+  const double paired = run_n(2);
+  EXPECT_GT(paired, lone + 20.0);  // the 32 ms payload became ~64 ms
+}
+
+TEST(MigrationRuntimeTest, StackMigrationMovesEveryFrame) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+
+  popcorn::MigrationMetadata md;
+  for (int depth = 0; depth < 3; ++depth) {
+    popcorn::CallSiteMetadata site;
+    site.function = "f" + std::to_string(depth);
+    site.site_id = 0;
+    site.frame_size[isa::IsaKind::kX86_64] = 32;
+    site.frame_size[isa::IsaKind::kAarch64] = 48;
+    popcorn::LiveValue v;
+    v.name = "v";
+    v.type = popcorn::ValueType::kI64;
+    v.location[isa::IsaKind::kX86_64] =
+        popcorn::ValueLocation::on_stack(0);
+    v.location[isa::IsaKind::kAarch64] =
+        popcorn::ValueLocation::on_stack(8);
+    site.live_values.push_back(v);
+    md.add_site(std::move(site));
+  }
+  const popcorn::StateTransformer transformer(md);
+  popcorn::MigrationRuntime runtime(sim, eth, transformer);
+
+  popcorn::ThreadStack stack(isa::IsaKind::kX86_64);
+  for (int depth = 0; depth < 3; ++depth) {
+    popcorn::MachineState frame(isa::IsaKind::kX86_64,
+                                "f" + std::to_string(depth), 0, 32);
+    frame.write_stack(0, 8, static_cast<std::uint64_t>(100 + depth));
+    stack.push_frame(std::move(frame));
+  }
+
+  bool arrived = false;
+  runtime.migrate_stack(stack, isa::IsaKind::kAarch64, 1 << 20,
+                        [&](popcorn::ThreadStack arm) {
+                          arrived = true;
+                          ASSERT_EQ(arm.depth(), 3u);
+                          for (std::size_t d = 0; d < 3; ++d) {
+                            EXPECT_EQ(arm.frames()[d].read_stack(8, 8),
+                                      100 + d);
+                            EXPECT_EQ(arm.frames()[d].frame_size(), 48u);
+                          }
+                        });
+  sim.run();
+  EXPECT_TRUE(arrived);
+  EXPECT_EQ(runtime.migrations(), 1u);
+}
+
+TEST(DsmTest, ThreeNodeCoherence) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  popcorn::Dsm dsm(sim, eth, popcorn::Dsm::Config{3, 64 * 1024, 4096});
+
+  // Node 0 writes, nodes 1 and 2 read (page becomes Shared everywhere),
+  // then node 2 writes (everyone else invalidated).
+  dsm.write(0, 0, {std::byte{0x42}}, [] {});
+  dsm.read(1, 0, 1, [](std::vector<std::byte> b) {
+    EXPECT_EQ(b[0], std::byte{0x42});
+  });
+  dsm.read(2, 0, 1, [](std::vector<std::byte> b) {
+    EXPECT_EQ(b[0], std::byte{0x42});
+  });
+  sim.run();
+  dsm.check_invariants();
+  EXPECT_EQ(dsm.page_state(1, 0), popcorn::PageState::kShared);
+  EXPECT_EQ(dsm.page_state(2, 0), popcorn::PageState::kShared);
+
+  dsm.write(2, 0, {std::byte{0x43}}, [] {});
+  sim.run();
+  dsm.check_invariants();
+  EXPECT_EQ(dsm.page_state(2, 0), popcorn::PageState::kModified);
+  EXPECT_EQ(dsm.page_state(0, 0), popcorn::PageState::kInvalid);
+  EXPECT_EQ(dsm.page_state(1, 0), popcorn::PageState::kInvalid);
+}
+
+TEST(MultiIsaBuilderTest, SingleIsaBuildHasNoPadding) {
+  compiler::MultiIsaBuildOptions opts;
+  opts.targets = {isa::IsaKind::kX86_64};
+  const compiler::MultiIsaBuilder builder(opts);
+  const auto binary =
+      builder.build(compiler::make_app_ir("demo", "hot", 400, 150));
+  EXPECT_EQ(binary.layout().padding_bytes.at(isa::IsaKind::kX86_64), 0u);
+}
+
+TEST(InstrumenterTest, TwoSelectedFunctionsGetTwoStubs) {
+  auto ir = compiler::make_app_ir("demo", "hot", 500, 150);
+  // Add a second self-contained hot function, called from main.
+  compiler::IrFunction hot2;
+  hot2.name = "hot2";
+  hot2.lines_of_code = 80;
+  hot2.ops.int_ops = 640;
+  hot2.num_locals = 6;
+  ir.functions.push_back(hot2);
+  ir.find_mutable("main")->call_sites.push_back({"hot2", 3});
+
+  compiler::ApplicationProfile profile;
+  profile.name = "demo";
+  compiler::SelectedFunction f1;
+  f1.function = "hot";
+  f1.kernel_name = "K1";
+  compiler::SelectedFunction f2;
+  f2.function = "hot2";
+  f2.kernel_name = "K2";
+  profile.functions = {f1, f2};
+
+  const compiler::Instrumenter pass;
+  const auto out = pass.instrument(ir, profile);
+  EXPECT_EQ(out.dispatch_stubs.size(), 2u);
+  EXPECT_EQ(out.count(compiler::Insertion::Kind::kDispatchRewrite), 2u);
+  // The scheduler hooks are inserted once, not per function.
+  EXPECT_EQ(out.count(compiler::Insertion::Kind::kSchedulerClientInit), 1u);
+  EXPECT_NE(out.ir.find("__xar_dispatch_hot2"), nullptr);
+}
+
+TEST(ExplainPlacementTest, NamesTheFiringBranch) {
+  using runtime::explain_placement;
+  EXPECT_NE(explain_placement(5, 31, 16, true).find("lines 19-21"),
+            std::string::npos);
+  EXPECT_NE(explain_placement(20, 31, 16, false).find("lines 9-13"),
+            std::string::npos);
+  EXPECT_NE(explain_placement(40, 31, 16, false).find("lines 14-18"),
+            std::string::npos);
+  EXPECT_NE(explain_placement(40, 31, 50, true).find("lines 22-24"),
+            std::string::npos);
+  EXPECT_NE(explain_placement(40, 31, 16, true).find("lines 25-31"),
+            std::string::npos);
+  EXPECT_NE(explain_placement(40, 16, 31, true).find("ARM is the faster"),
+            std::string::npos);
+}
+
+TEST(ExplainPlacementTest, ExplanationMatchesDecision) {
+  for (int load : {0, 10, 20, 40, 120}) {
+    for (int arm : {0, 17, 31}) {
+      for (int fpga : {0, 16, 31}) {
+        for (bool kernel : {false, true}) {
+          bool reconfig = false;
+          const auto target =
+              runtime::decide_placement(load, arm, fpga, kernel, reconfig);
+          const auto text =
+              runtime::explain_placement(load, arm, fpga, kernel);
+          EXPECT_NE(text.find(to_string(target)), std::string::npos)
+              << text;
+        }
+      }
+    }
+  }
+}
+
+TEST(PeriodicLoadTest, TriangularControllerActuallySwings) {
+  // Drive the Figure-8 load controller standalone and verify the load
+  // wave covers the configured range.
+  const auto specs = apps::paper_benchmarks();
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kVanillaX86;
+  exp::Experiment exp(specs, runtime::ThresholdTable{}, options);
+  exp::TraceRecorder trace(exp.simulation(), Duration::seconds(5));
+  trace.add_probe("load", [&exp] {
+    return static_cast<double>(exp.testbed().x86().load());
+  });
+
+  const double period_ms = Duration::minutes(2).to_ms();
+  std::function<void()> adjust = [&] {
+    const double phase =
+        std::fmod(exp.simulation().now().to_ms(), period_ms) / period_ms;
+    const double tri = phase < 0.5 ? 2.0 * phase : 2.0 * (1.0 - phase);
+    exp.set_background_load(10 + static_cast<int>(tri * 110));
+    exp.simulation().schedule_in(Duration::seconds(5), [&] { adjust(); });
+  };
+  adjust();
+  exp.simulation().run_until(TimePoint::origin() + Duration::minutes(4));
+  exp.set_background_load(0);
+
+  const auto summary = trace.summarize("load");
+  EXPECT_LE(summary.min, 15.0);
+  EXPECT_GE(summary.max, 100.0);
+}
+
+TEST(ExperimentTest, WarmFpgaIsIdempotent) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::Experiment exp(specs, runtime::ThresholdTable{}, options);
+  exp.warm_fpga_for("digit500");
+  const auto reconfigs = exp.testbed().fpga().reconfigurations();
+  exp.warm_fpga_for("digit500");  // already resident: no new download
+  EXPECT_EQ(exp.testbed().fpga().reconfigurations(), reconfigs);
+}
+
+TEST(ServerOptionsTest, RequestOverheadDelaysDecision) {
+  platform::Testbed testbed;
+  runtime::ThresholdTable table;
+  runtime::ThresholdEntry e;
+  e.app = "a";
+  e.kernel_name = "K";
+  table.upsert(e);
+  runtime::LoadMonitor monitor(testbed.simulation(), testbed.x86());
+  runtime::SchedulerServer::Options opts;
+  opts.request_overhead = Duration::ms(5);
+  runtime::SchedulerServer server(testbed.simulation(), monitor,
+                                  testbed.fpga(), table, {}, opts);
+  double decided_at = -1;
+  server.request_placement("a", [&](runtime::PlacementDecision) {
+    decided_at = testbed.simulation().now().to_ms();
+  });
+  testbed.simulation().run_until(TimePoint::at_ms(100));
+  EXPECT_NEAR(decided_at, 5.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace xartrek

@@ -1,0 +1,140 @@
+// Failure injection: the accelerator card goes away.
+//
+// The multi-tenant premise (paper §1) is that the FPGA is an
+// opportunistic escape valve, not a dependency: when the card is
+// reclaimed by a paying tenant -- or simply dies -- Xar-Trek must keep
+// serving from the CPUs, while the traditional always-FPGA flow has
+// nowhere to go.
+#include <gtest/gtest.h>
+
+#include "apps/application.hpp"
+#include "apps/benchmark_spec.hpp"
+#include "exp/experiment.hpp"
+#include "exp/threshold_estimator.hpp"
+
+namespace xartrek {
+namespace {
+
+const runtime::ThresholdTable& seeded_table() {
+  static const runtime::ThresholdTable table =
+      exp::ThresholdEstimator().estimate(apps::paper_benchmarks()).table;
+  return table;
+}
+
+TEST(FpgaOfflineTest, DeviceDropsKernelsAndRejectsLoads) {
+  platform::Testbed testbed;
+  auto& device = testbed.fpga();
+
+  fpga::XclbinImage image;
+  image.id = "img";
+  image.size_bytes = 4 << 20;
+  fpga::HwKernelConfig k;
+  k.name = "K";
+  k.clock_mhz = 300;
+  k.fixed_cycles = 300'000;
+  image.kernels.push_back(k);
+
+  device.reconfigure(image, [] {});
+  testbed.simulation().run_until(TimePoint::at_ms(2000));
+  ASSERT_TRUE(device.has_kernel("K"));
+
+  device.set_offline(true);
+  EXPECT_FALSE(device.has_kernel("K"));
+  EXPECT_EQ(device.loaded_image(), std::nullopt);
+
+  // Reconfiguration requests complete but install nothing.
+  bool completed = false;
+  device.reconfigure(image, [&] { completed = true; });
+  testbed.simulation().run_until(testbed.simulation().now() +
+                                 Duration::seconds(2));
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(device.has_kernel("K"));
+
+  // Back online: a fresh download works again.
+  device.set_offline(false);
+  device.reconfigure(image, [] {});
+  testbed.simulation().run_until(testbed.simulation().now() +
+                                 Duration::seconds(2));
+  EXPECT_TRUE(device.has_kernel("K"));
+}
+
+TEST(FpgaOfflineTest, DeathMidProgrammingInstallsNothing) {
+  platform::Testbed testbed;
+  auto& device = testbed.fpga();
+  fpga::XclbinImage image;
+  image.id = "img";
+  image.size_bytes = 4 << 20;
+  fpga::HwKernelConfig k;
+  k.name = "K";
+  k.clock_mhz = 300;
+  image.kernels.push_back(k);
+
+  bool completed = false;
+  device.reconfigure(image, [&] { completed = true; });
+  // Kill the card halfway through the ~300 ms programming.
+  testbed.simulation().schedule_at(TimePoint::at_ms(150),
+                                   [&device] { device.set_offline(true); });
+  testbed.simulation().run_until(TimePoint::at_ms(2000));
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(device.has_kernel("K"));
+  EXPECT_FALSE(device.reconfiguring());
+}
+
+TEST(FpgaOfflineTest, XarTrekDegradesToCpuOnlyPlacement) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::Experiment exp(specs, seeded_table(), options);
+  exp.testbed().fpga().set_offline(true);
+  exp.add_background_load(60);
+  exp.simulation().run_until(TimePoint::at_ms(250));
+
+  // All five apps complete without the FPGA: digit/facedet fall into
+  // Algorithm 2's no-kernel branches (x86 or ARM), CG-A to ARM.
+  for (const auto& spec : specs) exp.launch(spec.name);
+  ASSERT_TRUE(exp.run_until_complete(5));
+  for (const auto& r : exp.results()) {
+    EXPECT_NE(r.func_target, runtime::Target::kFpga) << r.app;
+  }
+  EXPECT_EQ(exp.server().stats().to_fpga, 0u);
+}
+
+TEST(FpgaOfflineTest, AlwaysFpgaBaselineStallsForever) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kAlwaysFpga;
+  exp::Experiment exp(specs, seeded_table(), options);
+  exp.testbed().fpga().set_offline(true);
+  exp.launch("digit500");
+  // The traditional flow waits for a kernel that will never arrive.
+  EXPECT_FALSE(exp.run_until_complete(1, Duration::minutes(5)));
+  EXPECT_EQ(exp.completed_apps(), 0u);
+}
+
+TEST(FpgaOfflineTest, MidFlightOutageFallsBackToSoftware) {
+  // The card dies after the placement decision but before the offload
+  // reaches it: the executor's residency re-check falls back to x86
+  // instead of crashing or hanging (the benign race of §3.2, plus an
+  // outage).
+  const auto specs = apps::paper_benchmarks();
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::Experiment exp(specs, seeded_table(), options);
+  exp.warm_fpga_for("digit2000");
+  exp.add_background_load(30);
+  exp.simulation().run_until(exp.simulation().now() + Duration::ms(50));
+
+  exp.launch("digit2000");
+  // Kill the card while the app is still in its 50 ms pre phase, after
+  // which the (stale-positive) decision may still say FPGA.
+  exp.simulation().schedule_in(Duration::ms(60), [&exp] {
+    exp.testbed().fpga().set_offline(true);
+  });
+  ASSERT_TRUE(exp.run_until_complete(1));
+  // Completed on a CPU path either via the scheduler's no-kernel branch
+  // or the executor fallback.
+  EXPECT_NE(exp.results().front().func_target, runtime::Target::kFpga);
+}
+
+}  // namespace
+}  // namespace xartrek

@@ -1,0 +1,293 @@
+// Unit and property tests for the discrete-event core.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/fifo_station.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::sim {
+namespace {
+
+TEST(SimulationTest, ExecutesInTimestampOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint::at_ms(30), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint::at_ms(10), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint::at_ms(20), [&] { order.push_back(2); });
+  EXPECT_EQ(sim.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 30.0);
+}
+
+TEST(SimulationTest, FifoAmongSameTimeEvents) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(TimePoint::at_ms(5), [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  auto handle = sim.schedule_in(Duration::ms(5), [&] { fired = true; });
+  EXPECT_TRUE(handle.pending());
+  handle.cancel();
+  EXPECT_FALSE(handle.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, HandleInertAfterFiring) {
+  Simulation sim;
+  auto handle = sim.schedule_in(Duration::ms(1), [] {});
+  sim.run();
+  EXPECT_FALSE(handle.pending());
+  handle.cancel();  // no-op, no crash
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 10) sim.schedule_in(Duration::ms(1), recurse);
+  };
+  sim.schedule_in(Duration::ms(1), recurse);
+  sim.run();
+  EXPECT_EQ(depth, 10);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 10.0);
+}
+
+TEST(SimulationTest, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint::at_ms(10), [&] { ++fired; });
+  sim.schedule_at(TimePoint::at_ms(50), [&] { ++fired; });
+  EXPECT_EQ(sim.run_until(TimePoint::at_ms(20)), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 20.0);
+  EXPECT_EQ(sim.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulationTest, StepOneExecutesSingleEvent) {
+  Simulation sim;
+  int fired = 0;
+  sim.schedule_at(TimePoint::at_ms(1), [&] { ++fired; });
+  sim.schedule_at(TimePoint::at_ms(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.step_one(TimePoint::at_ms(100)));
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step_one(TimePoint::at_ms(100)));
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.step_one(TimePoint::at_ms(100)));
+}
+
+TEST(SimulationTest, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(TimePoint::at_ms(10), [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(TimePoint::at_ms(5), [] {}),
+               ContractViolation);
+}
+
+// --- Processor sharing ------------------------------------------------
+
+TEST(PsResourceTest, SingleJobRunsAtFullRate) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 6.0, 1.0});
+  TimePoint done;
+  cpu.submit(100.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done.to_ms(), 100.0);  // per-job cap 1 unit/ms
+}
+
+TEST(PsResourceTest, UpToCapacityJobsUnaffected) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 6.0, 1.0});
+  std::vector<double> completions;
+  for (int i = 0; i < 6; ++i) {
+    cpu.submit(100.0, [&] { completions.push_back(sim.now().to_ms()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), 6u);
+  for (double t : completions) EXPECT_DOUBLE_EQ(t, 100.0);
+}
+
+// Property: n identical jobs on c cores finish at demand * max(1, n/c).
+class PsSlowdownTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PsSlowdownTest, ContentionScalesCompletionTime) {
+  const int n = GetParam();
+  constexpr double kCores = 6.0;
+  constexpr double kDemand = 60.0;
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", kCores, 1.0});
+  std::vector<double> completions;
+  for (int i = 0; i < n; ++i) {
+    cpu.submit(kDemand, [&] { completions.push_back(sim.now().to_ms()); });
+  }
+  sim.run();
+  ASSERT_EQ(completions.size(), static_cast<std::size_t>(n));
+  const double expected =
+      kDemand * std::max(1.0, static_cast<double>(n) / kCores);
+  for (double t : completions) EXPECT_NEAR(t, expected, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(LoadSweep, PsSlowdownTest,
+                         ::testing::Values(1, 2, 3, 6, 7, 12, 24, 60, 120));
+
+TEST(PsResourceTest, StaggeredArrivalsShareFairly) {
+  // Job A (demand 100) alone for 50ms, then job B (demand 25) joins on a
+  // single-core resource: A has 50 left, both run at 1/2.  B finishes at
+  // t=100 (25 served in 50ms); A's remaining 25 then runs alone until
+  // t=125.
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 1.0, 1.0});
+  double a_done = 0;
+  double b_done = 0;
+  cpu.submit(100.0, [&] { a_done = sim.now().to_ms(); });
+  sim.schedule_at(TimePoint::at_ms(50), [&] {
+    cpu.submit(25.0, [&] { b_done = sim.now().to_ms(); });
+  });
+  sim.run();
+  EXPECT_NEAR(b_done, 100.0, 1e-9);
+  EXPECT_NEAR(a_done, 125.0, 1e-9);
+}
+
+TEST(PsResourceTest, CancelRemovesJob) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 1.0, 1.0});
+  bool a_fired = false;
+  bool b_fired = false;
+  auto a = cpu.submit(100.0, [&] { a_fired = true; });
+  cpu.submit(100.0, [&] { b_fired = true; });
+  sim.schedule_at(TimePoint::at_ms(10), [&] { EXPECT_TRUE(cpu.cancel(a)); });
+  sim.run();
+  EXPECT_FALSE(a_fired);
+  EXPECT_TRUE(b_fired);
+  // B: 10ms at rate 1/2 (5 served) + 95 remaining alone -> 105 total.
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 105.0);
+}
+
+TEST(PsResourceTest, CancelUnknownJobReturnsFalse) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 1.0, 1.0});
+  EXPECT_FALSE(cpu.cancel(12345));
+}
+
+TEST(PsResourceTest, ZeroDemandCompletesImmediately) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 1.0, 1.0});
+  bool fired = false;
+  cpu.submit(0.0, [&] { fired = true; });
+  sim.run();
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 0.0);
+}
+
+TEST(PsResourceTest, WorkConservation) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 4.0, 1.0});
+  double total_demand = 0.0;
+  for (int i = 1; i <= 20; ++i) {
+    const double demand = 7.0 * i;
+    total_demand += demand;
+    cpu.submit(demand, [] {});
+  }
+  sim.run();
+  EXPECT_NEAR(cpu.delivered_work(), total_demand, 1e-6);
+}
+
+TEST(PsResourceTest, CompletionCallbackCanResubmit) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 1.0, 1.0});
+  int rounds = 0;
+  std::function<void()> loop = [&] {
+    if (++rounds < 5) cpu.submit(10.0, loop);
+  };
+  cpu.submit(10.0, loop);
+  sim.run();
+  EXPECT_EQ(rounds, 5);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 50.0);
+}
+
+TEST(PsResourceTest, RemainingDemandTracksService) {
+  Simulation sim;
+  PsResource cpu(sim, {"cpu", 1.0, 1.0});
+  auto id = cpu.submit(100.0, [] {});
+  sim.schedule_at(TimePoint::at_ms(40), [&] {
+    EXPECT_NEAR(cpu.remaining_demand(id), 60.0, 1e-9);
+  });
+  sim.run();
+}
+
+TEST(PsResourceTest, PerJobCapLimitsLinkHogging) {
+  // A channel with capacity 10 and per-job cap 10: one transfer uses the
+  // whole link; two share it.
+  Simulation sim;
+  PsResource link(sim, {"link", 10.0, 10.0});
+  double first_done = 0;
+  link.submit(100.0, [&] { first_done = sim.now().to_ms(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(first_done, 10.0);
+}
+
+// --- FIFO station ------------------------------------------------------
+
+TEST(FifoStationTest, ServesInOrder) {
+  Simulation sim;
+  FifoStation cu(sim, "cu");
+  std::vector<int> order;
+  cu.enqueue(Duration::ms(10), [&] { order.push_back(1); });
+  cu.enqueue(Duration::ms(5), [&] { order.push_back(2); });
+  cu.enqueue(Duration::ms(1), [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 16.0);
+  EXPECT_EQ(cu.completed(), 3u);
+}
+
+TEST(FifoStationTest, QueueLengthAndBusy) {
+  Simulation sim;
+  FifoStation cu(sim, "cu");
+  cu.enqueue(Duration::ms(10), [] {});
+  cu.enqueue(Duration::ms(10), [] {});
+  cu.enqueue(Duration::ms(10), [] {});
+  EXPECT_TRUE(cu.busy());
+  EXPECT_EQ(cu.queue_length(), 2u);
+  sim.run();
+  EXPECT_FALSE(cu.busy());
+  EXPECT_EQ(cu.queue_length(), 0u);
+}
+
+TEST(FifoStationTest, BusyTimeAccumulates) {
+  Simulation sim;
+  FifoStation cu(sim, "cu");
+  cu.enqueue(Duration::ms(10), [] {});
+  sim.run();
+  sim.schedule_in(Duration::ms(100), [&] {
+    cu.enqueue(Duration::ms(5), [] {});
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(cu.busy_time().to_ms(), 15.0);
+}
+
+TEST(FifoStationTest, CallbackCanReEnqueue) {
+  Simulation sim;
+  FifoStation cu(sim, "cu");
+  int served = 0;
+  std::function<void()> again = [&] {
+    if (++served < 3) cu.enqueue(Duration::ms(2), again);
+  };
+  cu.enqueue(Duration::ms(2), again);
+  sim.run();
+  EXPECT_EQ(served, 3);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 6.0);
+}
+
+}  // namespace
+}  // namespace xartrek::sim

@@ -1,0 +1,184 @@
+// Tests for whole-call-stack transformation (multi-frame Popcorn
+// migration) and the Vitis-style reports.
+#include <gtest/gtest.h>
+
+#include "compiler/multi_isa_builder.hpp"
+#include "hls/report.hpp"
+#include "popcorn/machine_state.hpp"
+#include "popcorn/state_transform.hpp"
+
+namespace xartrek {
+namespace {
+
+using isa::IsaKind;
+using popcorn::ValueLocation;
+using popcorn::ValueType;
+
+popcorn::MigrationMetadata call_chain_metadata() {
+  // main@1 -> dispatch@0 -> (active) hot-loop site, three frames.
+  popcorn::MigrationMetadata md;
+  auto add = [&md](const std::string& fn, int site, std::uint64_t x86_frame,
+                   std::uint64_t arm_frame,
+                   std::vector<popcorn::LiveValue> values) {
+    popcorn::CallSiteMetadata s;
+    s.function = fn;
+    s.site_id = site;
+    s.frame_size[IsaKind::kX86_64] = x86_frame;
+    s.frame_size[IsaKind::kAarch64] = arm_frame;
+    s.live_values = std::move(values);
+    md.add_site(std::move(s));
+  };
+
+  popcorn::LiveValue argc;
+  argc.name = "argc";
+  argc.type = ValueType::kI32;
+  argc.location[IsaKind::kX86_64] = ValueLocation::on_stack(8);
+  argc.location[IsaKind::kAarch64] = ValueLocation::on_stack(16);
+
+  popcorn::LiveValue flag;
+  flag.name = "flag";
+  flag.type = ValueType::kI64;
+  flag.location[IsaKind::kX86_64] = ValueLocation::in_register("rbx");
+  flag.location[IsaKind::kAarch64] = ValueLocation::in_register("x19");
+
+  popcorn::LiveValue acc;
+  acc.name = "acc";
+  acc.type = ValueType::kF64;
+  acc.location[IsaKind::kX86_64] = ValueLocation::on_stack(0);
+  acc.location[IsaKind::kAarch64] = ValueLocation::on_stack(8);
+
+  add("main", 1, 48, 64, {argc});
+  add("dispatch", 0, 32, 32, {flag});
+  add("hot", 7, 64, 80, {acc});
+  return md;
+}
+
+TEST(ThreadStackTest, PushAndAccounting) {
+  popcorn::ThreadStack stack(IsaKind::kX86_64);
+  EXPECT_TRUE(stack.empty());
+  stack.push_frame(
+      popcorn::MachineState(IsaKind::kX86_64, "main", 1, 48));
+  stack.push_frame(
+      popcorn::MachineState(IsaKind::kX86_64, "dispatch", 0, 32));
+  EXPECT_EQ(stack.depth(), 2u);
+  EXPECT_EQ(stack.top().function(), "dispatch");
+  EXPECT_EQ(stack.total_frame_bytes(), 80u);
+}
+
+TEST(ThreadStackTest, RejectsWrongIsaFrame) {
+  popcorn::ThreadStack stack(IsaKind::kX86_64);
+  EXPECT_THROW(stack.push_frame(popcorn::MachineState(
+                   IsaKind::kAarch64, "main", 1, 48)),
+               ContractViolation);
+}
+
+TEST(StackTransformTest, AllFramesRelocate) {
+  const auto md = call_chain_metadata();
+  const popcorn::StateTransformer transformer(md);
+
+  popcorn::ThreadStack x86(IsaKind::kX86_64);
+  popcorn::MachineState main_fr(IsaKind::kX86_64, "main", 1, 48);
+  main_fr.write_stack(8, 4, 3);  // argc = 3
+  x86.push_frame(std::move(main_fr));
+  popcorn::MachineState disp_fr(IsaKind::kX86_64, "dispatch", 0, 32);
+  disp_fr.write_register("rbx", 2);  // flag = FPGA
+  x86.push_frame(std::move(disp_fr));
+  popcorn::MachineState hot_fr(IsaKind::kX86_64, "hot", 7, 64);
+  hot_fr.write_stack(0, 8, 0x3FF0000000000000ull);  // acc = 1.0 bits
+  x86.push_frame(std::move(hot_fr));
+
+  const auto arm = transformer.transform_stack(x86, IsaKind::kAarch64);
+  EXPECT_EQ(arm.isa(), IsaKind::kAarch64);
+  ASSERT_EQ(arm.depth(), 3u);
+  EXPECT_EQ(arm.frames()[0].read_stack(16, 4), 3u);
+  EXPECT_EQ(arm.frames()[1].read_register("x19"), 2u);
+  EXPECT_EQ(arm.frames()[2].read_stack(8, 8), 0x3FF0000000000000ull);
+  // Frame sizes follow the destination table.
+  EXPECT_EQ(arm.frames()[0].frame_size(), 64u);
+  EXPECT_EQ(arm.frames()[2].frame_size(), 80u);
+
+  // Round trip restores the original layout and values.
+  const auto back = transformer.transform_stack(arm, IsaKind::kX86_64);
+  EXPECT_EQ(back.frames()[0].read_stack(8, 4), 3u);
+  EXPECT_EQ(back.frames()[1].read_register("rbx"), 2u);
+  EXPECT_EQ(back.frames()[2].read_stack(0, 8), 0x3FF0000000000000ull);
+}
+
+TEST(StackTransformTest, CostGrowsWithDepthSublinearly) {
+  const auto md = call_chain_metadata();
+  const popcorn::StateTransformer transformer(md);
+
+  popcorn::ThreadStack one(IsaKind::kX86_64);
+  one.push_frame(popcorn::MachineState(IsaKind::kX86_64, "main", 1, 48));
+  popcorn::ThreadStack three(IsaKind::kX86_64);
+  three.push_frame(popcorn::MachineState(IsaKind::kX86_64, "main", 1, 48));
+  three.push_frame(
+      popcorn::MachineState(IsaKind::kX86_64, "dispatch", 0, 32));
+  three.push_frame(popcorn::MachineState(IsaKind::kX86_64, "hot", 7, 64));
+
+  const auto c1 = transformer.stack_transform_cost(one);
+  const auto c3 = transformer.stack_transform_cost(three);
+  EXPECT_GT(c3, c1);
+  // Fixed machinery is paid once, so three frames cost less than 3x one.
+  EXPECT_LT(c3.to_ms(), 3.0 * c1.to_ms());
+}
+
+TEST(StackTransformTest, WorksOnCompilerSynthesizedChain) {
+  // The instrumented IR's own metadata supports stack transformation of
+  // the main -> dispatch-stub chain.
+  const auto ir = compiler::make_app_ir("demo", "hot", 400, 150);
+  const compiler::MultiIsaBuilder builder;
+  const auto md = builder.synthesize_metadata(ir);
+  const popcorn::StateTransformer transformer(md);
+
+  popcorn::ThreadStack stack(IsaKind::kX86_64);
+  const auto* main_site = md.find("main", 1);
+  ASSERT_NE(main_site, nullptr);
+  stack.push_frame(popcorn::MachineState(
+      IsaKind::kX86_64, "main", 1,
+      main_site->frame_size_for(IsaKind::kX86_64)));
+  const auto arm = transformer.transform_stack(stack, IsaKind::kAarch64);
+  EXPECT_EQ(arm.frames()[0].frame_size(),
+            main_site->frame_size_for(IsaKind::kAarch64));
+}
+
+// --- reports -----------------------------------------------------------
+
+TEST(ReportTest, UtilizationReportContainsEveryResource) {
+  const hls::HlsCompiler hls;
+  hls::KernelSource src;
+  src.kernel_name = "KNL_R";
+  src.source_function = "r_fn";
+  src.ops = {20, 4, 6, 0, 1e6};
+  src.iface = {64 * 1024, 4 * 1024};
+  src.compute_units = 2;
+  const auto xo = hls.compile(src);
+  const auto report = hls::utilization_report(xo, fpga::alveo_u50_spec());
+  for (const char* needle :
+       {"KNL_R", "LUT", "BRAM", "DSP", "compute units: 2", "latency"}) {
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(ReportTest, XclbinReportSummarizesImage) {
+  const hls::HlsCompiler hls;
+  std::vector<hls::XoFile> xos;
+  for (int i = 0; i < 3; ++i) {
+    hls::KernelSource src;
+    src.kernel_name = "K" + std::to_string(i);
+    src.source_function = src.kernel_name;
+    src.ops = {20, 2, 6, 0, 1e6};
+    src.iface = {32 * 1024, 4 * 1024};
+    xos.push_back(hls.compile(src));
+  }
+  const hls::XclbinPartitioner partitioner(fpga::alveo_u50_spec());
+  const auto bins = partitioner.partition(xos);
+  ASSERT_EQ(bins.size(), 1u);
+  const auto report = hls::xclbin_report(bins[0], fpga::alveo_u50_spec());
+  EXPECT_NE(report.find("K0"), std::string::npos);
+  EXPECT_NE(report.find("K2"), std::string::npos);
+  EXPECT_NE(report.find("image total"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace xartrek
