@@ -1,37 +1,85 @@
 // Little-endian binary encoding helpers.
 //
-// Shared by the scheduler wire protocol and the fat-binary image
-// format.  Writer appends; Reader is strictly bounds-checked and throws
-// xartrek::Error on truncation (never reads past the buffer).
+// Shared by the scheduler wire protocol, the fat-binary image format,
+// and the workload dataset files.  Writer appends -- either into its
+// own buffer or into a caller-supplied scratch buffer so hot paths can
+// reuse one allocation across messages; it can also patch a previously
+// reserved length field in place (single-pass framing).  Reader is
+// strictly bounds-checked and throws xartrek::Error on truncation
+// (never reads past the buffer).  The stream helpers at the bottom move
+// whole little-endian blocks through iostreams instead of a byte at a
+// time.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <istream>
+#include <ostream>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/assert.hpp"
 
 namespace xartrek {
 
-/// Append-only little-endian writer.
+// Canonical little-endian packing, shared by the in-memory writer and
+// the iostream block helpers below.
+inline void put_le_u16(unsigned char* dst, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) dst[i] = (v >> (8 * i)) & 0xFF;
+}
+inline void put_le_u32(unsigned char* dst, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) dst[i] = (v >> (8 * i)) & 0xFF;
+}
+inline void put_le_u64(unsigned char* dst, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) dst[i] = (v >> (8 * i)) & 0xFF;
+}
+[[nodiscard]] inline std::uint32_t get_le_u32(const unsigned char* src) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+[[nodiscard]] inline std::uint64_t get_le_u64(const unsigned char* src) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(src[i]) << (8 * i);
+  }
+  return v;
+}
+
+/// Append-only little-endian writer.  Default-constructed it owns its
+/// buffer (finish with `take`); constructed over an external vector it
+/// appends there, letting callers keep one scratch buffer alive across
+/// many messages.  Not copyable or movable: the external-buffer mode
+/// holds a pointer into the caller's vector, and the owning mode a
+/// pointer into itself.
 class BinaryWriter {
  public:
-  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+  BinaryWriter() : out_(&owned_) {}
+  explicit BinaryWriter(std::vector<std::byte>& out) : out_(&out) {}
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  void u8(std::uint8_t v) { out_->push_back(static_cast<std::byte>(v)); }
   void u16(std::uint16_t v) {
-    u8(static_cast<std::uint8_t>(v & 0xFF));
-    u8(static_cast<std::uint8_t>(v >> 8));
+    unsigned char b[2];
+    put_le_u16(b, v);
+    append(b, sizeof(b));
   }
   void u32(std::uint32_t v) {
-    u16(static_cast<std::uint16_t>(v & 0xFFFF));
-    u16(static_cast<std::uint16_t>(v >> 16));
+    unsigned char b[4];
+    put_le_u32(b, v);
+    append(b, sizeof(b));
   }
   void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
   void u64(std::uint64_t v) {
-    u32(static_cast<std::uint32_t>(v & 0xFFFF'FFFF));
-    u32(static_cast<std::uint32_t>(v >> 32));
+    unsigned char b[8];
+    put_le_u64(b, v);
+    append(b, sizeof(b));
   }
   void f64(double v) {
     std::uint64_t bits;
@@ -39,17 +87,34 @@ class BinaryWriter {
     u64(bits);
   }
   /// Length-prefixed string (<= 64 KiB).
-  void str(const std::string& s) {
+  void str(std::string_view s) {
     XAR_EXPECTS(s.size() <= 0xFFFF);
     u16(static_cast<std::uint16_t>(s.size()));
-    for (char c : s) buf_.push_back(static_cast<std::byte>(c));
+    append(reinterpret_cast<const unsigned char*>(s.data()), s.size());
   }
 
-  [[nodiscard]] std::vector<std::byte> take() { return std::move(buf_); }
-  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  /// Overwrite 4 bytes at `offset` (reserved earlier, e.g. with
+  /// `u32(0)`) with the little-endian encoding of `v`.
+  void patch_u32(std::size_t offset, std::uint32_t v) {
+    XAR_EXPECTS(offset + 4 <= out_->size());
+    put_le_u32(reinterpret_cast<unsigned char*>(out_->data() + offset), v);
+  }
+
+  /// Only valid for a writer that owns its buffer.
+  [[nodiscard]] std::vector<std::byte> take() {
+    XAR_EXPECTS(out_ == &owned_);
+    return std::move(owned_);
+  }
+  [[nodiscard]] std::size_t size() const { return out_->size(); }
 
  private:
-  std::vector<std::byte> buf_;
+  void append(const unsigned char* data, std::size_t n) {
+    const auto* p = reinterpret_cast<const std::byte*>(data);
+    out_->insert(out_->end(), p, p + n);
+  }
+
+  std::vector<std::byte> owned_;
+  std::vector<std::byte>* out_;
 };
 
 /// Bounds-checked little-endian reader.
@@ -86,12 +151,8 @@ class BinaryReader {
   std::string str() {
     const std::uint16_t len = u16();
     need(len);
-    std::string s;
-    s.reserve(len);
-    for (std::uint16_t i = 0; i < len; ++i) {
-      s.push_back(
-          static_cast<char>(std::to_integer<std::uint8_t>(data_[pos_++])));
-    }
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), len);
+    pos_ += len;
     return s;
   }
 
@@ -106,5 +167,26 @@ class BinaryReader {
   std::span<const std::byte> data_;
   std::size_t pos_ = 0;
 };
+
+// --- iostream block helpers ------------------------------------------------
+//
+// Encode into a caller-provided staging array with the `put_le*`
+// helpers above, flush the whole record with one `os.write`; mirror
+// with one `is.read` and `get_le*`.  Replaces per-byte put/get loops
+// on dataset hot paths.
+
+inline void write_block(std::ostream& os, const unsigned char* data,
+                        std::size_t n) {
+  os.write(reinterpret_cast<const char*>(data),
+           static_cast<std::streamsize>(n));
+}
+/// Reads exactly `n` bytes or throws `Error(context + ": truncated file")`.
+inline void read_block(std::istream& is, unsigned char* data, std::size_t n,
+                       const char* context) {
+  is.read(reinterpret_cast<char*>(data), static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) {
+    throw Error(std::string(context) + ": truncated file");
+  }
+}
 
 }  // namespace xartrek

@@ -37,14 +37,17 @@ void encode_payload(const ThresholdReportMsg& m, Writer& w) {
   w.f64(m.exec_time_ms);
   w.i32(m.x86_load);
 }
+void encode_payload_entry(const ThresholdEntry& e, Writer& w) {
+  w.str(e.app);
+  w.str(e.kernel_name);
+  w.i32(e.fpga_threshold);
+  w.i32(e.arm_threshold);
+  w.f64(e.x86_exec.to_ms());
+  w.f64(e.arm_exec.to_ms());
+  w.f64(e.fpga_exec.to_ms());
+}
 void encode_payload(const TableSyncMsg& m, Writer& w) {
-  w.str(m.entry.app);
-  w.str(m.entry.kernel_name);
-  w.i32(m.entry.fpga_threshold);
-  w.i32(m.entry.arm_threshold);
-  w.f64(m.entry.x86_exec.to_ms());
-  w.f64(m.entry.arm_exec.to_ms());
-  w.f64(m.entry.fpga_exec.to_ms());
+  encode_payload_entry(m.entry, w);
 }
 
 [[nodiscard]] MessageType type_of(const Message& m) {
@@ -60,22 +63,45 @@ void encode_payload(const TableSyncMsg& m, Writer& w) {
   return MessageType::kTableSync;
 }
 
+/// Write the header with a zero length field, returning the offset of
+/// the length so the caller can patch it after the payload lands.
+[[nodiscard]] std::size_t begin_frame(Writer& w, MessageType type) {
+  w.u16(kProtocolMagic);
+  w.u8(kProtocolVersion);
+  w.u8(static_cast<std::uint8_t>(type));
+  const std::size_t length_at = w.size();
+  w.u32(0);  // patched by end_frame
+  return length_at;
+}
+
+void end_frame(Writer& w, std::size_t length_at) {
+  w.patch_u32(length_at,
+              static_cast<std::uint32_t>(w.size() - kHeaderBytes));
+  XAR_ENSURES(w.size() >= kHeaderBytes);
+}
+
 }  // namespace
 
-std::vector<std::byte> encode_message(const Message& message) {
-  Writer payload;
-  std::visit([&payload](const auto& m) { encode_payload(m, payload); },
-             message);
+void encode_message_into(const Message& message, std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(out);
+  const std::size_t length_at = begin_frame(w, type_of(message));
+  std::visit([&w](const auto& m) { encode_payload(m, w); }, message);
+  end_frame(w, length_at);
+}
 
-  Writer framed;
-  framed.u16(kProtocolMagic);
-  framed.u8(kProtocolVersion);
-  framed.u8(static_cast<std::uint8_t>(type_of(message)));
-  framed.u32(static_cast<std::uint32_t>(payload.size()));
-  auto out = framed.take();
-  auto body = payload.take();
-  out.insert(out.end(), body.begin(), body.end());
-  XAR_ENSURES(out.size() >= kHeaderBytes);
+void encode_table_sync_into(const ThresholdEntry& entry,
+                            std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(out);
+  const std::size_t length_at = begin_frame(w, MessageType::kTableSync);
+  encode_payload_entry(entry, w);
+  end_frame(w, length_at);
+}
+
+std::vector<std::byte> encode_message(const Message& message) {
+  std::vector<std::byte> out;
+  encode_message_into(message, out);
   return out;
 }
 

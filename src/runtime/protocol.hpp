@@ -87,6 +87,19 @@ using Message = std::variant<PlacementRequestMsg, PlacementReplyMsg,
 /// Serialize a message into a framed byte buffer.
 [[nodiscard]] std::vector<std::byte> encode_message(const Message& message);
 
+/// Serialize into a reusable buffer: clears `out`, then writes the
+/// framed message in one pass (the header's length field is reserved up
+/// front and patched in place).  `out` keeps its capacity, so a
+/// per-connection scratch buffer makes steady-state encoding
+/// allocation-free.
+void encode_message_into(const Message& message, std::vector<std::byte>& out);
+
+/// Frame one TableSync row straight from a table entry, without
+/// materializing a Message (the broadcast path encodes every row of the
+/// threshold table back to back).
+void encode_table_sync_into(const ThresholdEntry& entry,
+                            std::vector<std::byte>& out);
+
 /// Parse one framed message.  Throws xartrek::Error on bad magic,
 /// unsupported version, unknown type, truncation, or trailing bytes.
 [[nodiscard]] Message decode_message(std::span<const std::byte> buffer);

@@ -12,9 +12,24 @@ SchedulerClient::SchedulerClient(ThresholdTable& table, Options opts,
   XAR_EXPECTS(opts_.increase_step >= 1);
 }
 
+AppId SchedulerClient::resolve(const std::string& app) {
+  // One client instance serves one application in the paper's design,
+  // so a single-entry memo turns the per-return map lookup into a
+  // string compare plus a vector index.
+  if (cached_id_ == kInvalidAppId || app != cached_app_) {
+    const AppId id = table_.id_of(app);
+    if (id == kInvalidAppId) {
+      throw Error("threshold table has no entry for `" + app + "`");
+    }
+    cached_app_ = app;
+    cached_id_ = id;
+  }
+  return cached_id_;
+}
+
 ThresholdUpdate SchedulerClient::on_function_return(
     const RunObservation& obs) {
-  ThresholdEntry& entry = table_.at_mutable(obs.app);
+  ThresholdEntry& entry = table_.at_mutable(resolve(obs.app));
 
   if (!opts_.refinement_enabled) {
     return ThresholdUpdate::kDisabled;

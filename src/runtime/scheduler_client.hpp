@@ -76,9 +76,14 @@ class SchedulerClient {
   ThresholdUpdate on_function_return(const RunObservation& obs);
 
  private:
+  /// Intern `app` against the table (memoized; throws if unknown).
+  [[nodiscard]] AppId resolve(const std::string& app);
+
   ThresholdTable& table_;
   Options opts_;
   Logger log_;
+  std::string cached_app_;
+  AppId cached_id_ = kInvalidAppId;
 };
 
 }  // namespace xartrek::runtime

@@ -10,32 +10,22 @@ namespace xartrek::runtime {
 Target decide_placement(int x86_load, int arm_threshold, int fpga_threshold,
                         bool hw_kernel_available, bool& wants_reconfigure) {
   wants_reconfigure = false;
-  const bool no_kernel = !hw_kernel_available;
+  const bool above_arm = x86_load > arm_threshold;
 
-  // Algorithm 2, lines 9-13: stay on x86, configure in the background.
-  if (x86_load <= arm_threshold && x86_load > fpga_threshold && no_kernel) {
+  // FPGA threshold respected: only the ARM threshold matters
+  // (Algorithm 2 lines 19-24).
+  if (x86_load <= fpga_threshold) {
+    return above_arm ? Target::kArm : Target::kX86;
+  }
+  // Past FPGA_THR with no resident kernel: configure in the background
+  // and keep running on a CPU meanwhile (lines 9-18).
+  if (!hw_kernel_available) {
     wants_reconfigure = true;
-    return Target::kX86;
+    return above_arm ? Target::kArm : Target::kX86;
   }
-  // Lines 14-18: migrate to ARM, configure in the background.
-  if (x86_load > arm_threshold && x86_load > fpga_threshold && no_kernel) {
-    wants_reconfigure = true;
-    return Target::kArm;
-  }
-  // Lines 19-21: both thresholds respected -- stay.
-  if (x86_load <= arm_threshold && x86_load <= fpga_threshold) {
-    return Target::kX86;
-  }
-  // Lines 22-24: only the ARM threshold exceeded.
-  if (x86_load > arm_threshold && x86_load <= fpga_threshold) {
-    return Target::kArm;
-  }
-  // Lines 25-31: FPGA threshold exceeded and the kernel is resident; the
-  // smaller threshold implies the smaller execution time on that target.
-  if (x86_load > fpga_threshold && hw_kernel_available) {
-    return fpga_threshold < arm_threshold ? Target::kFpga : Target::kArm;
-  }
-  XAR_ASSERT(false);  // the five branches cover all combinations
+  // Past FPGA_THR with the kernel resident; the smaller threshold
+  // implies the smaller execution time on that target (lines 25-31).
+  return fpga_threshold < arm_threshold ? Target::kFpga : Target::kArm;
 }
 
 std::string explain_placement(int x86_load, int arm_threshold,
@@ -88,11 +78,10 @@ SchedulerServer::SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
 
 std::vector<std::vector<std::byte>> SchedulerServer::broadcast_table()
     const {
-  std::vector<std::vector<std::byte>> frames;
-  for (const auto& app : table_.app_names()) {
-    TableSyncMsg msg;
-    msg.entry = table_.at(app);
-    frames.push_back(encode_message(msg));
+  std::vector<std::vector<std::byte>> frames(table_.size());
+  std::size_t i = 0;
+  for (const ThresholdEntry& entry : table_.entries()) {
+    encode_table_sync_into(entry, frames[i++]);
   }
   return frames;
 }
@@ -120,19 +109,36 @@ void SchedulerServer::maybe_start_reconfiguration(const std::string& kernel) {
   });
 }
 
+std::vector<std::byte> SchedulerServer::acquire_wire_buffer() {
+  if (wire_pool_.empty()) return {};
+  std::vector<std::byte> buffer = std::move(wire_pool_.back());
+  wire_pool_.pop_back();
+  return buffer;
+}
+
+void SchedulerServer::recycle_wire_buffer(std::vector<std::byte>&& buffer) {
+  wire_pool_.push_back(std::move(buffer));
+}
+
 void SchedulerServer::request_placement(const std::string& app,
                                         DecisionCallback on_decision) {
   XAR_EXPECTS(on_decision != nullptr);
   // The client marshals its request over the socket; the server decodes
   // it after the round-trip delay.  Running the real codec on every
-  // request keeps the wire format honest in every experiment.
-  const std::vector<std::byte> wire =
-      encode_message(PlacementRequestMsg{app, /*kernel=*/"", /*pid=*/0});
-  sim_.schedule_in(opts_.request_overhead, [this, wire,
-                                            cb = std::move(on_decision)] {
+  // request keeps the wire format honest in every experiment.  The wire
+  // bytes travel in a pooled scratch buffer that returns to the pool
+  // after decoding, so steady-state traffic reuses a few warm buffers
+  // instead of allocating per request.
+  std::vector<std::byte> wire = acquire_wire_buffer();
+  encode_message_into(PlacementRequestMsg{app, /*kernel=*/"", /*pid=*/0},
+                      wire);
+  sim_.schedule_in(opts_.request_overhead, [this, wire = std::move(wire),
+                                            cb = std::move(
+                                                on_decision)]() mutable {
     ++stats_.requests;
     const auto request =
         std::get<PlacementRequestMsg>(decode_message(wire));
+    recycle_wire_buffer(std::move(wire));
     const std::string& app = request.app;
     const ThresholdEntry& entry = table_.at(app);
     const int load = monitor_.x86_load();

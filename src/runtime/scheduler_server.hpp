@@ -104,6 +104,11 @@ class SchedulerServer {
 
  private:
   void maybe_start_reconfiguration(const std::string& kernel);
+  /// Pooled scratch buffers for request wire frames: acquired when a
+  /// request is encoded, recycled after the server decodes it, so the
+  /// steady state re-uses a few warm buffers instead of allocating.
+  [[nodiscard]] std::vector<std::byte> acquire_wire_buffer();
+  void recycle_wire_buffer(std::vector<std::byte>&& buffer);
 
   sim::Simulation& sim_;
   LoadMonitor& monitor_;
@@ -113,6 +118,7 @@ class SchedulerServer {
   Options opts_;
   Logger log_;
   Stats stats_;
+  std::vector<std::vector<std::byte>> wire_pool_;
 };
 
 }  // namespace xartrek::runtime

@@ -4,32 +4,44 @@
 
 namespace xartrek::runtime {
 
-void ThresholdTable::upsert(ThresholdEntry entry) {
+AppId ThresholdTable::upsert(ThresholdEntry entry) {
   XAR_EXPECTS(!entry.app.empty());
   XAR_EXPECTS(entry.fpga_threshold >= 0 && entry.arm_threshold >= 0);
-  entries_[entry.app] = std::move(entry);
+  const auto it = index_.find(entry.app);
+  if (it != index_.end()) {
+    const AppId id = it->second;
+    entries_[id] = std::move(entry);
+    return id;
+  }
+  XAR_ASSERT(entries_.size() < kInvalidAppId);
+  const AppId id = static_cast<AppId>(entries_.size());
+  index_.emplace(entry.app, id);
+  entries_.push_back(std::move(entry));
+  return id;
 }
 
-const ThresholdEntry& ThresholdTable::at(const std::string& app) const {
-  auto it = entries_.find(app);
-  if (it == entries_.end()) {
-    throw Error("threshold table has no entry for `" + app + "`");
+const ThresholdEntry& ThresholdTable::at(std::string_view app) const {
+  const AppId id = id_of(app);
+  if (id == kInvalidAppId) {
+    throw Error("threshold table has no entry for `" + std::string(app) +
+                "`");
   }
-  return it->second;
+  return entries_[id];
 }
 
-ThresholdEntry& ThresholdTable::at_mutable(const std::string& app) {
-  auto it = entries_.find(app);
-  if (it == entries_.end()) {
-    throw Error("threshold table has no entry for `" + app + "`");
+ThresholdEntry& ThresholdTable::at_mutable(std::string_view app) {
+  const AppId id = id_of(app);
+  if (id == kInvalidAppId) {
+    throw Error("threshold table has no entry for `" + std::string(app) +
+                "`");
   }
-  return it->second;
+  return entries_[id];
 }
 
 std::vector<std::string> ThresholdTable::app_names() const {
   std::vector<std::string> names;
-  names.reserve(entries_.size());
-  for (const auto& [name, e] : entries_) names.push_back(name);
+  names.reserve(index_.size());
+  for (const auto& [name, id] : index_) names.push_back(name);
   return names;
 }
 

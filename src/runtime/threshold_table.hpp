@@ -12,9 +12,13 @@
 // x86 server.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -51,26 +55,62 @@ struct ThresholdEntry {
   }
 };
 
+/// Dense identifier of an interned application name: the index of its
+/// row.  Ids are stable for the lifetime of the table (upsert replaces
+/// a row in place, never renumbers).
+using AppId = std::uint32_t;
+inline constexpr AppId kInvalidAppId = 0xFFFF'FFFFu;
+
 /// The shared table.  The scheduler server reads it per request; every
 /// application's client updates it on function return.  (In the real
 /// system the table crosses a socket; here readers and writers share the
 /// object within the simulation's single event loop.)
+///
+/// Rows live in a dense AppId-indexed vector; the string-keyed edge is
+/// a transparent (heterogeneous) index so a `string_view` straight off
+/// the wire resolves without materializing a temporary std::string.
+/// Components that run per-request should resolve their AppId once and
+/// use the id overloads, which are plain vector indexing.
 class ThresholdTable {
  public:
-  /// Add or replace a row.
-  void upsert(ThresholdEntry entry);
+  /// Add or replace a row.  Returns the row's (new or existing) id.
+  AppId upsert(ThresholdEntry entry);
 
-  [[nodiscard]] bool contains(const std::string& app) const {
-    return entries_.contains(app);
+  /// Interned fast path: O(1) vector indexing, no string compares.
+  [[nodiscard]] AppId id_of(std::string_view app) const {
+    const auto it = index_.find(app);
+    return it == index_.end() ? kInvalidAppId : it->second;
   }
-  [[nodiscard]] const ThresholdEntry& at(const std::string& app) const;
-  [[nodiscard]] ThresholdEntry& at_mutable(const std::string& app);
+  [[nodiscard]] const ThresholdEntry& at(AppId id) const {
+    XAR_EXPECTS(id < entries_.size());
+    return entries_[id];
+  }
+  [[nodiscard]] ThresholdEntry& at_mutable(AppId id) {
+    XAR_EXPECTS(id < entries_.size());
+    return entries_[id];
+  }
 
+  /// String-keyed edge (accepts std::string, string_view, literals).
+  [[nodiscard]] bool contains(std::string_view app) const {
+    return index_.find(app) != index_.end();
+  }
+  [[nodiscard]] const ThresholdEntry& at(std::string_view app) const;
+  [[nodiscard]] ThresholdEntry& at_mutable(std::string_view app);
+
+  /// All rows, in insertion (AppId) order -- iterate this instead of
+  /// materializing a name list and re-looking each name up.
+  [[nodiscard]] std::span<const ThresholdEntry> entries() const {
+    return entries_;
+  }
+
+  /// Names in sorted order (diagnostics and the text serializer, which
+  /// needs a deterministic order independent of insertion history).
   [[nodiscard]] std::vector<std::string> app_names() const;
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
  private:
-  std::map<std::string, ThresholdEntry> entries_;
+  std::vector<ThresholdEntry> entries_;              ///< AppId-indexed rows
+  std::map<std::string, AppId, std::less<>> index_;  ///< transparent lookup
 };
 
 }  // namespace xartrek::runtime

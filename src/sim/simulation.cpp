@@ -5,31 +5,139 @@
 
 namespace xartrek::sim {
 
+namespace {
+constexpr std::size_t kHeapArity = 4;
+}  // namespace
+
+std::uint32_t Simulation::acquire_slot() {
+  if (free_head_ != kNoSlot) {
+    const std::uint32_t slot = free_head_;
+    free_head_ = slots_[slot].next_free;
+    slots_[slot].next_free = kNoSlot;
+    return slot;
+  }
+  XAR_ASSERT(slots_.size() < kNoSlot);
+  slots_.emplace_back();
+  return static_cast<std::uint32_t>(slots_.size() - 1);
+}
+
+void Simulation::release_slot(std::uint32_t slot) {
+  Slot& s = slots_[slot];
+  s.cb = nullptr;  // drop captured state now, not at slot reuse
+  ++s.generation;  // existing handles and heap husks become inert
+  s.next_free = free_head_;
+  free_head_ = slot;
+}
+
+void Simulation::cancel_slot(std::uint32_t slot, std::uint32_t generation) {
+  // The heap entry stays behind as a husk; `step` reaps it when it
+  // surfaces.  A generation mismatch means the event already fired (or
+  // this very slot was recycled for a newer event): nothing to do.
+  if (slot_pending(slot, generation)) release_slot(slot);
+}
+
+// Both sift directions move a hole instead of swapping: one entry copy
+// per level rather than three.
+void Simulation::heap_push(HeapEntry entry) {
+  if (root_stale_) {
+    // The fired root is logically gone; the new entry takes its place
+    // with one sift-down instead of a pop followed by a push.
+    root_stale_ = false;
+    sift_down_from_root(entry);
+    return;
+  }
+  std::size_t i = heap_.size();
+  heap_.push_back(entry);  // reserves the hole; overwritten on placement
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / kHeapArity;
+    if (entry.key >= heap_[parent].key) break;
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+void Simulation::heap_pop_root() {
+  XAR_ASSERT(!heap_.empty());
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (heap_.empty()) return;
+  sift_down_from_root(last);
+}
+
+void Simulation::sift_down_from_root(HeapEntry entry) {
+  const std::size_t n = heap_.size();
+  std::size_t i = 0;
+  for (;;) {
+    const std::size_t first_child = i * kHeapArity + 1;
+    if (first_child >= n) break;
+    std::size_t best;
+    if (first_child + kHeapArity <= n) {
+      // Full block of four children: keys are unique, so a pairwise
+      // min tree is exact, and the unpredictable comparisons become
+      // conditional moves.
+      const std::size_t a =
+          heap_[first_child + 1].key < heap_[first_child].key
+              ? first_child + 1
+              : first_child;
+      const std::size_t b =
+          heap_[first_child + 3].key < heap_[first_child + 2].key
+              ? first_child + 3
+              : first_child + 2;
+      best = heap_[b].key < heap_[a].key ? b : a;
+    } else {
+      best = first_child;
+      for (std::size_t c = first_child + 1; c < n; ++c) {
+        if (heap_[c].key < heap_[best].key) best = c;
+      }
+    }
+    if (heap_[best].key >= entry.key) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = entry;
+}
+
 Simulation::EventHandle Simulation::schedule_at(TimePoint t, Callback cb) {
   XAR_EXPECTS(t >= now_);
   XAR_EXPECTS(cb != nullptr);
-  auto alive = std::make_shared<bool>(true);
-  queue_.push(Event{t, next_seq_++, alive, std::move(cb)});
-  return EventHandle{std::move(alive)};
+  const std::uint32_t slot = acquire_slot();
+  Slot& s = slots_[slot];
+  s.cb = std::move(cb);
+  heap_push(HeapEntry{heap_key(t, next_seq_++), slot, s.generation});
+  return EventHandle{anchor_, slot, s.generation};
 }
 
 bool Simulation::step(TimePoint horizon) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.at > horizon) return false;
-    // Move the event out before executing: the callback may schedule
-    // further events and mutate the queue.
-    Event ev{top.at, top.seq, top.alive, std::move(const_cast<Event&>(top).cb)};
-    queue_.pop();
-    if (!*ev.alive) continue;  // cancelled
-    XAR_ASSERT(ev.at >= now_);
-    now_ = ev.at;
-    *ev.alive = false;  // the event has fired; handles become inert
+  for (;;) {
+    if (root_stale_) {
+      // The previous event's callback scheduled nothing; materialize
+      // the deferred removal now.
+      root_stale_ = false;
+      heap_pop_root();
+    }
+    if (heap_.empty()) return false;
+    const HeapEntry top = heap_.front();
+    if (slots_[top.slot].generation != top.generation) {
+      heap_pop_root();  // cancelled husk
+      continue;
+    }
+    const TimePoint at = key_time(top.key);
+    if (at > horizon) return false;
+    XAR_ASSERT(at >= now_);
+    now_ = at;
+    // Move the callback out and retire the slot before executing: the
+    // callback may schedule further events (growing the slab) and its
+    // own handle must already read as fired.  The root entry's removal
+    // is deferred so a successor scheduled by the callback can replace
+    // it in one sift.
+    root_stale_ = true;
+    Callback cb = std::move(slots_[top.slot].cb);
+    release_slot(top.slot);
     ++executed_;
-    ev.cb();
+    cb();
     return true;
   }
-  return false;
 }
 
 std::size_t Simulation::run() {

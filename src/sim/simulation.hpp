@@ -5,16 +5,24 @@
 // future time points; `run`/`run_until` drains the queue in timestamp
 // order, breaking ties by insertion order so executions are fully
 // deterministic.
+//
+// The engine is allocation-free in steady state: events live in a
+// slab-allocated pool recycled through a free list, the ready queue is
+// an explicit 4-ary heap over small POD entries, and cancellation is
+// generation-counted (an EventHandle is an index plus a generation, no
+// per-event reference counting).  Cancelled events leave a husk in the
+// heap that is reaped lazily when it reaches the top.
 #pragma once
 
 #include <cstdint>
+#include <cstring>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
+#include "sim/callback.hpp"
 
 namespace xartrek::sim {
 
@@ -22,32 +30,52 @@ namespace xartrek::sim {
 /// to it for the lifetime of an experiment.
 class Simulation {
  public:
-  using Callback = std::function<void()>;
+  /// Accepts any callable, including a moved-in std::function; small
+  /// trivially-copyable captures (the common case) schedule and fire
+  /// without a single indirect manager call or heap allocation.
+  using Callback = UniqueCallback;
 
   /// A cancellation handle for a scheduled event.  Default-constructed
   /// handles are inert.  Handles are cheap to copy; cancelling any copy
-  /// cancels the event.
+  /// cancels the event.  A handle never refcounts its event: it names a
+  /// pool slot plus the generation the slot had when the event was
+  /// scheduled, so a handle to a fired or cancelled event can never
+  /// touch a recycled slot.
   class EventHandle {
    public:
     EventHandle() = default;
 
     /// Prevent the event from firing.  Idempotent; safe after the event
-    /// has already run (then a no-op).
+    /// has already run (then a no-op), and safe after the Simulation
+    /// itself has been destroyed.
     void cancel() {
-      if (alive_) *alive_ = false;
+      if (anchor_) {
+        if (Simulation* sim = *anchor_) sim->cancel_slot(slot_, generation_);
+      }
     }
 
     /// True if the event is still scheduled to fire.
-    [[nodiscard]] bool pending() const { return alive_ && *alive_; }
+    [[nodiscard]] bool pending() const {
+      if (!anchor_) return false;
+      const Simulation* sim = *anchor_;
+      return sim != nullptr && sim->slot_pending(slot_, generation_);
+    }
 
    private:
     friend class Simulation;
-    explicit EventHandle(std::shared_ptr<bool> alive)
-        : alive_(std::move(alive)) {}
-    std::shared_ptr<bool> alive_;
+    EventHandle(std::shared_ptr<Simulation*> anchor, std::uint32_t slot,
+                std::uint32_t generation)
+        : anchor_(std::move(anchor)), slot_(slot), generation_(generation) {}
+    /// Shared back-pointer to the owning simulation; nulled out when the
+    /// simulation dies so stale handles degrade to no-ops (one heap
+    /// allocation per Simulation, none per event).
+    std::shared_ptr<Simulation*> anchor_;
+    std::uint32_t slot_ = 0;
+    std::uint32_t generation_ = 0;
   };
 
-  Simulation() = default;
+  Simulation() : anchor_(std::make_shared<Simulation*>(this)) {}
+  ~Simulation() { *anchor_ = nullptr; }
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
@@ -80,33 +108,91 @@ class Simulation {
 
   /// Number of events currently scheduled (including cancelled husks not
   /// yet reaped); intended for tests and diagnostics.
-  [[nodiscard]] std::size_t queued_events() const { return queue_.size(); }
+  [[nodiscard]] std::size_t queued_events() const {
+    return heap_.size() - (root_stale_ ? 1 : 0);
+  }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
+  /// Grow the event pool and heap up front so a known load level runs
+  /// without a single reallocation (diagnostics/benchmarks; optional).
+  void reserve_events(std::size_t n) {
+    slots_.reserve(n);
+    heap_.reserve(n);
+  }
+
  private:
-  struct Event {
-    TimePoint at;
-    std::uint64_t seq;
-    std::shared_ptr<bool> alive;
+  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
+
+  /// One pool slot.  Only the callback lives here; the ordering key is
+  /// kept in the heap entry so sift operations never touch the slab.
+  struct Slot {
     Callback cb;
+    std::uint32_t generation = 0;
+    std::uint32_t next_free = kNoSlot;
   };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;  // FIFO among same-time events
-    }
+
+  /// The heap orders on a single 128-bit integer key: the raw IEEE-754
+  /// bits of the timestamp in the high word and the insertion sequence
+  /// number in the low word.  Timestamps never go negative (the clock
+  /// starts at the origin and schedule_at rejects the past), so the bit
+  /// pattern orders exactly like the double -- and a one-word-pair
+  /// integer compare lets sift-down pick the minimum child with
+  /// conditional moves instead of unpredictable branches.  Sequence
+  /// numbers make keys unique, which is what preserves FIFO order among
+  /// same-time events.
+  using HeapKey = unsigned __int128;
+
+  struct HeapEntry {
+    HeapKey key;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
+
+  static HeapKey heap_key(TimePoint t, std::uint64_t seq) {
+    double ms = t.to_ms();
+    if (ms == 0.0) ms = 0.0;  // canonicalize -0.0: its sign bit would
+                              // order after every positive timestamp
+    std::uint64_t bits;
+    std::memcpy(&bits, &ms, sizeof(bits));
+    return (static_cast<HeapKey>(bits) << 64) | seq;
+  }
+  static TimePoint key_time(HeapKey key) {
+    const std::uint64_t bits = static_cast<std::uint64_t>(key >> 64);
+    double ms;
+    std::memcpy(&ms, &bits, sizeof(ms));
+    return TimePoint::at_ms(ms);
+  }
 
   /// Pop and execute one runnable event with timestamp <= horizon.
   /// Returns false if none remains.
   bool step(TimePoint horizon);
 
+  [[nodiscard]] std::uint32_t acquire_slot();
+  void release_slot(std::uint32_t slot);
+  void cancel_slot(std::uint32_t slot, std::uint32_t generation);
+  [[nodiscard]] bool slot_pending(std::uint32_t slot,
+                                  std::uint32_t generation) const {
+    return slot < slots_.size() && slots_[slot].generation == generation;
+  }
+
+  void heap_push(HeapEntry entry);
+  void heap_pop_root();
+  void sift_down_from_root(HeapEntry entry);
+
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Slot> slots_;   ///< slab; grows, never shrinks
+  std::uint32_t free_head_ = kNoSlot;
+  std::vector<HeapEntry> heap_;  ///< 4-ary min-heap on (time, seq)
+  /// True while heap_[0] is a fired event whose removal is deferred: if
+  /// the callback schedules a successor (the dominant pattern), the new
+  /// entry replaces the root with a single sift-down instead of a pop
+  /// followed by a push.
+  bool root_stale_ = false;
+  std::shared_ptr<Simulation*> anchor_;
 };
 
 }  // namespace xartrek::sim

@@ -5,57 +5,47 @@
 #include <sstream>
 
 #include "common/assert.hpp"
+#include "common/binary_io.hpp"
 
 namespace xartrek::workloads {
 
 namespace {
 constexpr char kDigitMagic[4] = {'X', 'D', 'I', 'G'};
-
-void put_u32(std::ostream& os, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) {
-    os.put(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-void put_u64(std::ostream& os, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) {
-    os.put(static_cast<char>((v >> (8 * i)) & 0xFF));
-  }
-}
-std::uint32_t get_u32(std::istream& is) {
-  std::uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) {
-    const int c = is.get();
-    if (c == EOF) throw Error("digit dataset: truncated file");
-    v |= static_cast<std::uint32_t>(c & 0xFF) << (8 * i);
-  }
-  return v;
-}
-std::uint64_t get_u64(std::istream& is) {
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    const int c = is.get();
-    if (c == EOF) throw Error("digit dataset: truncated file");
-    v |= static_cast<std::uint64_t>(c & 0xFF) << (8 * i);
-  }
-  return v;
-}
+constexpr const char* kDigitContext = "digit dataset";
+// One digit on disk: the packed bit words followed by a label byte.
+constexpr std::size_t kWordsPerDigit =
+    sizeof(LabeledDigit{}.bits) / sizeof(std::uint64_t);
+constexpr std::size_t kDigitRecordBytes = kWordsPerDigit * 8 + 1;
 
 void write_digits(std::ostream& os, const std::vector<LabeledDigit>& v) {
-  put_u32(os, static_cast<std::uint32_t>(v.size()));
+  unsigned char record[kDigitRecordBytes];
+  put_le_u32(record, static_cast<std::uint32_t>(v.size()));
+  write_block(os, record, 4);
   for (const auto& d : v) {
-    for (std::uint64_t w : d.bits) put_u64(os, w);
-    os.put(static_cast<char>(d.label));
+    unsigned char* p = record;
+    for (std::uint64_t w : d.bits) {
+      put_le_u64(p, w);
+      p += 8;
+    }
+    *p = static_cast<unsigned char>(d.label);
+    write_block(os, record, kDigitRecordBytes);
   }
 }
 std::vector<LabeledDigit> read_digits(std::istream& is) {
-  const std::uint32_t n = get_u32(is);
+  unsigned char record[kDigitRecordBytes];
+  read_block(is, record, 4, kDigitContext);
+  const std::uint32_t n = get_le_u32(record);
   std::vector<LabeledDigit> out;
   out.reserve(n);
   for (std::uint32_t i = 0; i < n; ++i) {
+    read_block(is, record, kDigitRecordBytes, kDigitContext);
     LabeledDigit d;
-    for (auto& w : d.bits) w = get_u64(is);
-    const int label = is.get();
-    if (label == EOF) throw Error("digit dataset: truncated file");
+    const unsigned char* p = record;
+    for (auto& w : d.bits) {
+      w = get_le_u64(p);
+      p += 8;
+    }
+    const int label = *p;
     if (label < 0 || label > 9) {
       throw Error("digit dataset: label out of range");
     }

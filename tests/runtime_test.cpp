@@ -40,6 +40,47 @@ TEST(ThresholdTableTest, UpsertAndLookup) {
   EXPECT_EQ(table.size(), 1u);
 }
 
+TEST(ThresholdTableTest, InternsAppNamesToStableDenseIds) {
+  ThresholdTable table;
+  const AppId a = table.upsert(entry("a", 10, 20, 100, 300, 200));
+  const AppId b = table.upsert(entry("b", 1, 2, 3, 4, 5));
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.id_of("a"), a);
+  EXPECT_EQ(table.id_of("b"), b);
+  EXPECT_EQ(table.id_of("zzz"), kInvalidAppId);
+  // Ids are plain indices into entries().
+  EXPECT_EQ(table.entries()[a].app, "a");
+  EXPECT_EQ(&table.at(a), &table.entries()[a]);
+  // Replacing a row keeps its id (interning is stable).
+  EXPECT_EQ(table.upsert(entry("a", 99, 20, 100, 300, 200)), a);
+  EXPECT_EQ(table.at(a).fpga_threshold, 99);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(ThresholdTableTest, HeterogeneousLookupByStringView) {
+  ThresholdTable table;
+  table.upsert(entry("facedet320", 16, 31, 175, 642, 332));
+  const std::string_view view("facedet320+suffix");
+  EXPECT_TRUE(table.contains(view.substr(0, 10)));
+  EXPECT_EQ(table.at(view.substr(0, 10)).arm_threshold, 31);
+  EXPECT_THROW(table.at(std::string_view("nope")), Error);
+  table.at_mutable(view.substr(0, 10)).arm_threshold = 7;
+  EXPECT_EQ(table.at("facedet320").arm_threshold, 7);
+}
+
+TEST(ThresholdTableTest, EntriesIterateInInsertionOrderNamesSorted) {
+  ThresholdTable table;
+  table.upsert(entry("zeta", 1, 2, 1, 1, 1));
+  table.upsert(entry("alpha", 1, 2, 1, 1, 1));
+  table.upsert(entry("mid", 1, 2, 1, 1, 1));
+  ASSERT_EQ(table.entries().size(), 3u);
+  EXPECT_EQ(table.entries()[0].app, "zeta");
+  EXPECT_EQ(table.entries()[1].app, "alpha");
+  EXPECT_EQ(table.entries()[2].app, "mid");
+  const auto names = table.app_names();
+  EXPECT_EQ(names, (std::vector<std::string>{"alpha", "mid", "zeta"}));
+}
+
 TEST(ThresholdTableTest, ExecAccessorsByTarget) {
   auto e = entry("a", 0, 0, 1, 2, 3);
   EXPECT_DOUBLE_EQ(e.exec_for(Target::kX86).to_ms(), 1.0);

@@ -152,6 +152,70 @@ TEST_P(ProtocolRoundTripTest, RandomizedMessagesRoundTrip) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ProtocolRoundTripTest,
                          ::testing::Range(1, 7));
 
+// Property: the single-pass scratch-buffer encoder produces exactly the
+// bytes of the allocating encoder, for randomized messages reusing ONE
+// buffer across the whole sequence (the per-connection pattern).
+TEST(ProtocolTest, EncodeIntoReusedScratchMatchesEncodeMessage) {
+  Rng rng(99);
+  std::vector<std::byte> scratch;
+  for (int i = 0; i < 200; ++i) {
+    Message msg;
+    const std::string name =
+        std::string(static_cast<std::size_t>(rng.uniform_int(0, 40)), 'x') +
+        std::to_string(rng.uniform_int(0, 999));
+    switch (rng.uniform_int(0, 3)) {
+      case 0:
+        msg = runtime::PlacementRequestMsg{
+            name, "KNL_" + name,
+            static_cast<std::uint32_t>(rng.uniform_int(0, 1 << 20))};
+        break;
+      case 1:
+        msg = runtime::PlacementReplyMsg{
+            static_cast<runtime::Target>(rng.uniform_int(0, 2)),
+            rng.bernoulli(0.5),
+            static_cast<std::int32_t>(rng.uniform_int(0, 4096))};
+        break;
+      case 2:
+        msg = runtime::ThresholdReportMsg{
+            name, static_cast<runtime::Target>(rng.uniform_int(0, 2)),
+            rng.uniform_real(0.0, 1e6),
+            static_cast<std::int32_t>(rng.uniform_int(0, 4096))};
+        break;
+      default: {
+        runtime::TableSyncMsg sync;
+        sync.entry.app = name;
+        sync.entry.kernel_name = "KNL_" + name;
+        sync.entry.fpga_threshold = static_cast<int>(rng.uniform_int(0, 128));
+        sync.entry.arm_threshold = static_cast<int>(rng.uniform_int(0, 128));
+        sync.entry.x86_exec = Duration::ms(rng.uniform_real(0, 1e5));
+        msg = sync;
+      }
+    }
+    runtime::encode_message_into(msg, scratch);
+    EXPECT_EQ(scratch, encode_message(msg));
+    EXPECT_TRUE(decode_message(scratch) == msg);
+  }
+}
+
+TEST(ProtocolTest, EncodeTableSyncIntoMatchesMessagePath) {
+  runtime::ThresholdEntry e;
+  e.app = "cg_a";
+  e.kernel_name = "KNL_HW_CG_A";
+  e.fpga_threshold = 29;
+  e.arm_threshold = 23;
+  e.x86_exec = Duration::ms(2182);
+  e.arm_exec = Duration::ms(8406.5);
+  e.fpga_exec = Duration::ms(10597.75);
+  std::vector<std::byte> direct;
+  runtime::encode_table_sync_into(e, direct);
+  runtime::TableSyncMsg msg;
+  msg.entry = e;
+  EXPECT_EQ(direct, encode_message(msg));
+  // The scratch overload clears previous contents.
+  runtime::encode_table_sync_into(e, direct);
+  EXPECT_EQ(direct, encode_message(msg));
+}
+
 // --- threshold-table text format ------------------------------------------
 
 TEST(ThresholdTableIoTest, RoundTripsStepGOutput) {
