@@ -1,0 +1,45 @@
+// Global counting-allocator hook shared by the perf benches.
+//
+// Including this header replaces the TU's (binary's) global operator
+// new/delete with counting versions -- plain globals, no locking: the
+// benches are single-threaded and the hook must not allocate or
+// synchronize.  Include it from exactly one translation unit per bench
+// binary.
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace xartrek::bench {
+
+inline std::uint64_t g_alloc_calls = 0;
+inline std::uint64_t g_alloc_bytes = 0;
+
+struct AllocSnapshot {
+  std::uint64_t calls;
+  std::uint64_t bytes;
+};
+
+inline AllocSnapshot alloc_snapshot() {
+  return {g_alloc_calls, g_alloc_bytes};
+}
+
+}  // namespace xartrek::bench
+
+void* operator new(std::size_t n) {
+  ++xartrek::bench::g_alloc_calls;
+  xartrek::bench::g_alloc_bytes += n;
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  ++xartrek::bench::g_alloc_calls;
+  xartrek::bench::g_alloc_bytes += n;
+  return std::malloc(n ? n : 1);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}

@@ -1,0 +1,360 @@
+// PsResource scaling + end-to-end request-loop benchmark.
+//
+// Two measurements land in BENCH_ps_resource.json:
+//
+//  1. `scaling`: per-event cost of the virtual-time PsResource with 1k,
+//     10k and 100k resident jobs churning short jobs through
+//     submit/complete -- near-flat (O(log n)) -- against an in-binary
+//     replica of the pre-refactor per-job-decrement design, whose cost
+//     grows linearly with residency (O(n) per event, O(n^2) sweeps).
+//
+//  2. `request_loop`: the whole steady-state placement loop -- PS-pool
+//     submit -> wire encode -> borrowed decode -> Algorithm-2 decide ->
+//     decision callback -- through a real SchedulerServer/LoadMonitor/
+//     FpgaDevice stack, with a global counting-allocator hook asserting
+//     zero steady-state allocations per request.
+//
+// Schema: docs/perf.md.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "fpga/device.hpp"
+#include "hw/cpu_cluster.hpp"
+#include "hw/link.hpp"
+#include "runtime/load_monitor.hpp"
+#include "runtime/scheduler_server.hpp"
+#include "runtime/threshold_table.hpp"
+#include "sim/ps_resource.hpp"
+#include "sim/simulation.hpp"
+
+#include "bench/alloc_hook.hpp"
+
+namespace xartrek::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// --- legacy PsResource (the seed design, O(resident) per event) -------------
+
+class LegacyPs {
+ public:
+  using JobId = std::uint64_t;
+  using Callback = std::function<void()>;
+
+  LegacyPs(sim::Simulation& sim, double capacity, double per_job_cap)
+      : sim_(sim),
+        capacity_(capacity),
+        per_job_cap_(per_job_cap),
+        last_advance_(sim.now()) {}
+
+  JobId submit(double demand, Callback on_complete) {
+    advance();
+    const JobId id = next_id_++;
+    jobs_.emplace(id, Job{demand, std::move(on_complete)});
+    reschedule();
+    return id;
+  }
+
+ private:
+  struct Job {
+    double remaining;
+    Callback on_complete;
+  };
+
+  [[nodiscard]] double rate_per_job(std::size_t n) const {
+    if (n == 0) return 0.0;
+    const double fair = capacity_ / static_cast<double>(n);
+    return fair < per_job_cap_ ? fair : per_job_cap_;
+  }
+
+  void advance() {
+    const double elapsed = (sim_.now() - last_advance_).to_ms();
+    last_advance_ = sim_.now();
+    if (elapsed <= 0.0 || jobs_.empty()) return;
+    const double served = elapsed * rate_per_job(jobs_.size());
+    for (auto& [id, job] : jobs_) {
+      job.remaining -= served;
+      if (job.remaining < 0.0) job.remaining = 0.0;
+    }
+  }
+
+  void reschedule() {
+    pending_.cancel();
+    if (jobs_.empty()) return;
+    double min_remaining = jobs_.begin()->second.remaining;
+    for (const auto& [id, job] : jobs_) {
+      if (job.remaining < min_remaining) min_remaining = job.remaining;
+    }
+    const Duration dt =
+        Duration::ms(min_remaining / rate_per_job(jobs_.size()));
+    pending_ = sim_.schedule_in(dt, [this] { on_tick(); });
+  }
+
+  void on_tick() {
+    advance();
+    std::vector<Callback> done;
+    for (auto it = jobs_.begin(); it != jobs_.end();) {
+      if (it->second.remaining <= 1e-9) {
+        done.push_back(std::move(it->second.on_complete));
+        it = jobs_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    reschedule();
+    for (auto& cb : done) cb();
+  }
+
+  sim::Simulation& sim_;
+  double capacity_;
+  double per_job_cap_;
+  std::map<JobId, Job> jobs_;
+  JobId next_id_ = 1;
+  TimePoint last_advance_;
+  sim::Simulation::EventHandle pending_;
+};
+
+// --- scaling workload -------------------------------------------------------
+
+struct ScalePoint {
+  std::size_t resident = 0;
+  std::uint64_t events = 0;
+  double seconds = 0;
+  AllocSnapshot allocs{};
+};
+
+/// Preload `resident` never-finishing jobs, then churn short jobs
+/// through `chains` self-resubmitting lanes until ~`target_events`
+/// completions have fired.  Reports wall time and allocations over the
+/// measured phase (after a warmup that primes pools and capacities).
+template <typename Ps>
+ScalePoint run_scale(std::size_t resident, std::uint64_t target_events,
+                     std::uint64_t warmup) {
+  sim::Simulation sim;
+  Ps ps = [&sim]() -> Ps {
+    if constexpr (std::is_same_v<Ps, sim::PsResource>) {
+      return Ps(sim, sim::PsResource::Config{"scale", 6.0, 1.0});
+    } else {
+      return Ps(sim, 6.0, 1.0);
+    }
+  }();
+  if constexpr (std::is_same_v<Ps, sim::PsResource>) {
+    ps.reserve_jobs(resident + 64);
+  }
+  for (std::size_t i = 0; i < resident; ++i) {
+    ps.submit(1e15, [] {});  // resident forever within the bench horizon
+  }
+  struct Chain {
+    Ps* ps;
+    std::uint64_t budget;
+    std::uint64_t* completions;
+    double demand;
+    void fire() {
+      ++*completions;
+      if (budget == 0) return;
+      --budget;
+      ps->submit(demand, [this] { fire(); });
+    }
+  };
+  constexpr std::size_t kChains = 16;
+  std::uint64_t completions = 0;
+  std::vector<Chain> chains(kChains);
+  const std::uint64_t per_lane = (target_events + warmup) / kChains;
+  for (std::size_t i = 0; i < kChains; ++i) {
+    Chain& c = chains[i];
+    c.ps = &ps;
+    c.budget = per_lane;
+    c.completions = &completions;
+    // Staggered demands keep the chains' completion instants distinct,
+    // so every completion is its own tick (one submit + one complete
+    // per measured event, the Fig. 5 steady-state shape).
+    c.demand = 0.5 + 0.125 * static_cast<double>(i);
+    ps.submit(c.demand, [&c] { c.fire(); });
+  }
+  const TimePoint horizon = TimePoint::at_ms(1e14);  // < resident finish
+  completions = 0;
+  while (completions < warmup && sim.step_one(horizon)) {
+  }
+
+  const AllocSnapshot before = alloc_snapshot();
+  const std::uint64_t measured_from = completions;
+  const auto start = Clock::now();
+  while (sim.step_one(horizon)) {
+  }
+  ScalePoint p;
+  p.seconds = seconds_since(start);
+  const AllocSnapshot after = alloc_snapshot();
+  p.resident = resident;
+  p.events = completions - measured_from;
+  p.allocs = {after.calls - before.calls, after.bytes - before.bytes};
+  return p;
+}
+
+// --- end-to-end request loop ------------------------------------------------
+
+struct LoopResult {
+  std::uint64_t requests = 0;
+  double seconds = 0;
+  AllocSnapshot allocs{};
+};
+
+/// Drives the full placement loop: each decision callback submits a
+/// short job to the x86 PS pool and immediately issues the next request,
+/// so every round trip exercises submit -> encode -> decode -> decide ->
+/// callback.  Measured after a warmup phase that primes every pool.
+LoopResult run_request_loop(std::uint64_t requests, std::uint64_t warmup) {
+  sim::Simulation sim;
+  hw::CpuCluster x86(sim, hw::xeon_bronze_3104());
+  hw::Link pcie(sim, hw::pcie_gen3());
+  fpga::FpgaDevice device(sim, pcie, fpga::alveo_u50_spec());
+  runtime::ThresholdTable table;
+  {
+    runtime::ThresholdEntry entry;
+    entry.app = "facedet320";
+    entry.kernel_name = "KNL_HW_FD320";
+    entry.fpga_threshold = 1 << 20;  // stay on x86: pure decision path
+    entry.arm_threshold = 1 << 20;
+    table.upsert(entry);
+  }
+  runtime::LoadMonitor monitor(sim, x86);
+  runtime::SchedulerServer server(sim, monitor, device, table, {});
+
+  struct Driver {
+    runtime::SchedulerServer* server;
+    hw::CpuCluster* x86;
+    std::uint64_t remaining;
+    std::uint64_t decisions = 0;
+    void next() {
+      if (remaining == 0) return;
+      --remaining;
+      server->request_placement("facedet320",
+                                [this](runtime::PlacementDecision) {
+                                  ++decisions;
+                                  x86->run(Duration::ms(0.01), [] {});
+                                  next();
+                                });
+    }
+  };
+  Driver driver{&server, &x86, requests + warmup};
+  driver.next();
+  const TimePoint horizon = TimePoint::at_ms(1e12);
+  while (driver.decisions < warmup && sim.step_one(horizon)) {
+  }
+  const AllocSnapshot before = alloc_snapshot();
+  const auto start = Clock::now();
+  while (driver.decisions < warmup + requests && sim.step_one(horizon)) {
+  }
+  LoopResult r;
+  r.seconds = seconds_since(start);
+  const AllocSnapshot after = alloc_snapshot();
+  r.requests = requests;
+  r.allocs = {after.calls - before.calls, after.bytes - before.bytes};
+  return r;
+}
+
+// --- report ----------------------------------------------------------------
+
+void emit_point(std::ostream& os, const ScalePoint& p, bool last) {
+  os << "      {\"resident\": " << p.resident
+     << ", \"events\": " << p.events << ", \"seconds\": " << p.seconds
+     << ", \"ns_per_event\": "
+     << 1e9 * p.seconds / static_cast<double>(p.events)
+     << ", \"alloc_calls_per_event\": "
+     << static_cast<double>(p.allocs.calls) / static_cast<double>(p.events)
+     << "}" << (last ? "" : ",") << "\n";
+}
+
+int bench_main() {
+  constexpr std::uint64_t kEvents = 400'000;
+  constexpr std::uint64_t kWarmup = 40'000;
+  constexpr std::uint64_t kLegacyEvents = 4'000;
+  constexpr std::uint64_t kLegacyWarmup = 400;
+  constexpr std::uint64_t kRequests = 200'000;
+  constexpr std::uint64_t kRequestWarmup = 20'000;
+
+  std::vector<ScalePoint> pooled;
+  for (const std::size_t resident : {1'000u, 10'000u, 100'000u}) {
+    std::cerr << "[ps_resource_bench] pooled churn @ " << resident
+              << " resident jobs...\n";
+    pooled.push_back(
+        run_scale<sim::PsResource>(resident, kEvents, kWarmup));
+  }
+  std::vector<ScalePoint> legacy;
+  for (const std::size_t resident : {1'000u, 10'000u}) {
+    std::cerr << "[ps_resource_bench] legacy churn @ " << resident
+              << " resident jobs (O(n) per event; kept small)...\n";
+    legacy.push_back(
+        run_scale<LegacyPs>(resident, kLegacyEvents, kLegacyWarmup));
+  }
+
+  std::cerr << "[ps_resource_bench] end-to-end request loop: " << kRequests
+            << " placements...\n";
+  const LoopResult loop = run_request_loop(kRequests, kRequestWarmup);
+
+  const auto ns_per = [](const ScalePoint& p) {
+    return 1e9 * p.seconds / static_cast<double>(p.events);
+  };
+  const double flatness = ns_per(pooled.back()) / ns_per(pooled.front());
+  const double legacy_slope = ns_per(legacy.back()) / ns_per(legacy.front());
+
+  std::ofstream out("BENCH_ps_resource.json");
+  out.precision(6);
+  out << "{\n  \"bench\": \"ps_resource\",\n  \"scaling\": {\n"
+      << "    \"pooled\": [\n";
+  for (std::size_t i = 0; i < pooled.size(); ++i) {
+    emit_point(out, pooled[i], i + 1 == pooled.size());
+  }
+  out << "    ],\n    \"legacy\": [\n";
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    emit_point(out, legacy[i], i + 1 == legacy.size());
+  }
+  out << "    ],\n"
+      << "    \"pooled_cost_ratio_100k_vs_1k\": " << flatness << ",\n"
+      << "    \"legacy_cost_ratio_10k_vs_1k\": " << legacy_slope << "\n"
+      << "  },\n  \"request_loop\": {\n"
+      << "    \"requests\": " << loop.requests << ",\n"
+      << "    \"seconds\": " << loop.seconds << ",\n"
+      << "    \"requests_per_sec\": "
+      << static_cast<double>(loop.requests) / loop.seconds << ",\n"
+      << "    \"alloc_calls_per_request\": "
+      << static_cast<double>(loop.allocs.calls) /
+             static_cast<double>(loop.requests)
+      << ",\n    \"alloc_bytes_per_request\": "
+      << static_cast<double>(loop.allocs.bytes) /
+             static_cast<double>(loop.requests)
+      << "\n  }\n}\n";
+  out.close();
+
+  std::cerr << "[ps_resource_bench] pooled ns/event @1k="
+            << ns_per(pooled[0]) << " @10k=" << ns_per(pooled[1])
+            << " @100k=" << ns_per(pooled[2]) << " (100k/1k ratio "
+            << flatness << ")\n"
+            << "[ps_resource_bench] legacy ns/event @1k=" << ns_per(legacy[0])
+            << " @10k=" << ns_per(legacy[1]) << " (10k/1k ratio "
+            << legacy_slope << ")\n"
+            << "[ps_resource_bench] request loop: "
+            << static_cast<double>(loop.requests) / loop.seconds
+            << " req/s, allocs/request="
+            << static_cast<double>(loop.allocs.calls) /
+                   static_cast<double>(loop.requests)
+            << "\n[ps_resource_bench] wrote BENCH_ps_resource.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace xartrek::bench
+
+int main() { return xartrek::bench::bench_main(); }

@@ -26,38 +26,7 @@
 #include "runtime/protocol.hpp"
 #include "sim/simulation.hpp"
 
-// --- counting allocator hook ----------------------------------------------
-
-namespace {
-// Plain globals: the bench is single-threaded and the hook must not
-// allocate or synchronize.
-std::uint64_t g_alloc_calls = 0;
-std::uint64_t g_alloc_bytes = 0;
-
-struct AllocSnapshot {
-  std::uint64_t calls;
-  std::uint64_t bytes;
-};
-
-AllocSnapshot alloc_snapshot() { return {g_alloc_calls, g_alloc_bytes}; }
-}  // namespace
-
-void* operator new(std::size_t n) {
-  ++g_alloc_calls;
-  g_alloc_bytes += n;
-  if (void* p = std::malloc(n ? n : 1)) return p;
-  throw std::bad_alloc();
-}
-void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
-  ++g_alloc_calls;
-  g_alloc_bytes += n;
-  return std::malloc(n ? n : 1);
-}
-void operator delete(void* p) noexcept { std::free(p); }
-void operator delete(void* p, std::size_t) noexcept { std::free(p); }
-void operator delete(void* p, const std::nothrow_t&) noexcept {
-  std::free(p);
-}
+#include "bench/alloc_hook.hpp"
 
 namespace xartrek::bench {
 namespace {
@@ -288,6 +257,36 @@ ProtoResult run_protocol_pooled(std::uint64_t round_trips) {
   return r;
 }
 
+ProtoResult run_protocol_view(std::uint64_t round_trips) {
+  // Borrowed decode: same framed round trips, but the decode side hands
+  // back string_views into the frame instead of owning strings.
+  runtime::PlacementRequestMsg request{"facedet320", "KNL_HW_FD320", 4242};
+  runtime::PlacementReplyMsg reply{runtime::Target::kFpga, false, 17};
+  std::vector<std::byte> scratch;
+  runtime::encode_message_into(request, scratch);
+  (void)runtime::decode_message_view(scratch);
+  std::uint64_t decoded = 0;
+  const AllocSnapshot before = alloc_snapshot();
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < round_trips; ++i) {
+    runtime::encode_message_into(request, scratch);
+    const auto req = runtime::decode_message_view(scratch);
+    decoded += std::get<runtime::PlacementRequestView>(req).pid != 0;
+    runtime::encode_message_into(reply, scratch);
+    const auto rep = runtime::decode_message_view(scratch);
+    decoded +=
+        std::get<runtime::PlacementReplyMsg>(rep).observed_load != 0;
+  }
+  const double secs = seconds_since(start);
+  const AllocSnapshot after = alloc_snapshot();
+  if (decoded != 2 * round_trips) std::abort();
+  ProtoResult r;
+  r.seconds = secs;
+  r.round_trips = round_trips;
+  r.allocs = {after.calls - before.calls, after.bytes - before.bytes};
+  return r;
+}
+
 ProtoResult run_protocol_legacy(std::uint64_t round_trips) {
   runtime::PlacementRequestMsg request{"facedet320", "KNL_HW_FD320", 4242};
   runtime::PlacementReplyMsg reply{runtime::Target::kFpga, false, 17};
@@ -383,6 +382,7 @@ int bench_main() {
   std::cerr << "[sim_core_bench] protocol: " << kRoundTrips
             << " placement round-trips...\n";
   const auto proto_pooled = run_protocol_pooled(kRoundTrips);
+  const auto proto_view = run_protocol_view(kRoundTrips);
   const auto proto_legacy = run_protocol_legacy(kRoundTrips);
 
   // Aggregate event throughput across both scenarios (equal-events
@@ -413,8 +413,15 @@ int bench_main() {
       << "    \"round_trips\": " << kRoundTrips << ",\n";
   emit_proto(out, "single_pass", proto_pooled);
   out << ",\n";
+  emit_proto(out, "borrowed_view", proto_view);
+  out << ",\n";
   emit_proto(out, "legacy_concat", proto_legacy);
-  out << ",\n    \"speedup\": " << proto_speedup << "\n  }\n}\n";
+  out << ",\n    \"speedup\": " << proto_speedup
+      << ",\n    \"borrowed_speedup\": "
+      << (static_cast<double>(proto_view.round_trips) / proto_view.seconds) /
+             (static_cast<double>(proto_legacy.round_trips) /
+              proto_legacy.seconds)
+      << "\n  }\n}\n";
   out.close();
 
   std::cerr << "[sim_core_bench] events/sec pooled=" << pooled_rate

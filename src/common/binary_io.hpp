@@ -155,6 +155,17 @@ class BinaryReader {
     pos_ += len;
     return s;
   }
+  /// Length-prefixed string, borrowed: the returned view aliases the
+  /// reader's underlying buffer and is valid only while that buffer
+  /// lives.  Bounds-checked exactly like str().
+  std::string_view str_view() {
+    const std::uint16_t len = u16();
+    need(len);
+    std::string_view s(reinterpret_cast<const char*>(data_.data() + pos_),
+                       len);
+    pos_ += len;
+    return s;
+  }
 
   [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
 

@@ -4,12 +4,24 @@
 // reconfigurations, threshold updates) through a Logger owned by whoever
 // constructs the stack -- there is no global logger (I.2/I.3).  Examples
 // construct a verbose one; benchmarks construct a quiet one.
+//
+// Hot-path shape: a disabled level costs one branch (no argument
+// formatting, no allocation).  An enabled message is formatted into a
+// fixed stack buffer with std::to_chars -- no std::ostringstream, no
+// std::string, no heap -- and handed to the sink as a string_view.
+// Arguments that are nullary callables are *lazy*: they are invoked only
+// when the message is actually emitted, so an expensive-to-render
+// argument can be wrapped in a lambda at the call site for free.
 #pragma once
 
+#include <charconv>
+#include <cstddef>
+#include <cstring>
 #include <functional>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <utility>
 
 namespace xartrek {
@@ -27,11 +39,56 @@ enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kOff = 4 };
   return "?";
 }
 
+/// Fixed-capacity message formatter.  Overlong messages are truncated
+/// with a trailing "..." rather than allocating; log lines are
+/// diagnostics, not payloads.
+class LogBuffer {
+ public:
+  static constexpr std::size_t kCapacity = 512;
+
+  void append(std::string_view s) {
+    const std::size_t room = kCapacity - len_;
+    const std::size_t n = s.size() < room ? s.size() : room;
+    std::memcpy(buf_ + len_, s.data(), n);
+    len_ += n;
+    if (n < s.size()) truncated_ = true;
+  }
+  void append(const char* s) { append(std::string_view(s)); }
+  void append(const std::string& s) { append(std::string_view(s)); }
+  void append(char c) { append(std::string_view(&c, 1)); }
+  void append(bool b) { append(b ? std::string_view("true") : "false"); }
+
+  template <typename T,
+            typename = std::enable_if_t<std::is_arithmetic_v<T> &&
+                                        !std::is_same_v<T, char> &&
+                                        !std::is_same_v<T, bool>>>
+  void append(T v) {
+    // Integers exactly; floating point in shortest round-trip form.
+    char tmp[32];
+    const std::to_chars_result r = std::to_chars(tmp, tmp + sizeof(tmp), v);
+    if (r.ec == std::errc()) {
+      append(std::string_view(tmp, static_cast<std::size_t>(r.ptr - tmp)));
+    }
+  }
+
+  [[nodiscard]] std::string_view view() {
+    if (truncated_ && len_ >= 3) {
+      std::memcpy(buf_ + len_ - 3, "...", 3);
+    }
+    return std::string_view(buf_, len_);
+  }
+
+ private:
+  char buf_[kCapacity];
+  std::size_t len_ = 0;
+  bool truncated_ = false;
+};
+
 /// A sink-configurable, level-filtered logger.  Copyable; copies share the
 /// sink, so a component handed a Logger by value can keep it.
 class Logger {
  public:
-  using Sink = std::function<void(LogLevel, const std::string&)>;
+  using Sink = std::function<void(LogLevel, std::string_view)>;
 
   /// Default: drop everything (quiet by default for benchmarks/tests).
   Logger() : level_(LogLevel::kOff), sink_(nullptr) {}
@@ -41,7 +98,7 @@ class Logger {
 
   /// A logger that writes `level: message` lines to stderr.
   [[nodiscard]] static Logger stderr_logger(LogLevel level) {
-    return Logger(level, [](LogLevel l, const std::string& msg) {
+    return Logger(level, [](LogLevel l, std::string_view msg) {
       std::cerr << "[" << to_string(l) << "] " << msg << "\n";
     });
   }
@@ -51,7 +108,7 @@ class Logger {
     return sink_ && l >= level_ && level_ != LogLevel::kOff;
   }
 
-  void log(LogLevel l, const std::string& msg) const {
+  void log(LogLevel l, std::string_view msg) const {
     if (enabled(l)) sink_(l, msg);
   }
 
@@ -73,12 +130,23 @@ class Logger {
   }
 
  private:
+  /// Append one argument; nullary callables are invoked lazily here --
+  /// only on the enabled path -- and their result appended.
+  template <typename A>
+  static void append_one(LogBuffer& buf, A&& a) {
+    if constexpr (std::is_invocable_v<A&>) {
+      buf.append(a());
+    } else {
+      buf.append(std::forward<A>(a));
+    }
+  }
+
   template <typename... Args>
   void emit(LogLevel l, Args&&... args) const {
-    if (!enabled(l)) return;
-    std::ostringstream oss;
-    (oss << ... << args);
-    sink_(l, oss.str());
+    if (!enabled(l)) return;  // disabled levels cost exactly this branch
+    LogBuffer buf;
+    (append_one(buf, std::forward<Args>(args)), ...);
+    sink_(l, buf.view());
   }
 
   LogLevel level_;

@@ -11,7 +11,6 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -22,6 +21,7 @@
 #include "common/time.hpp"
 #include "fpga/resources.hpp"
 #include "hw/link.hpp"
+#include "sim/callback.hpp"
 #include "sim/fifo_station.hpp"
 #include "sim/simulation.hpp"
 
@@ -77,7 +77,7 @@ struct FpgaSpec {
 /// units; reconfiguration requests are serialized FIFO.
 class FpgaDevice {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::UniqueCallback;
 
   FpgaDevice(sim::Simulation& sim, hw::Link& pcie, FpgaSpec spec,
              Logger log = {});

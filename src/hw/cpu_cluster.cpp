@@ -21,8 +21,7 @@ CpuCluster::CpuCluster(sim::Simulation& sim, CpuSpec spec)
   XAR_EXPECTS(spec_.cores > 0);
 }
 
-CpuCluster::JobId CpuCluster::run(Duration demand,
-                                  std::function<void()> on_complete) {
+CpuCluster::JobId CpuCluster::run(Duration demand, Callback on_complete) {
   return pool_.submit(demand.to_ms(), std::move(on_complete));
 }
 

@@ -6,10 +6,10 @@
 // ARM demand differ), so no frequency scaling happens here.
 #pragma once
 
-#include <functional>
 #include <string>
 
 #include "common/time.hpp"
+#include "sim/callback.hpp"
 #include "sim/ps_resource.hpp"
 #include "sim/simulation.hpp"
 
@@ -41,12 +41,13 @@ struct CpuSpec {
 class CpuCluster {
  public:
   using JobId = sim::PsResource::JobId;
+  using Callback = sim::UniqueCallback;
 
   CpuCluster(sim::Simulation& sim, CpuSpec spec);
 
   /// Run `demand` milliseconds-at-full-speed of work; `on_complete` fires
   /// when it finishes under whatever contention materializes.
-  JobId run(Duration demand, std::function<void()> on_complete);
+  JobId run(Duration demand, Callback on_complete);
 
   /// Abort a job (used when an app is torn down at a horizon).
   bool cancel(JobId id) { return pool_.cancel(id); }

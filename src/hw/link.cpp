@@ -25,14 +25,22 @@ Link::Link(sim::Simulation& sim, LinkSpec spec)
   XAR_EXPECTS(spec_.bandwidth_mb_per_ms > 0.0);
 }
 
-void Link::transfer(std::uint64_t bytes, std::function<void()> on_complete) {
+void Link::transfer(std::uint64_t bytes, Callback on_complete) {
   XAR_EXPECTS(on_complete != nullptr);
   const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
-  // Fixed latency first, then bandwidth-shared payload time.
-  sim_.schedule_in(spec_.latency,
-                   [this, mb, cb = std::move(on_complete)]() mutable {
-                     pool_.submit(mb, std::move(cb));
-                   });
+  // Fixed latency first, then bandwidth-shared payload time.  The
+  // latency is identical for every transfer, so the events fire in the
+  // order they were scheduled and the front of `in_latency_` is always
+  // the transfer whose latency just elapsed.
+  in_latency_.push_back(std::move(on_complete));
+  sim_.schedule_in(spec_.latency, [this, mb] { enter_pool(mb); });
+}
+
+void Link::enter_pool(double mb) {
+  XAR_ASSERT(!in_latency_.empty());
+  Callback cb = std::move(in_latency_.front());
+  in_latency_.pop_front();
+  pool_.submit(mb, std::move(cb));
 }
 
 }  // namespace xartrek::hw

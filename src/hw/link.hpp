@@ -8,10 +8,11 @@
 // the paper measures migration cost "in locus" rather than predicting it.
 #pragma once
 
-#include <functional>
+#include <deque>
 #include <string>
 
 #include "common/time.hpp"
+#include "sim/callback.hpp"
 #include "sim/ps_resource.hpp"
 #include "sim/simulation.hpp"
 
@@ -34,11 +35,13 @@ struct LinkSpec {
 /// A shared channel inside a Simulation.
 class Link {
  public:
+  using Callback = sim::UniqueCallback;
+
   Link(sim::Simulation& sim, LinkSpec spec);
 
   /// Transfer `bytes` across the link; `on_complete` fires when the last
   /// byte lands.  Zero-byte transfers still pay the latency.
-  void transfer(std::uint64_t bytes, std::function<void()> on_complete);
+  void transfer(std::uint64_t bytes, Callback on_complete);
 
   /// Transfers currently in flight.
   [[nodiscard]] std::size_t in_flight() const { return pool_.active_jobs(); }
@@ -49,9 +52,16 @@ class Link {
   [[nodiscard]] const LinkSpec& spec() const { return spec_; }
 
  private:
+  void enter_pool(double mb);
+
   sim::Simulation& sim_;
   LinkSpec spec_;
   sim::PsResource pool_;  // demand unit: megabytes
+  /// Completions of transfers still in their fixed-latency phase.  The
+  /// latency is constant, so these events fire strictly FIFO; parking
+  /// the callbacks here lets the scheduled event capture only
+  /// {this, size} -- trivially copyable, no per-transfer allocation.
+  std::deque<Callback> in_latency_;
 };
 
 }  // namespace xartrek::hw

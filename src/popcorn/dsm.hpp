@@ -19,12 +19,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <memory>
 #include <vector>
 
 #include "common/assert.hpp"
 #include "hw/link.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulation.hpp"
 
 namespace xartrek::popcorn {
@@ -35,8 +35,8 @@ enum class PageState { kInvalid, kShared, kModified };
 /// A multi-node DSM instance.
 class Dsm {
  public:
-  using Callback = std::function<void()>;
-  using ReadCallback = std::function<void(std::vector<std::byte>)>;
+  using Callback = sim::UniqueCallback;
+  using ReadCallback = sim::UniqueFunction<void(std::vector<std::byte>)>;
 
   struct Config {
     std::size_t nodes = 2;

@@ -37,8 +37,7 @@ void MigrationRuntime::migrate(const MachineState& state,
 
 void MigrationRuntime::migrate_stack(
     const ThreadStack& stack, isa::IsaKind dst_isa,
-    std::uint64_t working_set_bytes,
-    std::function<void(ThreadStack)> on_arrival,
+    std::uint64_t working_set_bytes, StackCallback on_arrival,
     bool charge_transform_cost) {
   XAR_EXPECTS(on_arrival != nullptr);
   XAR_EXPECTS(!stack.empty());

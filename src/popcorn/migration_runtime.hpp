@@ -10,12 +10,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "common/time.hpp"
 #include "hw/link.hpp"
 #include "popcorn/machine_state.hpp"
 #include "popcorn/state_transform.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulation.hpp"
 
 namespace xartrek::popcorn {
@@ -23,7 +23,8 @@ namespace xartrek::popcorn {
 /// Orchestrates one-way thread migrations between ISA-different nodes.
 class MigrationRuntime {
  public:
-  using MigrationCallback = std::function<void(MachineState)>;
+  using MigrationCallback = sim::UniqueFunction<void(MachineState)>;
+  using StackCallback = sim::UniqueFunction<void(ThreadStack)>;
 
   MigrationRuntime(sim::Simulation& sim, hw::Link& ethernet,
                    const StateTransformer& transformer)
@@ -46,7 +47,7 @@ class MigrationRuntime {
   /// stack region).
   void migrate_stack(const ThreadStack& stack, isa::IsaKind dst_isa,
                      std::uint64_t working_set_bytes,
-                     std::function<void(ThreadStack)> on_arrival,
+                     StackCallback on_arrival,
                      bool charge_transform_cost = true);
 
   /// The transformer's CPU cost for this state (exposed so callers can

@@ -25,9 +25,10 @@ void MigrationExecutor::execute(Target target, const FunctionCosts& costs,
 void MigrationExecutor::execute_x86(const FunctionCosts& costs,
                                     DoneCallback on_done) {
   const TimePoint start = testbed_.simulation().now();
-  testbed_.x86().run(costs.x86_ms, [this, start, cb = std::move(on_done)] {
-    cb(testbed_.simulation().now() - start);
-  });
+  testbed_.x86().run(costs.x86_ms,
+                     [this, start, cb = std::move(on_done)]() mutable {
+                       cb(testbed_.simulation().now() - start);
+                     });
 }
 
 void MigrationExecutor::execute_arm(const FunctionCosts& costs,
@@ -70,14 +71,15 @@ void MigrationExecutor::execute_fpga(const FunctionCosts& costs,
   if (!device.has_kernel(costs.kernel_name)) {
     if (wait_for_fpga) {
       // Poll until the kernel appears (lazy-configuration stall).
-      sim.schedule_in(Duration::ms(10.0), [this, costs,
-                                           cb = std::move(on_done), start] {
-        execute_fpga(costs,
-                     [cb, start, this](Duration) {
-                       cb(testbed_.simulation().now() - start);
-                     },
-                     true);
-      });
+      sim.schedule_in(
+          Duration::ms(10.0),
+          [this, costs, cb = std::move(on_done), start]() mutable {
+            execute_fpga(costs,
+                         [this, cb = std::move(cb), start](Duration) mutable {
+                           cb(testbed_.simulation().now() - start);
+                         },
+                         true);
+          });
       return;
     }
     // Kernel vanished between decision and call: benign race; run the
@@ -101,9 +103,10 @@ void MigrationExecutor::execute_fpga(const FunctionCosts& costs,
       if (!device.has_kernel(costs.kernel_name)) {
         // Evicted mid-flight (reconfiguration won the race).
         ++fallbacks_;
-        execute_x86(costs, [cb = std::move(cb), start, this](Duration) {
-          cb(testbed_.simulation().now() - start);
-        });
+        execute_x86(costs,
+                    [cb = std::move(cb), start, this](Duration) mutable {
+                      cb(testbed_.simulation().now() - start);
+                    });
         return;
       }
       device.execute(costs.kernel_name, costs.fpga_items, [this, &sim, costs,

@@ -13,13 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <string>
 
 #include "common/log.hpp"
 #include "common/time.hpp"
 #include "platform/testbed.hpp"
 #include "runtime/target.hpp"
+#include "sim/callback.hpp"
 
 namespace xartrek::runtime {
 
@@ -45,7 +45,7 @@ struct FunctionCosts {
 class MigrationExecutor {
  public:
   /// Callback receives the invocation's elapsed (wall) simulated time.
-  using DoneCallback = std::function<void(Duration elapsed)>;
+  using DoneCallback = sim::UniqueFunction<void(Duration elapsed)>;
 
   explicit MigrationExecutor(platform::Testbed& testbed, Logger log = {});
 

@@ -90,6 +90,20 @@ void encode_message_into(const Message& message, std::vector<std::byte>& out) {
   end_frame(w, length_at);
 }
 
+void encode_placement_request_into(std::string_view app,
+                                   std::string_view kernel,
+                                   std::uint32_t pid,
+                                   std::vector<std::byte>& out) {
+  out.clear();
+  Writer w(out);
+  const std::size_t length_at =
+      begin_frame(w, MessageType::kPlacementRequest);
+  w.str(app);
+  w.str(kernel);
+  w.u32(pid);
+  end_frame(w, length_at);
+}
+
 void encode_table_sync_into(const ThresholdEntry& entry,
                             std::vector<std::byte>& out) {
   out.clear();
@@ -130,21 +144,21 @@ MessageType peek_message_type(std::span<const std::byte> buffer) {
   return parse_header(buffer).type;
 }
 
-Message decode_message(std::span<const std::byte> buffer) {
+MessageView decode_message_view(std::span<const std::byte> buffer) {
   const Header header = parse_header(buffer);
   if (buffer.size() != kHeaderBytes + header.payload_len) {
     throw Error("protocol: payload length mismatch");
   }
   Reader r(buffer.subspan(kHeaderBytes));
 
-  Message out;
+  MessageView out;
   switch (header.type) {
     case MessageType::kPlacementRequest: {
-      PlacementRequestMsg m;
-      m.app = r.str();
-      m.kernel = r.str();
+      PlacementRequestView m;
+      m.app = r.str_view();
+      m.kernel = r.str_view();
       m.pid = r.u32();
-      out = std::move(m);
+      out = m;
       break;
     }
     case MessageType::kPlacementReply: {
@@ -156,24 +170,24 @@ Message decode_message(std::span<const std::byte> buffer) {
       break;
     }
     case MessageType::kThresholdReport: {
-      ThresholdReportMsg m;
-      m.app = r.str();
+      ThresholdReportView m;
+      m.app = r.str_view();
       m.executed_on = target_from_wire(r.u8());
       m.exec_time_ms = r.f64();
       m.x86_load = r.i32();
-      out = std::move(m);
+      out = m;
       break;
     }
     case MessageType::kTableSync: {
-      TableSyncMsg m;
-      m.entry.app = r.str();
-      m.entry.kernel_name = r.str();
-      m.entry.fpga_threshold = r.i32();
-      m.entry.arm_threshold = r.i32();
-      m.entry.x86_exec = Duration::ms(r.f64());
-      m.entry.arm_exec = Duration::ms(r.f64());
-      m.entry.fpga_exec = Duration::ms(r.f64());
-      out = std::move(m);
+      TableSyncView m;
+      m.app = r.str_view();
+      m.kernel_name = r.str_view();
+      m.fpga_threshold = r.i32();
+      m.arm_threshold = r.i32();
+      m.x86_exec_ms = r.f64();
+      m.arm_exec_ms = r.f64();
+      m.fpga_exec_ms = r.f64();
+      out = m;
       break;
     }
   }
@@ -181,6 +195,42 @@ Message decode_message(std::span<const std::byte> buffer) {
     throw Error("protocol: trailing bytes after payload");
   }
   return out;
+}
+
+Message to_owning(const MessageView& view) {
+  if (const auto* req = std::get_if<PlacementRequestView>(&view)) {
+    PlacementRequestMsg m;
+    m.app = std::string(req->app);
+    m.kernel = std::string(req->kernel);
+    m.pid = req->pid;
+    return m;
+  }
+  if (const auto* reply = std::get_if<PlacementReplyMsg>(&view)) {
+    return *reply;
+  }
+  if (const auto* report = std::get_if<ThresholdReportView>(&view)) {
+    ThresholdReportMsg m;
+    m.app = std::string(report->app);
+    m.executed_on = report->executed_on;
+    m.exec_time_ms = report->exec_time_ms;
+    m.x86_load = report->x86_load;
+    return m;
+  }
+  const auto& sync = std::get<TableSyncView>(view);
+  TableSyncMsg m;
+  m.entry.app = std::string(sync.app);
+  m.entry.kernel_name = std::string(sync.kernel_name);
+  m.entry.fpga_threshold = sync.fpga_threshold;
+  m.entry.arm_threshold = sync.arm_threshold;
+  m.entry.x86_exec = Duration::ms(sync.x86_exec_ms);
+  m.entry.arm_exec = Duration::ms(sync.arm_exec_ms);
+  m.entry.fpga_exec = Duration::ms(sync.fpga_exec_ms);
+  return m;
+}
+
+Message decode_message(std::span<const std::byte> buffer) {
+  // One decoder: the owning form materializes the borrowed one.
+  return to_owning(decode_message_view(buffer));
 }
 
 }  // namespace xartrek::runtime

@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <string_view>
 #include <variant>
 #include <vector>
 
@@ -84,6 +85,58 @@ struct TableSyncMsg {
 using Message = std::variant<PlacementRequestMsg, PlacementReplyMsg,
                              ThresholdReportMsg, TableSyncMsg>;
 
+// --- borrowed decode --------------------------------------------------------
+//
+// The owning decode copies every string field into a std::string, which
+// is the last allocation on the server's steady-state request path.
+// The *View structs instead alias the frame: their string_view fields
+// point straight into the caller's buffer and are valid exactly as long
+// as that buffer is neither freed nor overwritten.  The server resolves
+// them against the interned AppId/kernel indexes without materializing
+// a single std::string.
+
+/// Borrowed PlacementRequest: fields alias the decoded frame.
+struct PlacementRequestView {
+  std::string_view app;
+  std::string_view kernel;
+  std::uint32_t pid = 0;
+};
+
+/// Borrowed ThresholdReport: `app` aliases the decoded frame.
+struct ThresholdReportView {
+  std::string_view app;
+  Target executed_on = Target::kX86;
+  double exec_time_ms = 0.0;
+  std::int32_t x86_load = 0;
+};
+
+/// Borrowed TableSync: name fields alias the decoded frame.
+struct TableSyncView {
+  std::string_view app;
+  std::string_view kernel_name;
+  std::int32_t fpga_threshold = 0;
+  std::int32_t arm_threshold = 0;
+  double x86_exec_ms = 0.0;
+  double arm_exec_ms = 0.0;
+  double fpga_exec_ms = 0.0;
+};
+
+/// Any protocol message, borrowed.  PlacementReply has no string fields,
+/// so the owning struct doubles as its view.
+using MessageView = std::variant<PlacementRequestView, PlacementReplyMsg,
+                                 ThresholdReportView, TableSyncView>;
+
+/// Parse one framed message without copying any string field: the views
+/// in the result alias `buffer`.  Identical strictness to
+/// decode_message (bad magic, unsupported version, unknown type,
+/// truncation, trailing bytes all throw xartrek::Error).
+[[nodiscard]] MessageView decode_message_view(
+    std::span<const std::byte> buffer);
+
+/// Materialize a borrowed message into an owning one (copies the string
+/// fields; the view's backing buffer may die afterwards).
+[[nodiscard]] Message to_owning(const MessageView& view);
+
 /// Serialize a message into a framed byte buffer.
 [[nodiscard]] std::vector<std::byte> encode_message(const Message& message);
 
@@ -99,6 +152,13 @@ void encode_message_into(const Message& message, std::vector<std::byte>& out);
 /// threshold table back to back).
 void encode_table_sync_into(const ThresholdEntry& entry,
                             std::vector<std::byte>& out);
+
+/// Frame one PlacementRequest straight from borrowed fields, without
+/// materializing a Message (the server's per-request encode path).
+void encode_placement_request_into(std::string_view app,
+                                   std::string_view kernel,
+                                   std::uint32_t pid,
+                                   std::vector<std::byte>& out);
 
 /// Parse one framed message.  Throws xartrek::Error on bad magic,
 /// unsupported version, unknown type, truncation, or trailing bytes.

@@ -74,7 +74,17 @@ SchedulerServer::SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
       table_(table),
       xclbins_(std::move(xclbins)),
       opts_(opts),
-      log_(std::move(log)) {}
+      log_(std::move(log)) {
+  // "Query Available HW Kernels" bookkeeping: index every kernel of
+  // every registered image once, instead of scanning images x kernels
+  // per lookup.  First image providing a kernel wins, matching the old
+  // linear scan's front-to-back precedence.
+  for (std::size_t i = 0; i < xclbins_.size(); ++i) {
+    for (const auto& k : xclbins_[i].kernels) {
+      kernel_index_.try_emplace(k.name, i);
+    }
+  }
+}
 
 std::vector<std::vector<std::byte>> SchedulerServer::broadcast_table()
     const {
@@ -87,14 +97,12 @@ std::vector<std::vector<std::byte>> SchedulerServer::broadcast_table()
 }
 
 const fpga::XclbinImage* SchedulerServer::image_with(
-    const std::string& kernel) const {
-  for (const auto& image : xclbins_) {
-    if (image.contains_kernel(kernel)) return &image;
-  }
-  return nullptr;
+    std::string_view kernel) const {
+  const auto it = kernel_index_.find(kernel);
+  return it == kernel_index_.end() ? nullptr : &xclbins_[it->second];
 }
 
-void SchedulerServer::maybe_start_reconfiguration(const std::string& kernel) {
+void SchedulerServer::maybe_start_reconfiguration(std::string_view kernel) {
   if (device_.reconfiguring()) return;  // one download at a time
   const fpga::XclbinImage* image = image_with(kernel);
   if (image == nullptr) {
@@ -109,72 +117,74 @@ void SchedulerServer::maybe_start_reconfiguration(const std::string& kernel) {
   });
 }
 
-std::vector<std::byte> SchedulerServer::acquire_wire_buffer() {
-  if (wire_pool_.empty()) return {};
-  std::vector<std::byte> buffer = std::move(wire_pool_.back());
-  wire_pool_.pop_back();
-  return buffer;
-}
-
-void SchedulerServer::recycle_wire_buffer(std::vector<std::byte>&& buffer) {
-  wire_pool_.push_back(std::move(buffer));
-}
-
-void SchedulerServer::request_placement(const std::string& app,
+void SchedulerServer::request_placement(std::string_view app,
                                         DecisionCallback on_decision) {
   XAR_EXPECTS(on_decision != nullptr);
   // The client marshals its request over the socket; the server decodes
   // it after the round-trip delay.  Running the real codec on every
   // request keeps the wire format honest in every experiment.  The wire
-  // bytes travel in a pooled scratch buffer that returns to the pool
-  // after decoding, so steady-state traffic reuses a few warm buffers
-  // instead of allocating per request.
-  std::vector<std::byte> wire = acquire_wire_buffer();
-  encode_message_into(PlacementRequestMsg{app, /*kernel=*/"", /*pid=*/0},
-                      wire);
-  sim_.schedule_in(opts_.request_overhead, [this, wire = std::move(wire),
-                                            cb = std::move(
-                                                on_decision)]() mutable {
-    ++stats_.requests;
-    const auto request =
-        std::get<PlacementRequestMsg>(decode_message(wire));
-    recycle_wire_buffer(std::move(wire));
-    const std::string& app = request.app;
-    const ThresholdEntry& entry = table_.at(app);
-    const int load = monitor_.x86_load();
-    const bool kernel_ready = device_.has_kernel(entry.kernel_name);
+  // bytes and the callback park in a pooled PendingRequest slot so the
+  // scheduled event captures only {this, slot} -- trivially copyable,
+  // inside the engine's inline buffer, zero per-request allocations.
+  const std::uint32_t slot = pending_.acquire();
+  encode_placement_request_into(app, /*kernel=*/{}, /*pid=*/0,
+                                pending_[slot].wire);
+  pending_[slot].on_decision = std::move(on_decision);
+  sim_.schedule_in(opts_.request_overhead,
+                   [this, slot] { finish_request(slot); });
+}
 
-    PlacementDecision decision;
-    decision.observed_load = load;
+void SchedulerServer::finish_request(std::uint32_t slot) {
+  ++stats_.requests;
+  // Borrowed decode: `request.app` aliases the slot's wire buffer, and
+  // resolves against the table's interned AppId index without a single
+  // string copy.
+  const auto request =
+      std::get<PlacementRequestView>(decode_message_view(pending_[slot].wire));
+  const AppId app_id = table_.id_of(request.app);
+  if (app_id == kInvalidAppId) {
+    std::string app(request.app);  // the view dies with the slot
+    pending_[slot].on_decision = nullptr;  // drop the callback's captures
+    pending_.release(slot);
+    throw Error("threshold table has no entry for `" + app + "`");
+  }
+  const ThresholdEntry& entry = table_.at(app_id);
+  const int load = monitor_.x86_load();
+  const bool kernel_ready = device_.has_kernel(entry.kernel_name);
 
-    bool wants_reconfigure = false;
-    decision.target =
-        decide_placement(load, entry.arm_threshold, entry.fpga_threshold,
-                         kernel_ready, wants_reconfigure);
+  PlacementDecision decision;
+  decision.observed_load = load;
 
-    if (wants_reconfigure) {
-      const bool was_reconfiguring = device_.reconfiguring();
-      maybe_start_reconfiguration(entry.kernel_name);
-      decision.reconfiguration_started = !was_reconfiguring;
-      if (!opts_.hide_reconfiguration &&
-          load > entry.fpga_threshold &&
-          entry.fpga_threshold < entry.arm_threshold) {
-        // Blocking ablation: the traditional flow stalls the caller on
-        // the configuration instead of running elsewhere meanwhile.
-        decision.target = Target::kFpga;
-        decision.wait_for_fpga = true;
-      }
+  bool wants_reconfigure = false;
+  decision.target =
+      decide_placement(load, entry.arm_threshold, entry.fpga_threshold,
+                       kernel_ready, wants_reconfigure);
+
+  if (wants_reconfigure) {
+    const bool was_reconfiguring = device_.reconfiguring();
+    maybe_start_reconfiguration(entry.kernel_name);
+    decision.reconfiguration_started = !was_reconfiguring;
+    if (!opts_.hide_reconfiguration && load > entry.fpga_threshold &&
+        entry.fpga_threshold < entry.arm_threshold) {
+      // Blocking ablation: the traditional flow stalls the caller on
+      // the configuration instead of running elsewhere meanwhile.
+      decision.target = Target::kFpga;
+      decision.wait_for_fpga = true;
     }
+  }
 
-    switch (decision.target) {
-      case Target::kX86:  ++stats_.to_x86; break;
-      case Target::kArm:  ++stats_.to_arm; break;
-      case Target::kFpga: ++stats_.to_fpga; break;
-    }
-    log_.trace("server: app=", app, " load=", load, " -> ",
-               to_string(decision.target));
-    cb(decision);
-  });
+  switch (decision.target) {
+    case Target::kX86:  ++stats_.to_x86; break;
+    case Target::kArm:  ++stats_.to_arm; break;
+    case Target::kFpga: ++stats_.to_fpga; break;
+  }
+  log_.trace("server: app=", request.app, " load=", load, " -> ",
+             to_string(decision.target));
+  // Every borrowed view above is dead before the slot recycles; the
+  // callback runs last so it may immediately issue the next request.
+  DecisionCallback cb = std::move(pending_[slot].on_decision);
+  pending_.release(slot);  // the wire buffer stays warm for reuse
+  cb(decision);
 }
 
 }  // namespace xartrek::runtime

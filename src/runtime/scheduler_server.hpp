@@ -8,13 +8,21 @@
 // the load is past FPGA_THR, the server starts a background
 // reconfiguration while the function continues on a CPU -- hiding the
 // transfer and programming latency (paper §3.4).
+//
+// Steady-state request path (submit -> encode -> decode -> decide ->
+// callback) is allocation-free and O(log n): the wire frame and the
+// decision callback live in a pooled PendingRequest slot, the scheduled
+// event captures only {server, slot} (trivially copyable, stays inside
+// the engine's inline buffer), the decode borrows string_views straight
+// from the frame, and the app name is interned to a dense AppId against
+// the threshold table without materializing a std::string.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <map>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/log.hpp"
@@ -23,7 +31,9 @@
 #include "runtime/load_monitor.hpp"
 #include "runtime/target.hpp"
 #include "runtime/threshold_table.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulation.hpp"
+#include "sim/slot_pool.hpp"
 
 namespace xartrek::runtime {
 
@@ -56,7 +66,7 @@ struct PlacementDecision {
 /// The server.
 class SchedulerServer {
  public:
-  using DecisionCallback = std::function<void(PlacementDecision)>;
+  using DecisionCallback = sim::UniqueFunction<void(PlacementDecision)>;
 
   struct Options {
     /// Socket round trip between client and server (loopback).
@@ -87,15 +97,16 @@ class SchedulerServer {
 
   /// Handle one client request for `app` (Algorithm 2 main loop body).
   /// The callback fires after the socket round trip with the decision.
-  void request_placement(const std::string& app, DecisionCallback on_decision);
+  void request_placement(std::string_view app, DecisionCallback on_decision);
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return opts_; }
 
   /// The image that contains `kernel`, or nullptr (the server's "Query
-  /// Available HW Kernels" bookkeeping).
+  /// Available HW Kernels" bookkeeping).  O(log kernels) via an index
+  /// built at construction.
   [[nodiscard]] const fpga::XclbinImage* image_with(
-      const std::string& kernel) const;
+      std::string_view kernel) const;
 
   /// Marshal the whole threshold table as TableSync wire messages (the
   /// server pushes these to clients so their local copies track the
@@ -103,22 +114,32 @@ class SchedulerServer {
   [[nodiscard]] std::vector<std::vector<std::byte>> broadcast_table() const;
 
  private:
-  void maybe_start_reconfiguration(const std::string& kernel);
-  /// Pooled scratch buffers for request wire frames: acquired when a
-  /// request is encoded, recycled after the server decodes it, so the
-  /// steady state re-uses a few warm buffers instead of allocating.
-  [[nodiscard]] std::vector<std::byte> acquire_wire_buffer();
-  void recycle_wire_buffer(std::vector<std::byte>&& buffer);
+  /// One in-flight request: the encoded frame travelling the simulated
+  /// socket plus the client's decision callback.  Slots recycle through
+  /// the pool's free list; a released slot's wire buffer keeps its
+  /// capacity, so the steady state re-uses a few warm buffers instead
+  /// of allocating.
+  struct PendingRequest {
+    std::vector<std::byte> wire;
+    DecisionCallback on_decision;
+  };
+
+  void maybe_start_reconfiguration(std::string_view kernel);
+  /// Event body: decode the frame in `slot`, decide, answer the client.
+  void finish_request(std::uint32_t slot);
 
   sim::Simulation& sim_;
   LoadMonitor& monitor_;
   fpga::FpgaDevice& device_;
   ThresholdTable& table_;
   std::vector<fpga::XclbinImage> xclbins_;
+  /// kernel name -> index into xclbins_, built once at construction
+  /// (replaces the per-request linear scan over images x kernels).
+  std::map<std::string, std::size_t, std::less<>> kernel_index_;
   Options opts_;
   Logger log_;
   Stats stats_;
-  std::vector<std::vector<std::byte>> wire_pool_;
+  sim::SlotPool<PendingRequest> pending_;
 };
 
 }  // namespace xartrek::runtime

@@ -18,15 +18,19 @@ void FifoStation::start_next() {
   queue_.pop_front();
   busy_ = true;
   busy_since_ = sim_.now();
-  sim_.schedule_in(req.service, [this, cb = std::move(req.on_complete)]() mutable {
-    busy_ = false;
-    busy_accum_ += sim_.now() - busy_since_;
-    ++completed_;
-    // Start the next request before invoking the callback so a callback
-    // that re-enqueues observes a consistent queue.
-    start_next();
-    cb();
-  });
+  in_service_ = std::move(req.on_complete);
+  sim_.schedule_in(req.service, [this] { finish_current(); });
+}
+
+void FifoStation::finish_current() {
+  busy_ = false;
+  busy_accum_ += sim_.now() - busy_since_;
+  ++completed_;
+  Callback cb = std::move(in_service_);
+  // Start the next request before invoking the callback so a callback
+  // that re-enqueues observes a consistent queue.
+  start_next();
+  cb();
 }
 
 Duration FifoStation::busy_time() const {

@@ -7,11 +7,11 @@
 
 #include <cstdint>
 #include <deque>
-#include <functional>
 #include <string>
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulation.hpp"
 
 namespace xartrek::sim {
@@ -19,7 +19,7 @@ namespace xartrek::sim {
 /// A one-at-a-time server with a FIFO queue inside a Simulation.
 class FifoStation {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueCallback;
 
   FifoStation(Simulation& sim, std::string name)
       : sim_(sim), name_(std::move(name)) {}
@@ -51,10 +51,15 @@ class FifoStation {
   };
 
   void start_next();
+  void finish_current();
 
   Simulation& sim_;
   std::string name_;
   std::deque<Request> queue_;
+  /// Completion callback of the request in service: parked here instead
+  /// of in the scheduled event so the event captures only `this` (which
+  /// stays inside the engine's inline buffer, no per-service allocation).
+  Callback in_service_;
   bool busy_ = false;
   std::uint64_t completed_ = 0;
   Duration busy_accum_ = Duration::zero();

@@ -1,7 +1,7 @@
 #include "sim/ps_resource.hpp"
 
+#include <algorithm>
 #include <utility>
-#include <vector>
 
 namespace xartrek::sim {
 
@@ -17,21 +17,44 @@ PsResource::PsResource(Simulation& sim, Config cfg)
   XAR_EXPECTS(cfg_.per_job_cap > 0.0);
 }
 
+void PsResource::release_slot(std::uint32_t slot) {
+  slots_[slot].on_complete = nullptr;
+  slots_.release(slot);  // invalidates outstanding ids and heap husks
+  --live_;
+}
+
+void PsResource::heap_push(HeapEntry entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), later);
+}
+
+void PsResource::heap_pop_root() {
+  XAR_ASSERT(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), later);
+  heap_.pop_back();
+}
+
 PsResource::JobId PsResource::submit(double demand, Callback on_complete) {
   XAR_EXPECTS(demand >= 0.0);
   XAR_EXPECTS(on_complete != nullptr);
   advance();
-  const JobId id = next_id_++;
-  jobs_.emplace(id, Job{demand, std::move(on_complete)});
+  const std::uint32_t slot = slots_.acquire();
+  JobSlot& s = slots_[slot];
+  s.finish_v = vtime_ + demand;
+  s.seq = next_seq_++;
+  s.on_complete = std::move(on_complete);
+  ++live_;
+  const std::uint32_t generation = slots_.generation_of(slot);
+  heap_push(HeapEntry{s.finish_v, s.seq, slot, generation});
   reschedule();
-  return id;
+  return encode_id(slot, generation);
 }
 
 bool PsResource::cancel(JobId id) {
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) return false;
+  const std::uint32_t slot = resolve(id);
+  if (slot == kNoSlot) return false;
   advance();
-  jobs_.erase(it);
+  release_slot(slot);  // the heap husk is reaped lazily
   reschedule();
   return true;
 }
@@ -39,42 +62,45 @@ bool PsResource::cancel(JobId id) {
 double PsResource::delivered_work() const {
   // Include service accrued since the last bookkeeping point.
   const double elapsed = (sim_.now() - last_advance_).to_ms();
-  const double rate = rate_per_job(jobs_.size());
-  return delivered_ + elapsed * rate * static_cast<double>(jobs_.size());
+  const double rate = rate_per_job(live_);
+  return delivered_ + elapsed * rate * static_cast<double>(live_);
 }
 
 double PsResource::remaining_demand(JobId id) const {
-  auto it = jobs_.find(id);
-  XAR_EXPECTS(it != jobs_.end());
+  const std::uint32_t slot = resolve(id);
+  XAR_EXPECTS(slot != kNoSlot);
   const double elapsed = (sim_.now() - last_advance_).to_ms();
-  const double served = elapsed * rate_per_job(jobs_.size());
-  const double rem = it->second.remaining - served;
+  const double v_now = vtime_ + elapsed * rate_per_job(live_);
+  const double rem = slots_[slot].finish_v - v_now;
   return rem > 0.0 ? rem : 0.0;
 }
 
 void PsResource::advance() {
   const double elapsed = (sim_.now() - last_advance_).to_ms();
   last_advance_ = sim_.now();
-  if (elapsed <= 0.0 || jobs_.empty()) return;
-  const double served = elapsed * rate_per_job(jobs_.size());
-  delivered_ += served * static_cast<double>(jobs_.size());
-  for (auto& [id, job] : jobs_) {
-    job.remaining -= served;
-    if (job.remaining < 0.0) job.remaining = 0.0;
-  }
+  if (elapsed <= 0.0 || live_ == 0) return;
+  const double served = elapsed * rate_per_job(live_);
+  vtime_ += served;
+  delivered_ += served * static_cast<double>(live_);
 }
 
 void PsResource::reschedule() {
   pending_.cancel();
-  if (jobs_.empty()) return;
-  double min_remaining = jobs_.begin()->second.remaining;
-  for (const auto& [id, job] : jobs_) {
-    if (job.remaining < min_remaining) min_remaining = job.remaining;
+  // Reap cancelled husks so the root names the next live completion.
+  while (!heap_.empty() && !entry_live(heap_.front())) heap_pop_root();
+  if (heap_.empty()) {
+    // Idle: no live job (every live job holds a heap entry) and no
+    // outstanding finish time references the clock, so rebase it.
+    // Otherwise vtime_ would grow monotonically forever and its ulp
+    // would eventually swallow small demands in long simulations.
+    vtime_ = 0.0;
+    return;
   }
-  const double rate = rate_per_job(jobs_.size());
+  const double rate = rate_per_job(live_);
   XAR_ASSERT(rate > 0.0);
-  const Duration dt = Duration::ms(min_remaining / rate);
-  pending_ = sim_.schedule_in(dt, [this] { on_tick(); });
+  double dt_ms = (heap_.front().finish_v - vtime_) / rate;
+  if (dt_ms < 0.0) dt_ms = 0.0;
+  pending_ = sim_.schedule_in(Duration::ms(dt_ms), [this] { on_tick(); });
 }
 
 void PsResource::on_tick() {
@@ -82,17 +108,35 @@ void PsResource::on_tick() {
   // Collect finished jobs first, then run their callbacks after internal
   // state is consistent: callbacks routinely resubmit work to this very
   // resource (CP.22 in spirit -- never call unknown code mid-update).
-  std::vector<Callback> done;
-  for (auto it = jobs_.begin(); it != jobs_.end();) {
-    if (it->second.remaining <= kEps) {
-      done.push_back(std::move(it->second.on_complete));
-      it = jobs_.erase(it);
-    } else {
-      ++it;
+  // The scratch vector is taken out of the member (re-entrant callbacks
+  // see an empty pool and fall back to a fresh allocation) and its
+  // capacity returned afterwards, so the steady state reuses one warm
+  // buffer.
+  auto done = std::move(done_scratch_);
+  done.clear();
+  while (!heap_.empty()) {
+    const HeapEntry top = heap_.front();
+    if (!entry_live(top)) {
+      heap_pop_root();
+      continue;
     }
+    JobSlot& s = slots_[top.slot];
+    if (s.finish_v - vtime_ > kEps) break;
+    done.emplace_back(s.seq, std::move(s.on_complete));
+    release_slot(top.slot);
+    heap_pop_root();
   }
+  // The heap surfaces the batch in (finish_v, seq) order; a batch may
+  // contain *near*-ties whose finish times differ only by rounding
+  // (below kEps), so restore exact submission order before invoking --
+  // the documented same-instant contract, and what the per-job-decrement
+  // formulation did by iterating its id-ordered map.
+  std::sort(done.begin(), done.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   reschedule();
-  for (auto& cb : done) cb();
+  for (auto& [seq, cb] : done) cb();
+  done.clear();
+  done_scratch_ = std::move(done);
 }
 
 }  // namespace xartrek::sim

@@ -15,24 +15,42 @@
 // For a link, capacity = bandwidth (bytes/ms) and per_job_cap = capacity
 // (one transfer may saturate the link); concurrent transfers share
 // bandwidth fairly.
+//
+// Formulation: the resource keeps a *virtual clock* V that advances at
+// the current per-job service rate r(n) -- V is the attained service of
+// a hypothetical job that has been resident since time zero.  A job
+// submitted with demand d when the clock reads V0 finishes exactly when
+// V reaches V0 + d, so the bookkeeping per submit/cancel/complete is a
+// constant-time clock update plus one min-heap operation on the finish
+// virtual times: O(log n) instead of charging every resident job.  The
+// completion instants are arithmetically identical to the naive
+// per-job-decrement formulation (same products, same divisions), and
+// same-instant completions still fire in submission order (the heap
+// breaks finish-time ties on a submission sequence number).
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/time.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulation.hpp"
+#include "sim/slot_pool.hpp"
 
 namespace xartrek::sim {
 
 /// A processor-sharing multi-server resource inside a Simulation.
 class PsResource {
  public:
+  /// Opaque job handle: encodes a pool slot plus the generation the
+  /// slot had when the job was submitted, so a stale id (completed or
+  /// cancelled long ago, slot since recycled) can never alias a live
+  /// job.
   using JobId = std::uint64_t;
-  using Callback = std::function<void()>;
+  using Callback = UniqueCallback;
 
   struct Config {
     std::string name;     ///< for diagnostics
@@ -47,21 +65,22 @@ class PsResource {
   /// Submit a job demanding `demand` service units (>= 0).  `on_complete`
   /// fires from the event loop when the job's demand has been served.
   /// Completion order among jobs finishing at the same instant follows
-  /// submission order.
+  /// submission order.  O(log n) in the number of resident jobs.
   JobId submit(double demand, Callback on_complete);
 
   /// Remove a job before completion.  Returns false if the job already
   /// completed (or never existed).  The callback does not fire.
+  /// O(log n) amortized (the heap entry is reaped lazily).
   bool cancel(JobId id);
 
   /// Jobs currently in service.  This is the paper's "CPU load" metric
   /// when the resource is the x86 cluster: *every* resident process
   /// counts, whether or not it currently holds a core.
-  [[nodiscard]] std::size_t active_jobs() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t active_jobs() const { return live_; }
 
   /// Service rate a job enjoys right now (0 when idle).
   [[nodiscard]] double current_rate_per_job() const {
-    return rate_per_job(jobs_.size());
+    return rate_per_job(live_);
   }
 
   /// Total service units delivered since construction (for conservation
@@ -73,11 +92,39 @@ class PsResource {
 
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// Grow the job pool and heap up front so a known load level runs
+  /// without a single reallocation (benchmarks; optional).
+  void reserve_jobs(std::size_t n) {
+    slots_.reserve(n);
+    heap_.reserve(n);
+    done_scratch_.reserve(n);
+  }
+
  private:
-  struct Job {
-    double remaining;
+  static constexpr std::uint32_t kNoSlot = SlotPool<int>::kNoSlot;
+
+  /// One pooled job.  `finish_v` is the virtual-clock reading at which
+  /// the job's demand is exhausted; `seq` is the global submission
+  /// sequence number used to break finish-time ties.
+  struct JobSlot {
+    double finish_v = 0.0;
+    std::uint64_t seq = 0;
     Callback on_complete;
   };
+
+  /// Heap entry: ordering key only; the callback stays in the slab so
+  /// sift operations move 24-byte PODs.
+  struct HeapEntry {
+    double finish_v;
+    std::uint64_t seq;
+    std::uint32_t slot;
+    std::uint32_t generation;
+  };
+
+  [[nodiscard]] static bool later(const HeapEntry& a, const HeapEntry& b) {
+    if (a.finish_v != b.finish_v) return a.finish_v > b.finish_v;
+    return a.seq > b.seq;
+  }
 
   [[nodiscard]] double rate_per_job(std::size_t n) const {
     if (n == 0) return 0.0;
@@ -85,22 +132,50 @@ class PsResource {
     return fair < cfg_.per_job_cap ? fair : cfg_.per_job_cap;
   }
 
-  /// Charge elapsed service to every active job and update accounting.
+  [[nodiscard]] static JobId encode_id(std::uint32_t slot,
+                                       std::uint32_t generation) {
+    return (static_cast<JobId>(slot) << 32) | generation;
+  }
+  /// The slot a live id names, or kNoSlot if the id is stale/unknown.
+  [[nodiscard]] std::uint32_t resolve(JobId id) const {
+    const auto slot = static_cast<std::uint32_t>(id >> 32);
+    const auto generation = static_cast<std::uint32_t>(id);
+    return slots_.live_at(slot, generation) ? slot : kNoSlot;
+  }
+  [[nodiscard]] bool entry_live(const HeapEntry& e) const {
+    return slots_.live_at(e.slot, e.generation);
+  }
+
+  void release_slot(std::uint32_t slot);
+
+  void heap_push(HeapEntry entry);
+  void heap_pop_root();
+
+  /// Advance the virtual clock (and delivered-work accounting) to now.
   void advance();
 
   /// (Re)arm the next-completion event from current state.
   void reschedule();
 
-  /// Event body: complete every job whose demand is exhausted.
+  /// Event body: complete every job whose finish virtual time has been
+  /// reached.
   void on_tick();
 
   Simulation& sim_;
   Config cfg_;
-  std::map<JobId, Job> jobs_;  // ordered: completion ties resolve by id
-  JobId next_id_ = 1;
+  SlotPool<JobSlot> slots_;
+  std::vector<HeapEntry> heap_;  ///< binary min-heap on (finish_v, seq)
+  std::size_t live_ = 0;
+  std::uint64_t next_seq_ = 0;
+  double vtime_ = 0.0;           ///< attained service per resident job
   TimePoint last_advance_ = TimePoint::origin();
   double delivered_ = 0.0;
   Simulation::EventHandle pending_;
+  /// (submission seq, callback) of the jobs completing in the current
+  /// tick; reused across ticks.  Kept as pairs so a batch containing
+  /// near-ties (finish times equal up to rounding) can be put back into
+  /// exact submission order before the callbacks run.
+  std::vector<std::pair<std::uint64_t, Callback>> done_scratch_;
 };
 
 }  // namespace xartrek::sim

@@ -9,24 +9,9 @@ namespace {
 constexpr std::size_t kHeapArity = 4;
 }  // namespace
 
-std::uint32_t Simulation::acquire_slot() {
-  if (free_head_ != kNoSlot) {
-    const std::uint32_t slot = free_head_;
-    free_head_ = slots_[slot].next_free;
-    slots_[slot].next_free = kNoSlot;
-    return slot;
-  }
-  XAR_ASSERT(slots_.size() < kNoSlot);
-  slots_.emplace_back();
-  return static_cast<std::uint32_t>(slots_.size() - 1);
-}
-
 void Simulation::release_slot(std::uint32_t slot) {
-  Slot& s = slots_[slot];
-  s.cb = nullptr;  // drop captured state now, not at slot reuse
-  ++s.generation;  // existing handles and heap husks become inert
-  s.next_free = free_head_;
-  free_head_ = slot;
+  slots_[slot] = nullptr;  // drop captured state now, not at slot reuse
+  slots_.release(slot);    // existing handles and heap husks become inert
 }
 
 void Simulation::cancel_slot(std::uint32_t slot, std::uint32_t generation) {
@@ -101,11 +86,11 @@ void Simulation::sift_down_from_root(HeapEntry entry) {
 Simulation::EventHandle Simulation::schedule_at(TimePoint t, Callback cb) {
   XAR_EXPECTS(t >= now_);
   XAR_EXPECTS(cb != nullptr);
-  const std::uint32_t slot = acquire_slot();
-  Slot& s = slots_[slot];
-  s.cb = std::move(cb);
-  heap_push(HeapEntry{heap_key(t, next_seq_++), slot, s.generation});
-  return EventHandle{anchor_, slot, s.generation};
+  const std::uint32_t slot = slots_.acquire();
+  slots_[slot] = std::move(cb);
+  const std::uint32_t generation = slots_.generation_of(slot);
+  heap_push(HeapEntry{heap_key(t, next_seq_++), slot, generation});
+  return EventHandle{anchor_, slot, generation};
 }
 
 bool Simulation::step(TimePoint horizon) {
@@ -118,7 +103,7 @@ bool Simulation::step(TimePoint horizon) {
     }
     if (heap_.empty()) return false;
     const HeapEntry top = heap_.front();
-    if (slots_[top.slot].generation != top.generation) {
+    if (!slots_.live_at(top.slot, top.generation)) {
       heap_pop_root();  // cancelled husk
       continue;
     }
@@ -132,7 +117,7 @@ bool Simulation::step(TimePoint horizon) {
     // is deferred so a successor scheduled by the callback can replace
     // it in one sift.
     root_stale_ = true;
-    Callback cb = std::move(slots_[top.slot].cb);
+    Callback cb = std::move(slots_[top.slot]);
     release_slot(top.slot);
     ++executed_;
     cb();

@@ -23,6 +23,7 @@
 #include "common/assert.hpp"
 #include "common/time.hpp"
 #include "sim/callback.hpp"
+#include "sim/slot_pool.hpp"
 
 namespace xartrek::sim {
 
@@ -123,16 +124,6 @@ class Simulation {
   }
 
  private:
-  static constexpr std::uint32_t kNoSlot = 0xFFFF'FFFFu;
-
-  /// One pool slot.  Only the callback lives here; the ordering key is
-  /// kept in the heap entry so sift operations never touch the slab.
-  struct Slot {
-    Callback cb;
-    std::uint32_t generation = 0;
-    std::uint32_t next_free = kNoSlot;
-  };
-
   /// The heap orders on a single 128-bit integer key: the raw IEEE-754
   /// bits of the timestamp in the high word and the insertion sequence
   /// number in the low word.  Timestamps never go negative (the clock
@@ -169,12 +160,11 @@ class Simulation {
   /// Returns false if none remains.
   bool step(TimePoint horizon);
 
-  [[nodiscard]] std::uint32_t acquire_slot();
   void release_slot(std::uint32_t slot);
   void cancel_slot(std::uint32_t slot, std::uint32_t generation);
   [[nodiscard]] bool slot_pending(std::uint32_t slot,
                                   std::uint32_t generation) const {
-    return slot < slots_.size() && slots_[slot].generation == generation;
+    return slots_.live_at(slot, generation);
   }
 
   void heap_push(HeapEntry entry);
@@ -184,8 +174,9 @@ class Simulation {
   TimePoint now_ = TimePoint::origin();
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::vector<Slot> slots_;   ///< slab; grows, never shrinks
-  std::uint32_t free_head_ = kNoSlot;
+  /// Only the callback lives in the slab; the ordering key is kept in
+  /// the heap entry so sift operations never touch it.
+  SlotPool<Callback> slots_;
   std::vector<HeapEntry> heap_;  ///< 4-ary min-heap on (time, seq)
   /// True while heap_[0] is a fired event whose removal is deferred: if
   /// the callback schedules a successor (the dominant pattern), the new

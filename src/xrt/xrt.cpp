@@ -46,7 +46,7 @@ void Device::load_xclbin(const fpga::XclbinImage& image, Callback on_done) {
 }
 
 void offload(Device& device, Kernel& kernel, Buffer* in, Buffer* out,
-             std::uint64_t items, std::function<void()> on_done) {
+             std::uint64_t items, sim::UniqueCallback on_done) {
   XAR_EXPECTS(on_done != nullptr);
   auto run_kernel = [&device, &kernel, out, items,
                      cb = std::move(on_done)]() mutable {

@@ -12,7 +12,6 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -22,6 +21,7 @@
 #include "common/time.hpp"
 #include "fpga/device.hpp"
 #include "hw/link.hpp"
+#include "sim/callback.hpp"
 #include "sim/simulation.hpp"
 
 namespace xartrek::xrt {
@@ -33,7 +33,7 @@ class Device;
 /// on this); costed: each sync occupies the shared PCIe link.
 class Buffer {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::UniqueCallback;
 
   Buffer(Device& device, std::uint64_t bytes);
 
@@ -64,7 +64,7 @@ class Buffer {
 /// handle was created.
 class Kernel {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::UniqueCallback;
 
   Kernel(Device& device, std::string name);
 
@@ -83,7 +83,7 @@ class Kernel {
 /// The card as seen by one host process.
 class Device {
  public:
-  using Callback = std::function<void()>;
+  using Callback = sim::UniqueCallback;
 
   Device(sim::Simulation& sim, fpga::FpgaDevice& card, hw::Link& pcie);
 
@@ -109,6 +109,6 @@ class Device {
 /// performs: sync inputs, execute, sync outputs.  `in` and `out` may be
 /// null (kernels without inputs or outputs).
 void offload(Device& device, Kernel& kernel, Buffer* in, Buffer* out,
-             std::uint64_t items, std::function<void()> on_done);
+             std::uint64_t items, sim::UniqueCallback on_done);
 
 }  // namespace xartrek::xrt

@@ -168,8 +168,8 @@ TEST(TableTest, NumFormatsFixedPrecision) {
 
 TEST(LogTest, LevelFilteringAndSink) {
   std::vector<std::string> lines;
-  Logger log(LogLevel::kInfo, [&lines](LogLevel, const std::string& msg) {
-    lines.push_back(msg);
+  Logger log(LogLevel::kInfo, [&lines](LogLevel, std::string_view msg) {
+    lines.emplace_back(msg);
   });
   log.debug("hidden ", 1);
   log.info("shown ", 2);
@@ -177,6 +177,47 @@ TEST(LogTest, LevelFilteringAndSink) {
   ASSERT_EQ(lines.size(), 2u);
   EXPECT_EQ(lines[0], "shown 2");
   EXPECT_EQ(lines[1], "also shown 3.5");
+}
+
+TEST(LogTest, LazyArgumentsEvaluateOnlyWhenEnabled) {
+  std::vector<std::string> lines;
+  Logger log(LogLevel::kInfo, [&lines](LogLevel, std::string_view msg) {
+    lines.emplace_back(msg);
+  });
+  int expensive_calls = 0;
+  const auto expensive = [&expensive_calls] {
+    ++expensive_calls;
+    return std::string("rendered");
+  };
+  log.debug("hidden ", expensive);  // below threshold: never invoked
+  EXPECT_EQ(expensive_calls, 0);
+  log.info("shown ", expensive);
+  EXPECT_EQ(expensive_calls, 1);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "shown rendered");
+}
+
+TEST(LogTest, FixedBufferTruncatesOverlongMessages) {
+  std::string line;
+  Logger log(LogLevel::kInfo, [&line](LogLevel, std::string_view msg) {
+    line = std::string(msg);
+  });
+  const std::string big(2000, 'x');
+  log.info("head ", big);
+  EXPECT_EQ(line.size(), LogBuffer::kCapacity);
+  EXPECT_EQ(line.substr(0, 5), "head ");
+  EXPECT_EQ(line.substr(line.size() - 3), "...");
+}
+
+TEST(LogTest, FormatsMixedArgumentTypes) {
+  std::string line;
+  Logger log(LogLevel::kTrace, [&line](LogLevel, std::string_view msg) {
+    line = std::string(msg);
+  });
+  const std::string name = "facedet320";
+  log.trace("app=", name, " load=", 17, " ok=", true, " ms=", 2.25,
+            " u64=", std::uint64_t{1} << 40);
+  EXPECT_EQ(line, "app=facedet320 load=17 ok=true ms=2.25 u64=1099511627776");
 }
 
 TEST(LogTest, DefaultLoggerDropsEverything) {

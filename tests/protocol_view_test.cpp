@@ -1,0 +1,181 @@
+// Borrowed-decode (MessageView) tests: field lifetimes, round-trip
+// equivalence with the owning decode_message, and truncated / hostile
+// frames.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <variant>
+#include <vector>
+
+#include "runtime/protocol.hpp"
+
+namespace xartrek::runtime {
+namespace {
+
+PlacementRequestMsg sample_request() {
+  return PlacementRequestMsg{"facedet320", "KNL_HW_FD320", 4242};
+}
+
+ThresholdReportMsg sample_report() {
+  ThresholdReportMsg m;
+  m.app = "digit2000";
+  m.executed_on = Target::kFpga;
+  m.exec_time_ms = 332.5;
+  m.x86_load = 23;
+  return m;
+}
+
+TableSyncMsg sample_sync() {
+  TableSyncMsg m;
+  m.entry.app = "cg_a";
+  m.entry.kernel_name = "KNL_HW_CG";
+  m.entry.fpga_threshold = 16;
+  m.entry.arm_threshold = 31;
+  m.entry.x86_exec = Duration::ms(175.0);
+  m.entry.arm_exec = Duration::ms(642.0);
+  m.entry.fpga_exec = Duration::ms(332.0);
+  return m;
+}
+
+/// True when `view` points inside `frame`'s storage.
+bool aliases(std::string_view view, const std::vector<std::byte>& frame) {
+  const char* begin = reinterpret_cast<const char*>(frame.data());
+  const char* end = begin + frame.size();
+  return view.data() >= begin && view.data() + view.size() <= end;
+}
+
+TEST(MessageViewTest, RequestFieldsAliasTheFrame) {
+  const auto frame = encode_message(sample_request());
+  const auto view =
+      std::get<PlacementRequestView>(decode_message_view(frame));
+  EXPECT_EQ(view.app, "facedet320");
+  EXPECT_EQ(view.kernel, "KNL_HW_FD320");
+  EXPECT_EQ(view.pid, 4242u);
+  EXPECT_TRUE(aliases(view.app, frame));
+  EXPECT_TRUE(aliases(view.kernel, frame));
+}
+
+TEST(MessageViewTest, ViewReflectsInPlaceFrameMutation) {
+  // Proof of borrowing: patching a byte of the app name inside the frame
+  // must show through the already-decoded view.
+  auto frame = encode_message(sample_request());
+  const auto view =
+      std::get<PlacementRequestView>(decode_message_view(frame));
+  ASSERT_EQ(view.app.front(), 'f');
+  const std::size_t off =
+      static_cast<std::size_t>(view.app.data() -
+                               reinterpret_cast<const char*>(frame.data()));
+  frame[off] = static_cast<std::byte>('F');
+  EXPECT_EQ(view.app, "Facedet320");
+}
+
+TEST(MessageViewTest, RoundTripMatchesOwningDecodeForAllTypes) {
+  const std::vector<Message> messages = {
+      sample_request(),
+      PlacementReplyMsg{Target::kArm, true, 29},
+      sample_report(),
+      sample_sync(),
+  };
+  for (const auto& msg : messages) {
+    const auto frame = encode_message(msg);
+    const Message owned = decode_message(frame);
+    const Message materialized = to_owning(decode_message_view(frame));
+    EXPECT_TRUE(owned == msg);
+    EXPECT_TRUE(materialized == msg);
+  }
+}
+
+TEST(MessageViewTest, ReportAndSyncViewsCarryAllFields) {
+  {
+    const auto frame = encode_message(sample_report());
+    const auto v = std::get<ThresholdReportView>(decode_message_view(frame));
+    EXPECT_EQ(v.app, "digit2000");
+    EXPECT_EQ(v.executed_on, Target::kFpga);
+    EXPECT_DOUBLE_EQ(v.exec_time_ms, 332.5);
+    EXPECT_EQ(v.x86_load, 23);
+    EXPECT_TRUE(aliases(v.app, frame));
+  }
+  {
+    const auto frame = encode_message(sample_sync());
+    const auto v = std::get<TableSyncView>(decode_message_view(frame));
+    EXPECT_EQ(v.app, "cg_a");
+    EXPECT_EQ(v.kernel_name, "KNL_HW_CG");
+    EXPECT_EQ(v.fpga_threshold, 16);
+    EXPECT_EQ(v.arm_threshold, 31);
+    EXPECT_DOUBLE_EQ(v.x86_exec_ms, 175.0);
+    EXPECT_DOUBLE_EQ(v.arm_exec_ms, 642.0);
+    EXPECT_DOUBLE_EQ(v.fpga_exec_ms, 332.0);
+  }
+}
+
+TEST(MessageViewTest, EveryTruncationLengthThrows) {
+  const auto frame = encode_message(sample_request());
+  for (std::size_t len = 0; len < frame.size(); ++len) {
+    EXPECT_THROW(
+        (void)decode_message_view(std::span(frame.data(), len)), Error)
+        << "prefix length " << len;
+  }
+  // The full frame decodes.
+  EXPECT_NO_THROW((void)decode_message_view(frame));
+}
+
+TEST(MessageViewTest, TrailingBytesThrow) {
+  auto frame = encode_message(sample_request());
+  frame.push_back(std::byte{0});
+  EXPECT_THROW((void)decode_message_view(frame), Error);
+}
+
+TEST(MessageViewTest, BadMagicVersionAndTypeThrow) {
+  auto frame = encode_message(sample_request());
+  auto corrupt = frame;
+  corrupt[0] = std::byte{0x00};  // magic
+  EXPECT_THROW((void)decode_message_view(corrupt), Error);
+  corrupt = frame;
+  corrupt[2] = std::byte{99};  // version
+  EXPECT_THROW((void)decode_message_view(corrupt), Error);
+  corrupt = frame;
+  corrupt[3] = std::byte{77};  // type
+  EXPECT_THROW((void)decode_message_view(corrupt), Error);
+}
+
+TEST(MessageViewTest, HostileStringLengthCannotEscapeThePayload) {
+  // Patch the app string's 16-bit length prefix to claim more bytes
+  // than the payload holds; the bounds-checked reader must throw, and
+  // must never hand out a view past the frame.
+  auto frame = encode_message(sample_request());
+  // Payload begins at kHeaderBytes; first field is the app string's
+  // length prefix.
+  frame[kHeaderBytes] = std::byte{0xFF};
+  frame[kHeaderBytes + 1] = std::byte{0xFF};
+  EXPECT_THROW((void)decode_message_view(frame), Error);
+}
+
+TEST(MessageViewTest, HostilePayloadLengthMismatchThrows) {
+  auto frame = encode_message(sample_request());
+  // Claim one byte fewer / more than actually present.
+  const auto patch_len = [&](std::uint32_t delta_sign) {
+    auto f = frame;
+    std::uint32_t len = 0;
+    std::memcpy(&len, f.data() + 4, 4);  // little-endian host assumed in test
+    len += delta_sign;
+    std::memcpy(f.data() + 4, &len, 4);
+    return f;
+  };
+  EXPECT_THROW((void)decode_message_view(patch_len(1u)), Error);
+  EXPECT_THROW(
+      (void)decode_message_view(patch_len(static_cast<std::uint32_t>(-1))),
+      Error);
+}
+
+TEST(MessageViewTest, EmptyStringsDecodeAsEmptyViews) {
+  const auto frame = encode_message(PlacementRequestMsg{"", "", 0});
+  const auto view =
+      std::get<PlacementRequestView>(decode_message_view(frame));
+  EXPECT_TRUE(view.app.empty());
+  EXPECT_TRUE(view.kernel.empty());
+}
+
+}  // namespace
+}  // namespace xartrek::runtime
