@@ -278,12 +278,16 @@ void emit_point(std::ostream& os, const ScalePoint& p, bool last) {
 }
 
 int bench_main() {
-  constexpr std::uint64_t kEvents = 400'000;
-  constexpr std::uint64_t kWarmup = 40'000;
-  constexpr std::uint64_t kLegacyEvents = 4'000;
-  constexpr std::uint64_t kLegacyWarmup = 400;
-  constexpr std::uint64_t kRequests = 200'000;
-  constexpr std::uint64_t kRequestWarmup = 20'000;
+  // CI smoke mode: same shapes, reduced iteration counts (the
+  // bench-smoke workflow compares machine-neutral ratios, so shorter
+  // runs keep the gate fast without losing signal).
+  const bool smoke = std::getenv("XARTREK_BENCH_SMOKE") != nullptr;
+  const std::uint64_t kEvents = smoke ? 60'000 : 400'000;
+  const std::uint64_t kWarmup = smoke ? 6'000 : 40'000;
+  const std::uint64_t kLegacyEvents = smoke ? 1'000 : 4'000;
+  const std::uint64_t kLegacyWarmup = smoke ? 100 : 400;
+  const std::uint64_t kRequests = smoke ? 40'000 : 200'000;
+  const std::uint64_t kRequestWarmup = smoke ? 4'000 : 20'000;
 
   std::vector<ScalePoint> pooled;
   for (const std::size_t resident : {1'000u, 10'000u, 100'000u}) {

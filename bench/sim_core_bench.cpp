@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "common/binary_io.hpp"
+#include "common/cpu_time.hpp"
 #include "common/time.hpp"
 #include "runtime/protocol.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 
 #include "bench/alloc_hook.hpp"
@@ -36,6 +38,11 @@ using Clock = std::chrono::steady_clock;
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
+
+/// CI smoke mode: same shapes, reduced iteration counts (the
+/// bench-smoke workflow compares machine-neutral ratios, so shorter
+/// runs keep the gate fast without losing signal).
+bool smoke_mode() { return std::getenv("XARTREK_BENCH_SMOKE") != nullptr; }
 
 // --- legacy event engine (the seed design, copied verbatim) ----------------
 
@@ -312,6 +319,133 @@ ProtoResult run_protocol_legacy(std::uint64_t round_trips) {
   return r;
 }
 
+// --- sharded engine ---------------------------------------------------------
+
+/// The multi-queue scaling workload: `total_chains` self-rescheduling
+/// lanes spread across the shards, every `post_every`-th firing handing
+/// a token to the next shard over a 2 ms cross-shard latency (>= the
+/// 1 ms epoch).  The single-queue baseline runs the identical workload
+/// on one plain Simulation (tokens become local 2 ms events), so the
+/// comparison isolates the engine, not the model.
+constexpr double kShardEpochMs = 1.0;
+constexpr double kTokenLatencyMs = 2.0;
+constexpr std::uint32_t kPostEvery = 16;
+
+struct ShardLane {
+  sim::ShardedSimulation* ssim = nullptr;
+  sim::Simulation* local = nullptr;
+  sim::ShardId home = 0;
+  sim::ShardId next_shard = 0;
+  std::uint64_t budget = 0;
+  std::uint64_t fired = 0;
+  double period_ms = 1.0;
+
+  void fire() {
+    ++fired;
+    if (budget == 0) return;
+    --budget;
+    if (fired % kPostEvery == 0) {
+      ssim->post(home, next_shard,
+                 local->now() + Duration::ms(kTokenLatencyMs), [] {});
+    }
+    local->schedule_in(Duration::ms(period_ms), [this] { fire(); });
+  }
+};
+
+struct ShardResult {
+  double wall_seconds = 0;
+  double busy_seconds = 0;  ///< summed per-shard thread-CPU time
+  std::uint64_t events = 0;
+  std::uint64_t posts = 0;
+  std::uint64_t stalls = 0;
+  /// Sum over shards of events_i / busy_i: aggregate processing
+  /// capacity with one core per shard.  On an unloaded multicore host
+  /// this converges to wall_events_per_sec.
+  double aggregate_events_per_sec = 0;
+};
+
+ShardResult run_sharded(std::size_t shards, bool parallel,
+                        std::uint64_t total_events,
+                        std::size_t total_chains) {
+  sim::ShardedSimulation ssim(sim::ShardedSimulation::Options{
+      shards, Duration::ms(kShardEpochMs), 4096, parallel});
+  std::vector<ShardLane> lanes(total_chains);
+  const std::uint64_t per_lane = total_events / total_chains;
+  for (std::size_t s = 0; s < shards; ++s) {
+    ssim.shard(static_cast<sim::ShardId>(s))
+        .reserve_events(2 * total_chains / shards + 64);
+  }
+  for (std::size_t i = 0; i < total_chains; ++i) {
+    ShardLane& lane = lanes[i];
+    lane.ssim = &ssim;
+    lane.home = static_cast<sim::ShardId>(i % shards);
+    lane.next_shard = static_cast<sim::ShardId>((i + 1) % shards);
+    lane.local = &ssim.shard(lane.home);
+    lane.budget = per_lane - 1;
+    lane.period_ms = 0.25 + 0.5 * static_cast<double>(i % 7);
+    ShardLane* p = &lane;
+    lane.local->schedule_in(Duration::ms(lane.period_ms),
+                            [p] { p->fire(); });
+  }
+  const auto start = Clock::now();
+  const std::size_t ran = ssim.run();
+  ShardResult r;
+  r.wall_seconds = seconds_since(start);
+  r.events = ran;
+  for (sim::ShardId s = 0; s < ssim.shard_count(); ++s) {
+    const sim::ShardStats& st = ssim.stats(s);
+    r.busy_seconds += st.busy_seconds;
+    r.posts += st.posts;
+    r.stalls += st.backpressure_stalls;
+    if (st.busy_seconds > 0.0) {
+      r.aggregate_events_per_sec +=
+          static_cast<double>(st.executed) / st.busy_seconds;
+    }
+  }
+  return r;
+}
+
+ShardResult run_single_queue(std::uint64_t total_events,
+                             std::size_t total_chains) {
+  // The same lanes and token pattern on today's single global queue.
+  sim::Simulation sim;
+  struct Lane {
+    sim::Simulation* sim = nullptr;
+    std::uint64_t budget = 0;
+    std::uint64_t fired = 0;
+    double period_ms = 1.0;
+    void fire() {
+      ++fired;
+      if (budget == 0) return;
+      --budget;
+      if (fired % kPostEvery == 0) {
+        sim->schedule_in(Duration::ms(kTokenLatencyMs), [] {});
+      }
+      sim->schedule_in(Duration::ms(period_ms), [this] { fire(); });
+    }
+  };
+  std::vector<Lane> lanes(total_chains);
+  const std::uint64_t per_lane = total_events / total_chains;
+  sim.reserve_events(2 * total_chains + 64);
+  for (std::size_t i = 0; i < total_chains; ++i) {
+    lanes[i].sim = &sim;
+    lanes[i].budget = per_lane - 1;
+    lanes[i].period_ms = 0.25 + 0.5 * static_cast<double>(i % 7);
+    Lane* p = &lanes[i];
+    sim.schedule_in(Duration::ms(p->period_ms), [p] { p->fire(); });
+  }
+  const double cpu0 = thread_cpu_seconds();
+  const auto start = Clock::now();
+  const std::size_t ran = sim.run();
+  ShardResult r;
+  r.wall_seconds = seconds_since(start);
+  r.busy_seconds = thread_cpu_seconds() - cpu0;
+  r.events = ran;
+  r.aggregate_events_per_sec =
+      static_cast<double>(ran) / r.busy_seconds;
+  return r;
+}
+
 // --- report ----------------------------------------------------------------
 
 void emit_engine(std::ostream& os, const char* key, const ChurnResult& r) {
@@ -356,34 +490,108 @@ void emit_scenario(std::ostream& os, const char* key,
      << "\n    }";
 }
 
+void emit_sharded(std::ostream& os, const char* key, const ShardResult& r) {
+  os << "    \"" << key << "\": {\n"
+     << "      \"wall_seconds\": " << r.wall_seconds << ",\n"
+     << "      \"busy_seconds\": " << r.busy_seconds << ",\n"
+     << "      \"events\": " << r.events << ",\n"
+     << "      \"wall_events_per_sec\": "
+     << static_cast<double>(r.events) / r.wall_seconds << ",\n"
+     << "      \"aggregate_events_per_sec\": " << r.aggregate_events_per_sec
+     << ",\n"
+     << "      \"posts\": " << r.posts << ",\n"
+     << "      \"backpressure_stalls\": " << r.stalls << "\n    }";
+}
+
 int bench_main() {
-  constexpr std::uint64_t kEvents = 1'000'000;
-  constexpr std::uint64_t kWarmup = 50'000;
+  const bool smoke = smoke_mode();
+  const std::uint64_t kEvents = smoke ? 100'000 : 1'000'000;
+  const std::uint64_t kWarmup = smoke ? 5'000 : 50'000;
   constexpr std::size_t kChains = 256;
-  constexpr std::uint64_t kRoundTrips = 100'000;
+  // The codec section is microseconds-per-10k cheap; smoke mode keeps
+  // it at full scale so its speedup ratios stay out of the noise floor.
+  const std::uint64_t kRoundTrips = 100'000;
+  const std::uint64_t kShardEvents = smoke ? 250'000 : 1'500'000;
+  // The sharded section models the wide regime the ROADMAP targets:
+  // 4x the chain count of the churn scenarios, so each epoch carries
+  // enough work to amortize the boundary synchronization.
+  constexpr std::size_t kShardChains = 1024;
 
   using Pooled = sim::Simulation;
   using PooledHandle = sim::Simulation::EventHandle;
 
   std::cerr << "[sim_core_bench] steady churn: " << kEvents
             << " events across " << kChains << " chains...\n";
-  const auto pooled_steady =
-      run_churn<Pooled, PooledHandle>(kEvents, kWarmup, kChains, false);
-  const auto legacy_steady =
-      run_churn<LegacySimulation, LegacySimulation::Handle>(
-          kEvents, kWarmup, kChains, false);
+  // Every timed section runs twice and keeps the faster measurement:
+  // the CI gate compares ratios of these numbers, and "best of N" is
+  // the standard way to keep a neighbor's noisy timeslice out of them.
+  auto best2 = [](auto f) {
+    const auto a = f();
+    const auto b = f();
+    return a.seconds <= b.seconds ? a : b;
+  };
+  const auto pooled_steady = best2([&] {
+    return run_churn<Pooled, PooledHandle>(kEvents, kWarmup, kChains, false);
+  });
+  const auto legacy_steady = best2([&] {
+    return run_churn<LegacySimulation, LegacySimulation::Handle>(
+        kEvents, kWarmup, kChains, false);
+  });
   std::cerr << "[sim_core_bench] cancel churn (decoy + cancel per fire)...\n";
-  const auto pooled_cancel =
-      run_churn<Pooled, PooledHandle>(kEvents, kWarmup, kChains, true);
-  const auto legacy_cancel =
-      run_churn<LegacySimulation, LegacySimulation::Handle>(
-          kEvents, kWarmup, kChains, true);
+  const auto pooled_cancel = best2([&] {
+    return run_churn<Pooled, PooledHandle>(kEvents, kWarmup, kChains, true);
+  });
+  const auto legacy_cancel = best2([&] {
+    return run_churn<LegacySimulation, LegacySimulation::Handle>(
+        kEvents, kWarmup, kChains, true);
+  });
 
   std::cerr << "[sim_core_bench] protocol: " << kRoundTrips
             << " placement round-trips...\n";
-  const auto proto_pooled = run_protocol_pooled(kRoundTrips);
-  const auto proto_view = run_protocol_view(kRoundTrips);
-  const auto proto_legacy = run_protocol_legacy(kRoundTrips);
+  const auto proto_pooled = best2([&] {
+    return run_protocol_pooled(kRoundTrips);
+  });
+  const auto proto_view = best2([&] { return run_protocol_view(kRoundTrips); });
+  const auto proto_legacy = best2([&] {
+    return run_protocol_legacy(kRoundTrips);
+  });
+
+  std::cerr << "[sim_core_bench] sharded engine: " << kShardEvents
+            << " events across " << kShardChains << " chains...\n";
+  // Best of two per config: thread scheduling on an oversubscribed
+  // host occasionally steals a big slice of one run, and the gated
+  // scaling ratios should reflect the engine, not the neighbor.
+  auto best_sharded = [&](std::size_t shards, bool parallel) {
+    const auto a = run_sharded(shards, parallel, kShardEvents,
+                               kShardChains);
+    const auto b = run_sharded(shards, parallel, kShardEvents,
+                               kShardChains);
+    return a.aggregate_events_per_sec >= b.aggregate_events_per_sec ? a
+                                                                    : b;
+  };
+  // Selected by the same metric the gated ratios divide by, so the
+  // noise filter actually protects the denominator.
+  const auto single_a = run_single_queue(kShardEvents, kShardChains);
+  const auto single_b = run_single_queue(kShardEvents, kShardChains);
+  const auto shard_single =
+      single_a.aggregate_events_per_sec >= single_b.aggregate_events_per_sec
+          ? single_a
+          : single_b;
+  const auto shard_1 = best_sharded(1, /*parallel=*/false);
+  const auto shard_2 = best_sharded(2, /*parallel=*/true);
+  const auto shard_4 = best_sharded(4, /*parallel=*/true);
+  // Ratios compare CPU-time-based throughput (events per busy second):
+  // per-event cost, unpolluted by descheduling on a shared host.  The
+  // per-config wall numbers stay in the JSON for the ground truth.
+  const double single_rate = shard_single.aggregate_events_per_sec;
+  const double one_shard_ratio =
+      shard_1.aggregate_events_per_sec / single_rate;
+  const double aggregate_speedup_4 =
+      shard_4.aggregate_events_per_sec / single_rate;
+  const double wall_speedup_4 =
+      (static_cast<double>(shard_4.events) / shard_4.wall_seconds) /
+      (static_cast<double>(shard_single.events) /
+       shard_single.wall_seconds);
 
   // Aggregate event throughput across both scenarios (equal-events
   // weighting: total fired events over total wall time per engine).
@@ -421,6 +629,21 @@ int bench_main() {
       << (static_cast<double>(proto_view.round_trips) / proto_view.seconds) /
              (static_cast<double>(proto_legacy.round_trips) /
               proto_legacy.seconds)
+      << "\n  },\n"
+      << "  \"sharded\": {\n"
+      << "    \"total_events\": " << kShardEvents << ",\n"
+      << "    \"chains\": " << kShardChains << ",\n"
+      << "    \"epoch_ms\": " << kShardEpochMs << ",\n";
+  emit_sharded(out, "single_queue", shard_single);
+  out << ",\n";
+  emit_sharded(out, "shards_1", shard_1);
+  out << ",\n";
+  emit_sharded(out, "shards_2", shard_2);
+  out << ",\n";
+  emit_sharded(out, "shards_4", shard_4);
+  out << ",\n    \"ratio_1shard_vs_single_queue\": " << one_shard_ratio
+      << ",\n    \"aggregate_speedup_4_shards\": " << aggregate_speedup_4
+      << ",\n    \"wall_speedup_4_shards\": " << wall_speedup_4
       << "\n  }\n}\n";
   out.close();
 
@@ -444,6 +667,12 @@ int bench_main() {
             << " legacy=" << static_cast<double>(proto_legacy.round_trips) /
                                  proto_legacy.seconds
             << " speedup=" << proto_speedup << "\n"
+            << "[sim_core_bench] sharded: single_queue=" << single_rate
+            << " ev/s, 1-shard ratio=" << one_shard_ratio
+            << ", 4-shard aggregate="
+            << shard_4.aggregate_events_per_sec
+            << " ev/s (speedup " << aggregate_speedup_4 << ", wall "
+            << wall_speedup_4 << ")\n"
             << "[sim_core_bench] wrote BENCH_sim_core.json\n";
   return 0;
 }

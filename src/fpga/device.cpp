@@ -37,6 +37,17 @@ FpgaDevice::FpgaDevice(sim::Simulation& sim, hw::Link& pcie, FpgaSpec spec,
                        Logger log)
     : sim_(sim), pcie_(pcie), spec_(std::move(spec)), log_(std::move(log)) {}
 
+void FpgaDevice::notify_done(Callback done) {
+  if (notify_.connected()) {
+    // The requester (the scheduler) lives on another shard: the
+    // completion crosses through its mailbox, paying the channel
+    // latency instead of returning inline.
+    notify_.deliver(std::move(done));
+    return;
+  }
+  done();
+}
+
 void FpgaDevice::reconfigure(const XclbinImage& image, Callback on_done) {
   XAR_EXPECTS(on_done != nullptr);
   XAR_EXPECTS(
@@ -47,7 +58,10 @@ void FpgaDevice::reconfigure(const XclbinImage& image, Callback on_done) {
     // the caller treats as "not resident") without loading anything.
     log_.warn("fpga: reconfiguration of ", image.id,
               " dropped -- device offline");
-    sim_.schedule_in(Duration::zero(), std::move(on_done));
+    sim_.schedule_in(Duration::zero(),
+                     [this, done = std::move(on_done)]() mutable {
+                       notify_done(std::move(done));
+                     });
     return;
   }
   reconfig_queue_.emplace_back(image, std::move(on_done));
@@ -56,12 +70,16 @@ void FpgaDevice::reconfigure(const XclbinImage& image, Callback on_done) {
 
 void FpgaDevice::set_offline(bool offline) {
   offline_ = offline;
+  ++residency_version_;
   if (offline) {
     kernels_.clear();
     loaded_.reset();
     // Drop queued downloads; their completions fire as no-ops.
     for (auto& [image, cb] : reconfig_queue_) {
-      sim_.schedule_in(Duration::zero(), std::move(cb));
+      sim_.schedule_in(Duration::zero(),
+                       [this, done = std::move(cb)]() mutable {
+                         notify_done(std::move(done));
+                       });
     }
     reconfig_queue_.clear();
     log_.warn("fpga: device taken offline");
@@ -77,6 +95,7 @@ void FpgaDevice::start_reconfigure() {
   auto [image, cb] = std::move(reconfig_queue_.front());
   reconfig_queue_.pop_front();
 
+  ++residency_version_;  // the old configuration dies right below
   // The old configuration dies the moment programming starts.  In-flight
   // CU work is considered already-drained: the scheduler never initiates
   // a reconfiguration while routing work to the device (Algorithm 2 only
@@ -95,7 +114,8 @@ void FpgaDevice::start_reconfigure() {
               if (offline_) {
                 // Card died mid-programming: nothing becomes resident.
                 reconfig_active_ = false;
-                done();
+                ++residency_version_;
+                notify_done(std::move(done));
                 return;
               }
               for (const auto& k : image.kernels) {
@@ -111,13 +131,14 @@ void FpgaDevice::start_reconfigure() {
               loaded_ = std::move(image);
               ++reconfigs_;
               reconfig_active_ = false;
+              ++residency_version_;
               log_.info("fpga: xclbin ", loaded_->id, " live with ",
                         kernels_.size(), " kernel(s)");
               // Serve any queued request before signalling completion so
               // `reconfiguring()` stays true continuously when requests
               // are stacked.
               start_reconfigure();
-              done();
+              notify_done(std::move(done));
             });
       });
 }

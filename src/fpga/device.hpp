@@ -23,6 +23,7 @@
 #include "hw/link.hpp"
 #include "sim/callback.hpp"
 #include "sim/fifo_station.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 
 namespace xartrek::fpga {
@@ -119,8 +120,24 @@ class FpgaDevice {
   void set_offline(bool offline);
   [[nodiscard]] bool offline() const { return offline_; }
 
+  /// Route reconfiguration completions (`reconfigure`'s `on_done`) to
+  /// a scheduler living on another simulation shard.  Inert by default:
+  /// completions fire on this device's shard.
+  void set_notify_channel(sim::CrossShardChannel channel) {
+    notify_ = channel;
+  }
+
   /// Completed reconfigurations (diagnostics / tests).
   [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
+
+  /// Bumped on every event that can change `has_kernel` answers
+  /// (reconfiguration start/completion, offline transitions).  Callers
+  /// that memoize residency probes -- the scheduler's batched decision
+  /// pass -- compare versions instead of guessing which code paths can
+  /// invalidate them.
+  [[nodiscard]] std::uint64_t residency_version() const {
+    return residency_version_;
+  }
 
   /// Completed kernel invocations across all CUs.
   [[nodiscard]] std::uint64_t kernel_invocations() const;
@@ -137,11 +154,14 @@ class FpgaDevice {
   };
 
   void start_reconfigure();
+  /// Fire `done` locally, or through the notify channel when one is set.
+  void notify_done(Callback done);
 
   sim::Simulation& sim_;
   hw::Link& pcie_;
   FpgaSpec spec_;
   Logger log_;
+  sim::CrossShardChannel notify_;
 
   std::optional<XclbinImage> loaded_;
   std::map<std::string, LoadedKernel> kernels_;
@@ -151,6 +171,7 @@ class FpgaDevice {
   bool offline_ = false;
   std::deque<std::pair<XclbinImage, Callback>> reconfig_queue_;
   std::uint64_t reconfigs_ = 0;
+  std::uint64_t residency_version_ = 0;
 };
 
 }  // namespace xartrek::fpga

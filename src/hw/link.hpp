@@ -14,7 +14,9 @@
 #include "common/time.hpp"
 #include "sim/callback.hpp"
 #include "sim/ps_resource.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
+#include "sim/slot_pool.hpp"
 
 namespace xartrek::hw {
 
@@ -43,6 +45,15 @@ class Link {
   /// byte lands.  Zero-byte transfers still pay the latency.
   void transfer(std::uint64_t bytes, Callback on_complete);
 
+  /// Route every completion to the far end of `channel` (the receiving
+  /// node lives on another simulation shard; the channel's latency
+  /// models the far-side stack traversal).  Completions stay pooled:
+  /// the in-pool event captures only {this, slot}, so the steady state
+  /// remains allocation-free.
+  void set_delivery_channel(sim::CrossShardChannel channel) {
+    delivery_ = channel;
+  }
+
   /// Transfers currently in flight.
   [[nodiscard]] std::size_t in_flight() const { return pool_.active_jobs(); }
 
@@ -62,6 +73,12 @@ class Link {
   /// the callbacks here lets the scheduled event capture only
   /// {this, size} -- trivially copyable, no per-transfer allocation.
   std::deque<Callback> in_latency_;
+  /// Cross-shard delivery (inert by default: completions fire locally).
+  sim::CrossShardChannel delivery_;
+  /// Completions awaiting bandwidth when deliveries are remote; the
+  /// PS pool finishes transfers out of order, so FIFO parking does not
+  /// work here -- slots do.
+  sim::SlotPool<Callback> remote_;
 };
 
 }  // namespace xartrek::hw

@@ -23,8 +23,7 @@ void MigrationRuntime::migrate(const MachineState& state,
                cb = std::move(on_arrival)]() mutable {
     ethernet_.transfer(payload, [this, transformed = std::move(transformed),
                                  cb = std::move(cb)]() mutable {
-      ++migrations_;
-      cb(std::move(transformed));
+      deliver_arrival(std::move(transformed), std::move(cb));
     });
   };
 
@@ -49,8 +48,7 @@ void MigrationRuntime::migrate_stack(
                cb = std::move(on_arrival)]() mutable {
     ethernet_.transfer(payload, [this, transformed = std::move(transformed),
                                  cb = std::move(cb)]() mutable {
-      ++migrations_;
-      cb(std::move(transformed));
+      deliver_arrival(std::move(transformed), std::move(cb));
     });
   };
   if (charge_transform_cost) {

@@ -16,6 +16,7 @@
 #include "popcorn/machine_state.hpp"
 #include "popcorn/state_transform.hpp"
 #include "sim/callback.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 
 namespace xartrek::popcorn {
@@ -50,6 +51,14 @@ class MigrationRuntime {
                      StackCallback on_arrival,
                      bool charge_transform_cost = true);
 
+  /// Route arrivals to a destination node living on another simulation
+  /// shard: `on_arrival` then fires there, the channel's latency after
+  /// the last byte lands (the destination-side resume cost).  Inert by
+  /// default -- arrivals fire on this runtime's shard.
+  void set_arrival_channel(sim::CrossShardChannel channel) {
+    arrival_ = channel;
+  }
+
   /// The transformer's CPU cost for this state (exposed so callers can
   /// charge it to a contended CPU pool).
   [[nodiscard]] Duration transform_cost(const MachineState& state) const {
@@ -60,9 +69,26 @@ class MigrationRuntime {
   [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
 
  private:
+  /// Count the migration and run (or cross-shard-deliver) one arrival
+  /// callback with its transformed payload.
+  template <typename State, typename Callback>
+  void deliver_arrival(State state, Callback cb) {
+    ++migrations_;
+    if (arrival_.connected()) {
+      // The destination node lives on another shard: resume there.
+      arrival_.deliver(
+          [state = std::move(state), cb = std::move(cb)]() mutable {
+            cb(std::move(state));
+          });
+      return;
+    }
+    cb(std::move(state));
+  }
+
   sim::Simulation& sim_;
   hw::Link& ethernet_;
   const StateTransformer* transformer_;
+  sim::CrossShardChannel arrival_;
   std::uint64_t migrations_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "runtime/scheduler_server.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "common/assert.hpp"
@@ -123,18 +124,75 @@ void SchedulerServer::request_placement(std::string_view app,
   // The client marshals its request over the socket; the server decodes
   // it after the round-trip delay.  Running the real codec on every
   // request keeps the wire format honest in every experiment.  The wire
-  // bytes and the callback park in a pooled PendingRequest slot so the
-  // scheduled event captures only {this, slot} -- trivially copyable,
-  // inside the engine's inline buffer, zero per-request allocations.
+  // bytes and the callback park in a pooled PendingRequest slot; the
+  // slot chains into the batch of every other request arriving at this
+  // same instant, so a whole spike tick shares ONE scheduled event, one
+  // load sample and one residency probe per app.  The event captures
+  // only {this, batch} -- trivially copyable, inside the engine's
+  // inline buffer, zero per-request allocations.
   const std::uint32_t slot = pending_.acquire();
   encode_placement_request_into(app, /*kernel=*/{}, /*pid=*/0,
                                 pending_[slot].wire);
   pending_[slot].on_decision = std::move(on_decision);
-  sim_.schedule_in(opts_.request_overhead,
-                   [this, slot] { finish_request(slot); });
+  pending_[slot].next = sim::SlotPool<int>::kNoSlot;
+
+  if (open_batch_ == sim::SlotPool<int>::kNoSlot ||
+      open_batch_at_ != sim_.now()) {
+    // First request of this instant: open a batch with its own
+    // round-trip deadline.  A still-open earlier batch keeps its
+    // already-scheduled pass; it just stops accepting requests.
+    open_batch_ = batches_.acquire();
+    batches_[open_batch_] = Batch{};  // recycled slots keep old values
+    open_batch_at_ = sim_.now();
+    const std::uint32_t batch_slot = open_batch_;
+    sim_.schedule_in(opts_.request_overhead,
+                     [this, batch_slot] { finish_batch(batch_slot); });
+  }
+  Batch& batch = batches_[open_batch_];
+  if (batch.tail == sim::SlotPool<int>::kNoSlot) {
+    batch.head = slot;
+  } else {
+    pending_[batch.tail].next = slot;
+  }
+  batch.tail = slot;
+  ++batch.count;
 }
 
-void SchedulerServer::finish_request(std::uint32_t slot) {
+void SchedulerServer::finish_batch(std::uint32_t batch_slot) {
+  if (open_batch_ == batch_slot) open_batch_ = sim::SlotPool<int>::kNoSlot;
+  const Batch batch = batches_[batch_slot];
+  batches_.release(batch_slot);
+  ++stats_.batches;
+  if (batch.count > stats_.max_batch) stats_.max_batch = batch.count;
+
+  // ONE load-monitor sample serves the whole batch: every same-instant
+  // request sees the same sampled load, exactly as the paper's
+  // timer-driven x86LOAD figure would be read once per server tick.
+  const int load = monitor_.x86_load();
+  probe_cache_.clear();
+  probe_cache_version_ = device_.residency_version();
+
+  std::uint32_t slot = batch.head;
+  std::exception_ptr deferred;
+  while (slot != sim::SlotPool<int>::kNoSlot) {
+    // The callback inside finish_one may re-enter request_placement and
+    // recycle slots, so read the link before processing.
+    const std::uint32_t next = pending_[slot].next;
+    try {
+      finish_one(slot, load);
+    } catch (...) {
+      // One bad request must not swallow its batch-mates' decisions:
+      // under the old per-request events they would each have fired
+      // independently.  Answer the rest, then propagate the first
+      // error (finish_one already released the failed slot).
+      if (deferred == nullptr) deferred = std::current_exception();
+    }
+    slot = next;
+  }
+  if (deferred != nullptr) std::rethrow_exception(deferred);
+}
+
+void SchedulerServer::finish_one(std::uint32_t slot, int load) {
   ++stats_.requests;
   // Borrowed decode: `request.app` aliases the slot's wire buffer, and
   // resolves against the table's interned AppId index without a single
@@ -149,8 +207,31 @@ void SchedulerServer::finish_request(std::uint32_t slot) {
     throw Error("threshold table has no entry for `" + app + "`");
   }
   const ThresholdEntry& entry = table_.at(app_id);
-  const int load = monitor_.x86_load();
-  const bool kernel_ready = device_.has_kernel(entry.kernel_name);
+
+  // Residency probes are shared across the batch: one lookup per
+  // distinct app (linear scan -- spikes are many requests for few
+  // apps).  A batch-mate's decision (or its callback) can mutate
+  // residency synchronously -- starting a reconfiguration tears the
+  // loaded image down, a callback may even take the card offline -- so
+  // the memo is valid only while the device's residency version holds.
+  if (probe_cache_version_ != device_.residency_version()) {
+    probe_cache_.clear();
+    probe_cache_version_ = device_.residency_version();
+  }
+  bool kernel_ready = false;
+  bool probed = false;
+  for (const auto& [id, ready] : probe_cache_) {
+    if (id == app_id) {
+      kernel_ready = ready;
+      probed = true;
+      break;
+    }
+  }
+  if (!probed) {
+    kernel_ready = device_.has_kernel(entry.kernel_name);
+    ++stats_.residency_probes;
+    probe_cache_.emplace_back(app_id, kernel_ready);
+  }
 
   PlacementDecision decision;
   decision.observed_load = load;
@@ -184,7 +265,24 @@ void SchedulerServer::finish_request(std::uint32_t slot) {
   // callback runs last so it may immediately issue the next request.
   DecisionCallback cb = std::move(pending_[slot].on_decision);
   pending_.release(slot);  // the wire buffer stays warm for reuse
-  cb(decision);
+  answer(std::move(cb), decision);
+}
+
+void SchedulerServer::answer(DecisionCallback cb, PlacementDecision decision) {
+  if (!opts_.reply_channel.connected()) {
+    cb(decision);
+    return;
+  }
+  // The client lives on another shard: the callback and the decision
+  // move into the mailbox message itself.  The capture outgrows the
+  // inline callable buffer (one allocation per remote reply), but the
+  // message must own its payload -- a server-side pool would be
+  // touched from the destination shard's thread at delivery time,
+  // racing the server's next batch in parallel mode.
+  opts_.reply_channel.deliver(
+      [remote_cb = std::move(cb), decision]() mutable {
+        remote_cb(decision);
+      });
 }
 
 }  // namespace xartrek::runtime

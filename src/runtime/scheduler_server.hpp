@@ -16,6 +16,13 @@
 // the engine's inline buffer), the decode borrows string_views straight
 // from the frame, and the app name is interned to a dense AppId against
 // the threshold table without materializing a std::string.
+//
+// Requests arriving at the same instant (a spike tick) are batched into
+// ONE decision pass: they share a single pooled Batch, one scheduled
+// event, one load-monitor sample, and one kernel-residency probe per
+// distinct app -- the per-request constant at spike scale is the decode
+// plus the Algorithm-2 arithmetic.  A batch of one behaves exactly like
+// the unbatched path, so request/decision semantics are unchanged.
 #pragma once
 
 #include <cstddef>
@@ -32,6 +39,7 @@
 #include "runtime/target.hpp"
 #include "runtime/threshold_table.hpp"
 #include "sim/callback.hpp"
+#include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "sim/slot_pool.hpp"
 
@@ -75,6 +83,10 @@ class SchedulerServer {
     /// XCLBIN loads.  Off = traditional blocking configure-on-use
     /// (ablation 3 in DESIGN.md).
     bool hide_reconfiguration = true;
+    /// When the clients live on another simulation shard, decisions are
+    /// delivered through this channel (its latency replaces the local
+    /// callback's zero-cost return hop).  Inert by default.
+    sim::CrossShardChannel reply_channel;
   };
 
   struct Stats {
@@ -83,6 +95,12 @@ class SchedulerServer {
     std::uint64_t to_arm = 0;
     std::uint64_t to_fpga = 0;
     std::uint64_t reconfigurations_started = 0;
+    /// Decision passes (same-instant requests share one batch).
+    std::uint64_t batches = 0;
+    std::uint64_t max_batch = 0;
+    /// Kernel-residency lookups actually performed; within a batch the
+    /// probe is shared across requests for the same app.
+    std::uint64_t residency_probes = 0;
   };
 
   SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
@@ -118,15 +136,30 @@ class SchedulerServer {
   /// socket plus the client's decision callback.  Slots recycle through
   /// the pool's free list; a released slot's wire buffer keeps its
   /// capacity, so the steady state re-uses a few warm buffers instead
-  /// of allocating.
+  /// of allocating.  `next` chains same-instant requests into their
+  /// batch's intrusive FIFO.
   struct PendingRequest {
     std::vector<std::byte> wire;
     DecisionCallback on_decision;
+    std::uint32_t next = sim::SlotPool<int>::kNoSlot;
+  };
+
+  /// Same-instant requests awaiting the shared decision pass.
+  struct Batch {
+    std::uint32_t head = sim::SlotPool<int>::kNoSlot;
+    std::uint32_t tail = sim::SlotPool<int>::kNoSlot;
+    std::uint32_t count = 0;
   };
 
   void maybe_start_reconfiguration(std::string_view kernel);
-  /// Event body: decode the frame in `slot`, decide, answer the client.
-  void finish_request(std::uint32_t slot);
+  /// Event body: one decision pass over every request in `batch_slot`
+  /// (one load sample, shared residency probes), answering each client.
+  void finish_batch(std::uint32_t batch_slot);
+  /// Decode, decide and answer the single request in `slot` against the
+  /// batch-shared load sample.
+  void finish_one(std::uint32_t slot, int load);
+  /// Run or remotely deliver one client's decision callback.
+  void answer(DecisionCallback cb, PlacementDecision decision);
 
   sim::Simulation& sim_;
   LoadMonitor& monitor_;
@@ -140,6 +173,18 @@ class SchedulerServer {
   Logger log_;
   Stats stats_;
   sim::SlotPool<PendingRequest> pending_;
+  sim::SlotPool<Batch> batches_;
+  /// The batch still accepting requests (kNoSlot when none), and the
+  /// instant it was opened -- a request at a later instant opens a
+  /// fresh batch with its own round-trip deadline.
+  std::uint32_t open_batch_ = sim::SlotPool<int>::kNoSlot;
+  TimePoint open_batch_at_;
+  /// Per-batch memo of kernel residency by app (cleared per pass; keeps
+  /// capacity, so the steady state stays allocation-free).  Valid only
+  /// while the device's residency_version matches: a batch-mate's
+  /// decision or callback can mutate residency synchronously.
+  std::vector<std::pair<AppId, bool>> probe_cache_;
+  std::uint64_t probe_cache_version_ = 0;
 };
 
 }  // namespace xartrek::runtime

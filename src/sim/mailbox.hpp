@@ -1,0 +1,82 @@
+// Fixed-capacity single-producer/single-consumer mailboxes.
+//
+// The sharded simulation core posts cross-shard events (link
+// deliveries, migration completions, scheduler replies) through one
+// mailbox per ordered shard pair.  Within an epoch only the source
+// shard's thread pushes and only the destination shard's thread pops
+// (and those phases are further separated by the epoch barriers), so a
+// wait-free SPSC ring with acquire/release indices is sufficient -- no
+// locks, no allocation after construction.
+//
+// Capacity is fixed: `try_push` refuses when the ring is full and the
+// caller (the shard) spills to an unbounded per-destination overflow
+// vector that drains into the ring at epoch boundaries.  The spill
+// keeps FIFO order, so backpressure delays delivery by whole epochs
+// but never reorders it -- and because every shard executes the same
+// event sequence regardless of thread interleaving, whether a given
+// message spills is itself deterministic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace xartrek::sim {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two (min 2) so the index
+  /// arithmetic is a mask instead of a modulo.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  False when full (caller spills).
+  [[nodiscard]] bool try_push(T&& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head > mask_) return false;
+    buf_[tail & mask_] = std::move(value);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.  False when empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(buf_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate from either side; exact at epoch boundaries (when the
+  /// other side is parked at the barrier).
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] bool empty() const { return size() == 0; }
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  /// Producer and consumer indices on separate cache lines so the two
+  /// sides never false-share.
+  alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  ///< producer
+};
+
+}  // namespace xartrek::sim

@@ -1,0 +1,239 @@
+#include "sim/shard.hpp"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <limits>
+#include <thread>
+#include <utility>
+
+#include "common/cpu_time.hpp"
+
+namespace xartrek::sim {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ShardedSimulation::ShardedSimulation(Options opts) : opts_(opts) {
+  XAR_EXPECTS(opts.shards >= 1);
+  XAR_EXPECTS(opts.epoch > Duration::zero());
+  XAR_EXPECTS(opts.mailbox_capacity >= 1);
+  const std::size_t n = opts.shards;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto state = std::make_unique<ShardState>();
+    state->spill.resize(n);
+    state->spill_head.assign(n, 0);
+    shards_.push_back(std::move(state));
+  }
+  mailboxes_.reserve(n * n);
+  for (std::size_t i = 0; i < n * n; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(opts.mailbox_capacity));
+  }
+}
+
+std::uint64_t ShardedSimulation::executed_events() const {
+  std::uint64_t total = 0;
+  for (const auto& s : shards_) total += s->sim.executed_events();
+  return total;
+}
+
+void ShardedSimulation::post(ShardId src, ShardId dst, TimePoint t,
+                             UniqueCallback cb) {
+  XAR_EXPECTS(src < shards_.size() && dst < shards_.size());
+  XAR_EXPECTS(cb != nullptr);
+  ShardState& s = *shards_[src];
+  if (src == dst) {
+    // Same shard: an ordinary local event, any time >= now.
+    s.sim.schedule_at(t, std::move(cb));
+    return;
+  }
+  // Lookahead contract: the receiver is executing the same window, so
+  // the message must land at or past its end.  (A tiny epsilon absorbs
+  // the rounding slack of `now + latency` vs `min_next + epoch`.)
+  XAR_EXPECTS(t.to_ms() >= window_end_ms_ - 1e-9);
+  ++s.stats.posts;
+  CrossShardEvent ev{t.to_ms(), std::move(cb)};
+  auto& spill = s.spill[dst];
+  const bool spilling = s.spill_head[dst] < spill.size();
+  if (spilling || !mailbox(src, dst).try_push(std::move(ev))) {
+    // Full (or already spilling -- later messages must queue behind the
+    // spill to keep FIFO order).  Delivery slips to a later boundary.
+    ++s.stats.backpressure_stalls;
+    spill.push_back(std::move(ev));
+  }
+}
+
+void ShardedSimulation::flush_spill(ShardId src) {
+  ShardState& s = *shards_[src];
+  for (ShardId dst = 0; dst < shards_.size(); ++dst) {
+    auto& spill = s.spill[dst];
+    std::size_t& head = s.spill_head[dst];
+    while (head < spill.size() &&
+           mailbox(src, dst).try_push(std::move(spill[head]))) {
+      ++head;
+    }
+    if (head == spill.size()) {
+      spill.clear();  // keeps capacity for the next burst
+      head = 0;
+    }
+  }
+}
+
+void ShardedSimulation::drain_inbound(ShardId dst) {
+  ShardState& d = *shards_[dst];
+  const double now_ms = d.sim.now().to_ms();
+  CrossShardEvent ev;
+  for (ShardId src = 0; src < shards_.size(); ++src) {
+    if (src == dst) continue;
+    while (mailbox(src, dst).try_pop(ev)) {
+      // A message deferred by backpressure may surface after its
+      // timestamp; it then runs as early as possible.
+      const double at = std::max(ev.at_ms, now_ms);
+      d.sim.schedule_at(TimePoint::at_ms(at), std::move(ev.cb));
+      ++d.stats.received;
+    }
+  }
+}
+
+void ShardedSimulation::run_shard(ShardId id, TimePoint window_end,
+                                  bool account_cpu) {
+  ShardState& s = *shards_[id];
+  const std::uint64_t before = s.sim.executed_events();
+  const double cpu0 = account_cpu ? thread_cpu_seconds() : 0.0;
+  s.sim.run_until(window_end);
+  if (account_cpu) s.stats.busy_seconds += thread_cpu_seconds() - cpu0;
+  s.stats.executed += s.sim.executed_events() - before;
+}
+
+double ShardedSimulation::min_next_ms() {
+  double min_next = kInf;
+  bool spill_left = false;
+  for (auto& s : shards_) {
+    min_next = std::min(min_next, s->sim.next_event_time().to_ms());
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      spill_left = spill_left || s->spill_head[dst] < s->spill[dst].size();
+    }
+  }
+  if (spill_left) {
+    // Spilled messages must reach the next boundary as soon as
+    // possible: bound the window to one epoch from the current time.
+    min_next = std::min(min_next, shards_[0]->sim.now().to_ms());
+  }
+  return min_next;
+}
+
+std::size_t ShardedSimulation::run_span_serial(TimePoint horizon) {
+  const std::uint64_t before = executed_events();
+  for (;;) {
+    for (ShardId s = 0; s < shards_.size(); ++s) flush_spill(s);
+    for (ShardId s = 0; s < shards_.size(); ++s) drain_inbound(s);
+    const double min_next = min_next_ms();
+    if (min_next == kInf) break;            // globally idle and drained
+    if (min_next > horizon.to_ms()) break;  // nothing left within horizon
+    window_end_ms_ =
+        std::min(min_next + opts_.epoch.to_ms(), horizon.to_ms());
+    const TimePoint window_end = TimePoint::at_ms(window_end_ms_);
+    for (ShardId s = 0; s < shards_.size(); ++s) {
+      run_shard(s, window_end, /*account_cpu=*/true);
+    }
+  }
+  return executed_events() - before;
+}
+
+std::size_t ShardedSimulation::run_span_parallel(TimePoint horizon) {
+  const std::uint64_t before = executed_events();
+  const std::size_t n = shards_.size();
+  done_ = false;
+  std::vector<std::exception_ptr> errors(n);
+
+  // Boundary protocol per window: every thread flushes its outbound
+  // spill, barrier; drains its inbound mailboxes, barrier (whose
+  // completion -- run on exactly one thread while the rest are parked
+  // -- sizes the next window or declares termination); runs its shard.
+  // The run phase of window W overlaps other shards' flush of W+1,
+  // which is safe: each mailbox has one producer (flush/post from src)
+  // and one consumer (drain on dst, which is strictly after the
+  // barrier that the producer's run phase precedes).
+  auto on_drained = [this, horizon, &errors]() noexcept {
+    for (const auto& e : errors) {
+      if (e != nullptr) {
+        done_ = true;
+        return;
+      }
+    }
+    const double min_next = min_next_ms();
+    if (min_next == kInf || min_next > horizon.to_ms()) {
+      done_ = true;
+      return;
+    }
+    window_end_ms_ =
+        std::min(min_next + opts_.epoch.to_ms(), horizon.to_ms());
+  };
+  std::barrier flushed(static_cast<std::ptrdiff_t>(n));
+  std::barrier<decltype(on_drained)> drained(static_cast<std::ptrdiff_t>(n),
+                                             on_drained);
+
+  auto worker = [&](ShardId id) {
+    // One thread-CPU measurement spans the whole run: per-shard busy
+    // time then covers event execution, mailbox work and barrier
+    // arrival -- but not time blocked or descheduled -- at the cost of
+    // two clock reads per run instead of two per window.
+    const double cpu0 = thread_cpu_seconds();
+    for (;;) {
+      flush_spill(id);
+      flushed.arrive_and_wait();
+      drain_inbound(id);
+      drained.arrive_and_wait();
+      if (done_) break;
+      try {
+        run_shard(id, TimePoint::at_ms(window_end_ms_),
+                  /*account_cpu=*/false);
+      } catch (...) {
+        // Park the error and keep honoring the barriers so no peer
+        // deadlocks; the next boundary terminates everyone.
+        errors[id] = std::current_exception();
+      }
+    }
+    shards_[id]->stats.busy_seconds += thread_cpu_seconds() - cpu0;
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(n - 1);
+  for (ShardId id = 1; id < n; ++id) {
+    threads.emplace_back(worker, id);
+  }
+  worker(0);
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e != nullptr) std::rethrow_exception(e);
+  }
+  return executed_events() - before;
+}
+
+std::size_t ShardedSimulation::run_span(TimePoint horizon) {
+  const std::size_t executed =
+      (opts_.parallel && shards_.size() > 1) ? run_span_parallel(horizon)
+                                             : run_span_serial(horizon);
+  if (horizon.to_ms() < kInf) {
+    // Align every clock with the horizon (mirrors Simulation::run_until).
+    for (auto& s : shards_) {
+      if (s->sim.now() < horizon) s->sim.run_until(horizon);
+    }
+  }
+  return executed;
+}
+
+std::size_t ShardedSimulation::run() {
+  return run_span(TimePoint::at_ms(kInf));
+}
+
+std::size_t ShardedSimulation::run_until(TimePoint horizon) {
+  XAR_EXPECTS(horizon >= now());
+  return run_span(horizon);
+}
+
+}  // namespace xartrek::sim

@@ -1,0 +1,204 @@
+// Epoch-synchronized sharded simulation core.
+//
+// A ShardedSimulation partitions a discrete-event model into N shards
+// (one per component group: hw, fpga, popcorn, runtime -- or one per
+// datacenter cell), each owning a private `sim::Simulation` with its
+// pooled 4-ary heap.  Shards advance in lock-step synchronization
+// windows ("epochs"): within a window every shard drains its local
+// queue up to the window end with no locks and no shared state;
+// cross-shard events travel through fixed-capacity SPSC mailboxes
+// (sim/mailbox.hpp) that are drained at window boundaries.
+//
+// Correctness rests on the classic conservative-PDES lookahead
+// contract: every cross-shard interaction models a latency of at least
+// one epoch, so an event executed inside window W can only create work
+// for other shards at or after the end of W -- by the time the message
+// is drained, its timestamp is still in the receiver's future.  The
+// window end is `min(next event anywhere) + epoch`, which both bounds
+// the work a window can discover and fast-forwards over globally idle
+// stretches in one step.
+//
+// Determinism: each shard's local execution is the ordinary (time,
+// insertion-seq) order of its own Simulation; at a boundary, inbound
+// mailboxes are drained in source-shard order, FIFO within a source,
+// so cross-shard events enter the local heap with a deterministic
+// (time, source shard, source order) tie-break.  The schedule is a pure
+// function of the model -- independent of thread interleaving, and a
+// 1-shard ShardedSimulation executes exactly today's single-queue
+// trace.  `Options::parallel` only chooses whether shards run on
+// std::threads or round-robin on the calling thread; both modes
+// produce identical traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/time.hpp"
+#include "sim/callback.hpp"
+#include "sim/mailbox.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::sim {
+
+using ShardId = std::uint32_t;
+
+/// One cross-shard message: a callback and the absolute time it must
+/// run at on the destination shard.
+struct CrossShardEvent {
+  double at_ms = 0.0;
+  UniqueCallback cb;
+};
+
+/// Per-shard counters (diagnostics, tests, and the scaling bench).
+struct ShardStats {
+  std::uint64_t executed = 0;  ///< events executed on this shard
+  std::uint64_t posts = 0;     ///< cross-shard messages sent
+  std::uint64_t received = 0;  ///< cross-shard messages drained in
+  /// Posts that found the mailbox full and spilled to the unbounded
+  /// overflow (delivery slips by whole epochs, order preserved).
+  std::uint64_t backpressure_stalls = 0;
+  /// CPU seconds this shard's thread spent executing events (excludes
+  /// barrier waits and time spent descheduled), so summing
+  /// events/busy_seconds across shards measures aggregate processing
+  /// capacity even on an oversubscribed host.
+  double busy_seconds = 0.0;
+};
+
+class ShardedSimulation {
+ public:
+  struct Options {
+    std::size_t shards = 1;
+    /// Synchronization window length.  Every cross-shard latency must
+    /// be >= this (the lookahead contract); smaller epochs synchronize
+    /// more often, larger ones amortize the boundary cost.
+    Duration epoch = Duration::micros(100.0);
+    /// SPSC mailbox capacity per ordered shard pair; overflow spills to
+    /// an unbounded FIFO drained at later boundaries.
+    std::size_t mailbox_capacity = 1024;
+    /// Run shards on std::threads (one per shard, caller's thread runs
+    /// shard 0).  Off = deterministic round-robin on the calling
+    /// thread.  Traces are identical either way.
+    bool parallel = false;
+  };
+
+  ShardedSimulation() : ShardedSimulation(Options{}) {}
+  explicit ShardedSimulation(Options opts);
+  ShardedSimulation(const ShardedSimulation&) = delete;
+  ShardedSimulation& operator=(const ShardedSimulation&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] Duration epoch() const { return opts_.epoch; }
+
+  /// The shard's local engine.  Components constructed against it work
+  /// unchanged; schedule onto it freely before and between runs.
+  [[nodiscard]] Simulation& shard(ShardId id) {
+    XAR_EXPECTS(id < shards_.size());
+    return shards_[id]->sim;
+  }
+
+  /// Post `cb` to run on shard `dst` at absolute time `t`.  Must be
+  /// called from shard `src` (its thread, when parallel).  Requires
+  /// `t` to be at or past the current window's end -- guaranteed when
+  /// the modeled latency is >= epoch(); see CrossShardChannel.
+  void post(ShardId src, ShardId dst, TimePoint t, UniqueCallback cb);
+
+  /// Run until every shard is idle and every mailbox is empty.
+  /// Returns events executed.  Clocks end at the final window boundary.
+  std::size_t run();
+
+  /// Run windows until no work remains at or before `horizon`; all
+  /// shard clocks read exactly `horizon` afterwards.
+  std::size_t run_until(TimePoint horizon);
+
+  [[nodiscard]] const ShardStats& stats(ShardId id) const {
+    XAR_EXPECTS(id < shards_.size());
+    return shards_[id]->stats;
+  }
+
+  /// Current time (all shard clocks agree between runs).
+  [[nodiscard]] TimePoint now() const { return shards_[0]->sim.now(); }
+
+  /// Total events executed across all shards since construction.
+  [[nodiscard]] std::uint64_t executed_events() const;
+
+ private:
+  struct ShardState {
+    Simulation sim;
+    ShardStats stats;
+    /// Overflow FIFO per destination shard, drained front-first into
+    /// the mailbox at boundaries (head index avoids O(n) pop-front).
+    std::vector<std::vector<CrossShardEvent>> spill;
+    std::vector<std::size_t> spill_head;
+  };
+
+  using Mailbox = SpscRing<CrossShardEvent>;
+
+  [[nodiscard]] Mailbox& mailbox(ShardId src, ShardId dst) {
+    return *mailboxes_[src * shards_.size() + dst];
+  }
+
+  /// Move spilled messages into the (drained) mailboxes, FIFO.
+  void flush_spill(ShardId src);
+  /// Drain all inbound mailboxes into the local heap, in source order.
+  void drain_inbound(ShardId dst);
+  /// Execute one window on one shard.  `account_cpu` adds per-call
+  /// thread-CPU deltas to busy_seconds (serial mode); the parallel
+  /// workers instead measure their whole lifetime once.
+  void run_shard(ShardId id, TimePoint window_end, bool account_cpu);
+  /// Earliest pending work anywhere (events, spilled messages), or
+  /// +inf.  Call only at a boundary (mailboxes already drained).
+  [[nodiscard]] double min_next_ms();
+
+  std::size_t run_span(TimePoint horizon);
+  std::size_t run_span_serial(TimePoint horizon);
+  std::size_t run_span_parallel(TimePoint horizon);
+
+  Options opts_;
+  std::vector<std::unique_ptr<ShardState>> shards_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  ///< [src * n + dst]
+  /// End of the window currently executing (what `post` checks the
+  /// lookahead contract against).  Written at boundaries only.
+  double window_end_ms_ = 0.0;
+  bool done_ = false;  ///< parallel-run termination flag
+};
+
+/// A typed edge between two component groups living on different
+/// shards: "deliver this completion to the other side, `latency`
+/// later".  Components hold one and stay topology-agnostic; a
+/// default-constructed channel is inert (`connected()` is false) and
+/// the component falls back to its in-shard behavior.  The latency
+/// must be >= the engine's epoch so the lookahead contract holds --
+/// delivery timing is then identical for every shard count.
+class CrossShardChannel {
+ public:
+  CrossShardChannel() = default;
+  CrossShardChannel(ShardedSimulation& ssim, ShardId src, ShardId dst,
+                    Duration latency)
+      : ssim_(&ssim), src_(src), dst_(dst), latency_(latency) {
+    XAR_EXPECTS(src < ssim.shard_count() && dst < ssim.shard_count());
+    XAR_EXPECTS(latency >= Duration::zero());
+    XAR_EXPECTS(src == dst || latency >= ssim.epoch());
+  }
+
+  [[nodiscard]] bool connected() const { return ssim_ != nullptr; }
+  [[nodiscard]] Duration latency() const { return latency_; }
+
+  /// Run `cb` on the destination shard `latency` after the source
+  /// shard's current time.  Requires connected().
+  void deliver(UniqueCallback cb) const {
+    XAR_EXPECTS(ssim_ != nullptr);
+    ssim_->post(src_, dst_, ssim_->shard(src_).now() + latency_,
+                std::move(cb));
+  }
+
+ private:
+  ShardedSimulation* ssim_ = nullptr;
+  ShardId src_ = 0;
+  ShardId dst_ = 0;
+  Duration latency_ = Duration::zero();
+};
+
+}  // namespace xartrek::sim

@@ -93,36 +93,46 @@ Simulation::EventHandle Simulation::schedule_at(TimePoint t, Callback cb) {
   return EventHandle{anchor_, slot, generation};
 }
 
-bool Simulation::step(TimePoint horizon) {
-  for (;;) {
-    if (root_stale_) {
-      // The previous event's callback scheduled nothing; materialize
-      // the deferred removal now.
-      root_stale_ = false;
-      heap_pop_root();
-    }
-    if (heap_.empty()) return false;
-    const HeapEntry top = heap_.front();
-    if (!slots_.live_at(top.slot, top.generation)) {
-      heap_pop_root();  // cancelled husk
-      continue;
-    }
-    const TimePoint at = key_time(top.key);
-    if (at > horizon) return false;
-    XAR_ASSERT(at >= now_);
-    now_ = at;
-    // Move the callback out and retire the slot before executing: the
-    // callback may schedule further events (growing the slab) and its
-    // own handle must already read as fired.  The root entry's removal
-    // is deferred so a successor scheduled by the callback can replace
-    // it in one sift.
-    root_stale_ = true;
-    Callback cb = std::move(slots_[top.slot]);
-    release_slot(top.slot);
-    ++executed_;
-    cb();
-    return true;
+void Simulation::prune() {
+  if (root_stale_) {
+    // The previous event's callback scheduled nothing; materialize
+    // the deferred removal now.
+    root_stale_ = false;
+    heap_pop_root();
   }
+  while (!heap_.empty() &&
+         !slots_.live_at(heap_.front().slot, heap_.front().generation)) {
+    heap_pop_root();  // cancelled husk
+  }
+}
+
+TimePoint Simulation::next_event_time() {
+  prune();
+  if (heap_.empty()) {
+    return TimePoint::at_ms(std::numeric_limits<double>::infinity());
+  }
+  return key_time(heap_.front().key);
+}
+
+bool Simulation::step(TimePoint horizon) {
+  prune();
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_.front();
+  const TimePoint at = key_time(top.key);
+  if (at > horizon) return false;
+  XAR_ASSERT(at >= now_);
+  now_ = at;
+  // Move the callback out and retire the slot before executing: the
+  // callback may schedule further events (growing the slab) and its
+  // own handle must already read as fired.  The root entry's removal
+  // is deferred so a successor scheduled by the callback can replace
+  // it in one sift.
+  root_stale_ = true;
+  Callback cb = std::move(slots_[top.slot]);
+  release_slot(top.slot);
+  ++executed_;
+  cb();
+  return true;
 }
 
 std::size_t Simulation::run() {

@@ -113,6 +113,13 @@ class Simulation {
     return heap_.size() - (root_stale_ ? 1 : 0);
   }
 
+  /// Timestamp of the next runnable event, or +infinity when the queue
+  /// is empty.  Reaps cancelled husks and the deferred fired root on the
+  /// way, which is why it is non-const.  The sharded engine's epoch
+  /// scheduler uses this to size synchronization windows and to
+  /// fast-forward over globally idle stretches.
+  [[nodiscard]] TimePoint next_event_time();
+
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t executed_events() const { return executed_; }
 
@@ -159,6 +166,10 @@ class Simulation {
   /// Pop and execute one runnable event with timestamp <= horizon.
   /// Returns false if none remains.
   bool step(TimePoint horizon);
+
+  /// Materialize the deferred root removal and reap cancelled husks
+  /// until the root is a live event (or the heap is empty).
+  void prune();
 
   void release_slot(std::uint32_t slot);
   void cancel_slot(std::uint32_t slot, std::uint32_t generation);

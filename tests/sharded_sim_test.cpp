@@ -1,0 +1,277 @@
+// Tests for the epoch-synchronized sharded simulation core: SPSC
+// mailbox semantics, trace determinism across shard counts and across
+// serial/parallel execution, lookahead-contract enforcement, and
+// mailbox overflow backpressure.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/mailbox.hpp"
+#include "sim/shard.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek::sim {
+namespace {
+
+// --- SPSC ring --------------------------------------------------------------
+
+TEST(SpscRingTest, FifoAcrossWrapAround) {
+  SpscRing<int> ring(4);
+  int out = 0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_TRUE(ring.try_push(round * 10 + i));
+    }
+    for (int i = 0; i < 3; ++i) {
+      ASSERT_TRUE(ring.try_pop(out));
+      EXPECT_EQ(out, round * 10 + i);
+    }
+  }
+  EXPECT_FALSE(ring.try_pop(out));
+}
+
+TEST(SpscRingTest, RefusesWhenFull) {
+  SpscRing<int> ring(4);
+  EXPECT_EQ(ring.capacity(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_FALSE(ring.try_push(99));
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(ring.try_push(4));  // slot freed by the pop
+  EXPECT_EQ(ring.size(), 4u);
+}
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscRing<int> ring(5);
+  EXPECT_EQ(ring.capacity(), 8u);
+}
+
+// --- single-shard equivalence ----------------------------------------------
+
+TEST(ShardedSimulationTest, OneShardReproducesPlainSimulationTrace) {
+  // The same self-rescheduling workload on a plain Simulation and on a
+  // 1-shard ShardedSimulation must produce the identical event trace.
+  struct Chain {
+    Simulation* sim;
+    std::vector<std::pair<double, int>>* trace;
+    int id;
+    double period;
+    int remaining;
+    void fire() {
+      trace->emplace_back(sim->now().to_ms(), id);
+      if (remaining-- > 0) {
+        sim->schedule_in(Duration::ms(period), [this] { fire(); });
+      }
+    }
+  };
+  auto drive = [](Simulation& sim, std::vector<std::pair<double, int>>& out) {
+    std::vector<std::unique_ptr<Chain>> chains;
+    for (int id = 0; id < 4; ++id) {
+      chains.push_back(std::make_unique<Chain>(
+          Chain{&sim, &out, id, 0.7 + 0.4 * id, 30}));
+      Chain* c = chains.back().get();
+      sim.schedule_in(Duration::ms(c->period), [c] { c->fire(); });
+    }
+    return chains;  // keep alive while running
+  };
+
+  std::vector<std::pair<double, int>> plain_trace;
+  Simulation plain;
+  auto keep1 = drive(plain, plain_trace);
+  plain.run();
+
+  std::vector<std::pair<double, int>> sharded_trace;
+  ShardedSimulation sharded(
+      ShardedSimulation::Options{1, Duration::ms(0.5), 64, false});
+  auto keep2 = drive(sharded.shard(0), sharded_trace);
+  sharded.run();
+
+  EXPECT_EQ(sharded_trace, plain_trace);
+  EXPECT_EQ(sharded.executed_events(), plain.executed_events());
+}
+
+// --- cross-shard determinism ------------------------------------------------
+
+// A ring of chains, one per "component": each chain self-reschedules on
+// its own shard and every fourth firing hands a token to the next chain
+// through a CrossShardChannel (latency 2 ms >= the 1 ms epoch).  The
+// per-chain timeline (own firings and token arrivals) must be identical
+// for every shard count and for serial vs parallel execution.
+struct RingResult {
+  std::vector<std::vector<double>> fires;     // per chain
+  std::vector<std::vector<double>> arrivals;  // per chain
+  std::uint64_t executed = 0;
+  std::uint64_t stalls = 0;
+};
+
+RingResult run_ring(std::size_t shards, bool parallel,
+                    std::size_t mailbox_capacity = 64,
+                    std::size_t post_every = 4) {
+  constexpr int kChains = 8;
+  constexpr int kFires = 40;
+  ShardedSimulation ssim(ShardedSimulation::Options{
+      shards, Duration::ms(1.0), mailbox_capacity, parallel});
+
+  RingResult result;
+  result.fires.resize(kChains);
+  result.arrivals.resize(kChains);
+
+  struct Chain {
+    ShardedSimulation* ssim;
+    Simulation* local;
+    CrossShardChannel to_next;
+    std::vector<double>* fires;
+    std::vector<double>* arrivals;
+    int remaining;
+    double period;
+    std::size_t post_every = 4;
+    void fire() {
+      fires->push_back(local->now().to_ms());
+      if (fires->size() % post_every == 0) {
+        to_next.deliver([this] {
+          next_arrivals->push_back(next_local->now().to_ms());
+        });
+      }
+      if (remaining-- > 0) {
+        local->schedule_in(Duration::ms(period), [this] { fire(); });
+      }
+    }
+    std::vector<double>* next_arrivals = nullptr;
+    Simulation* next_local = nullptr;
+  };
+
+  std::vector<std::unique_ptr<Chain>> chains;
+  for (int c = 0; c < kChains; ++c) {
+    const ShardId home = static_cast<ShardId>(c % shards);
+    const ShardId next = static_cast<ShardId>((c + 1) % kChains % shards);
+    auto chain = std::make_unique<Chain>();
+    chain->ssim = &ssim;
+    chain->local = &ssim.shard(home);
+    chain->to_next = CrossShardChannel(ssim, home, next, Duration::ms(2.0));
+    chain->fires = &result.fires[c];
+    chain->arrivals = &result.arrivals[c];
+    chain->remaining = kFires;
+    chain->period = 0.31 + 0.173 * c;  // no cross-chain ties
+    chain->post_every = post_every;
+    chains.push_back(std::move(chain));
+  }
+  for (int c = 0; c < kChains; ++c) {
+    chains[c]->next_arrivals = &result.arrivals[(c + 1) % kChains];
+    chains[c]->next_local = chains[(c + 1) % kChains]->local;
+    Chain* chain = chains[c].get();
+    chain->local->schedule_in(Duration::ms(chain->period),
+                              [chain] { chain->fire(); });
+  }
+
+  result.executed = ssim.run();
+  for (ShardId s = 0; s < ssim.shard_count(); ++s) {
+    result.stalls += ssim.stats(s).backpressure_stalls;
+  }
+  return result;
+}
+
+TEST(ShardedSimulationTest, TracesIdenticalAcrossShardCounts) {
+  const RingResult one = run_ring(1, false);
+  const RingResult two = run_ring(2, false);
+  const RingResult four = run_ring(4, false);
+  EXPECT_EQ(two.fires, one.fires);
+  EXPECT_EQ(four.fires, one.fires);
+  EXPECT_EQ(two.arrivals, one.arrivals);
+  EXPECT_EQ(four.arrivals, one.arrivals);
+  // Each chain fired kFires+1 times and received every token.
+  for (const auto& f : one.fires) EXPECT_EQ(f.size(), 41u);
+  for (const auto& a : one.arrivals) EXPECT_EQ(a.size(), 10u);
+}
+
+TEST(ShardedSimulationTest, ParallelMatchesSerial) {
+  const RingResult serial = run_ring(4, false);
+  const RingResult parallel = run_ring(4, true);
+  EXPECT_EQ(parallel.fires, serial.fires);
+  EXPECT_EQ(parallel.arrivals, serial.arrivals);
+  EXPECT_EQ(parallel.executed, serial.executed);
+}
+
+TEST(ShardedSimulationTest, BackpressureDelaysButDeliversEverything) {
+  // Every firing posts a token; a capacity-2 mailbox forces part of
+  // each window's burst through the spill path.
+  const RingResult roomy = run_ring(4, false, 64, 1);
+  const RingResult tight = run_ring(4, false, 2, 1);
+  EXPECT_EQ(roomy.stalls, 0u);
+  EXPECT_GT(tight.stalls, 0u);
+  // Every token still arrives exactly once.
+  for (const auto& a : tight.arrivals) EXPECT_EQ(a.size(), 41u);
+  EXPECT_EQ(tight.fires, roomy.fires);  // local timelines unaffected
+}
+
+TEST(ShardedSimulationTest, MailboxOverflowBurstSpillsAndDrains) {
+  // 100 same-window posts through a capacity-4 mailbox: all must land,
+  // FIFO, even though delivery slips across several boundaries.
+  ShardedSimulation ssim(
+      ShardedSimulation::Options{2, Duration::ms(1.0), 4, false});
+  std::vector<int> received;
+  ssim.shard(0).schedule_at(TimePoint::at_ms(1.0), [&] {
+    for (int i = 0; i < 100; ++i) {
+      ssim.post(0, 1, ssim.shard(0).now() + Duration::ms(2.0),
+                [&received, i] { received.push_back(i); });
+    }
+  });
+  ssim.run();
+  ASSERT_EQ(received.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(received[i], i);
+  EXPECT_GT(ssim.stats(0).backpressure_stalls, 0u);
+  EXPECT_EQ(ssim.stats(1).received, 100u);
+}
+
+// --- API contracts ----------------------------------------------------------
+
+TEST(ShardedSimulationTest, ChannelLatencyMustCoverEpoch) {
+  ShardedSimulation ssim(
+      ShardedSimulation::Options{2, Duration::ms(1.0), 64, false});
+  EXPECT_THROW(CrossShardChannel(ssim, 0, 1, Duration::micros(10.0)),
+               ContractViolation);
+  // Same-shard channels may be arbitrarily fast.
+  EXPECT_NO_THROW(CrossShardChannel(ssim, 0, 0, Duration::micros(10.0)));
+}
+
+TEST(ShardedSimulationTest, RunUntilAlignsEveryShardClock) {
+  ShardedSimulation ssim(
+      ShardedSimulation::Options{3, Duration::ms(1.0), 64, false});
+  int fired = 0;
+  ssim.shard(1).schedule_at(TimePoint::at_ms(5.0), [&] { ++fired; });
+  ssim.shard(2).schedule_at(TimePoint::at_ms(50.0), [&] { ++fired; });
+  EXPECT_EQ(ssim.run_until(TimePoint::at_ms(20.0)), 1u);
+  EXPECT_EQ(fired, 1);
+  for (ShardId s = 0; s < 3; ++s) {
+    EXPECT_DOUBLE_EQ(ssim.shard(s).now().to_ms(), 20.0);
+  }
+  EXPECT_EQ(ssim.run(), 1u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardedSimulationTest, FastForwardsOverIdleGaps) {
+  // Two events 10 seconds apart with a 0.1 ms epoch: the window
+  // scheduler must jump the gap instead of grinding 100k empty epochs.
+  ShardedSimulation ssim(
+      ShardedSimulation::Options{2, Duration::micros(100.0), 64, false});
+  int fired = 0;
+  ssim.shard(0).schedule_at(TimePoint::at_ms(1.0), [&] { ++fired; });
+  ssim.shard(1).schedule_at(TimePoint::at_ms(10'000.0), [&] { ++fired; });
+  EXPECT_EQ(ssim.run(), 2u);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(ShardedSimulationTest, ErrorInParallelShardPropagates) {
+  ShardedSimulation ssim(
+      ShardedSimulation::Options{2, Duration::ms(1.0), 64, true});
+  ssim.shard(1).schedule_at(TimePoint::at_ms(1.0),
+                            [] { throw Error("shard boom"); });
+  ssim.shard(0).schedule_at(TimePoint::at_ms(0.5), [] {});
+  EXPECT_THROW(ssim.run(), Error);
+}
+
+}  // namespace
+}  // namespace xartrek::sim
