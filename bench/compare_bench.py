@@ -52,9 +52,27 @@ METRICS = {
         ("request_loop.alloc_calls_per_request", "abs", False),
         ("request_loop.alloc_bytes_per_request", "abs", False),
         ("scaling.pooled_cost_ratio_100k_vs_1k", "lower", False),
+        ("batch_decode.per_frame.alloc_calls_per_request", "abs", False),
+        ("batch_decode.vectorized.alloc_calls_per_request", "abs", False),
+        ("batch_decode.speedup", "higher", False),
         ("scaling.pooled.0.ns_per_event", "lower", True),
         ("scaling.pooled.2.ns_per_event", "lower", True),
         ("request_loop.requests_per_sec", "higher", True),
+        ("batch_decode.vectorized.ns_per_request", "lower", True),
+    ],
+    "dsm": [
+        # Simulated-time ratios and allocation contracts are exact and
+        # machine-neutral; only the host-side engine rate crosses
+        # machines.
+        ("burst.speedup_single_read_64p_w4", "higher", False),
+        ("burst.speedup_single_read_64p_w8", "higher", False),
+        ("burst.speedup_page_stream_64p_w4", "higher", False),
+        ("burst.speedup_page_stream_64p_w8", "higher", False),
+        ("migration_overlap.savings_ms", "higher", False),
+        ("engine.alloc_calls_per_op", "abs", False),
+        ("engine.alloc_bytes_per_op", "abs", False),
+        ("engine.ns_per_page", "lower", True),
+        ("engine.ops_per_sec", "higher", True),
     ],
 }
 

@@ -1,0 +1,287 @@
+// DSM migration-burst benchmark: serialized vs pipelined data path.
+//
+// Three measurements land in BENCH_dsm.json:
+//
+//  1. `burst`: simulated completion time of a migration working-set
+//     burst (destination node pulls W contiguous pages) across window
+//     depths 1/2/4/8/16 and working sets of 16/64/256 pages, in two
+//     shapes: `single_read` (one op spanning the set -- run coalescing
+//     fuses it into one wire transfer) and `page_stream` (one op per
+//     page -- the per-pair window overlaps the per-transfer latencies).
+//     Depth 1 is the legacy serialized engine; the speedup keys are the
+//     acceptance signal (>= 2x on the 64-page set at depth >= 4).
+//
+//  2. `migration_overlap`: the executor's ARM path with transform
+//     hidden behind the wire -- measured latency vs the serialized
+//     transform+transfer+exec+transform+transfer sum.
+//
+//  3. `engine`: host-side cost of the streaming engine -- repeated
+//     invalidate + re-pull cycles through write_from/read_into with the
+//     counting allocator armed; steady state must stay allocation-free.
+//
+// Schema: docs/perf.md.
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <utility>
+#include <vector>
+
+#include "hw/link.hpp"
+#include "platform/testbed.hpp"
+#include "popcorn/dsm.hpp"
+#include "runtime/migration_executor.hpp"
+#include "sim/simulation.hpp"
+
+#include "bench/alloc_hook.hpp"
+
+namespace xartrek::bench {
+namespace {
+
+using popcorn::Dsm;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+constexpr std::uint64_t kPage = 4096;
+
+struct BurstPoint {
+  std::uint64_t pages = 0;
+  std::size_t depth = 0;
+  double sim_ms = 0;
+  double mb_per_s = 0;  // simulated goodput
+  Dsm::Stats stats;
+};
+
+/// One migration burst: node 1 pulls `pages` contiguous pages from the
+/// owner over a fresh 1 Gbps link.  `stream` issues one op per page
+/// (window-bound); otherwise one op spans the whole set (coalescing).
+BurstPoint run_burst(std::uint64_t pages, std::size_t depth, bool stream) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  Dsm dsm(sim, eth, Dsm::Config{2, 2 << 20, kPage, depth});
+  std::vector<std::byte> buffer(pages * kPage);
+  std::size_t done = 0;
+  if (stream) {
+    for (std::uint64_t p = 0; p < pages; ++p) {
+      dsm.read_into(1, p * kPage, kPage, buffer.data() + p * kPage,
+                    [&done] { ++done; });
+    }
+  } else {
+    dsm.read_into(1, 0, pages * kPage, buffer.data(), [&done] { ++done; });
+  }
+  sim.run();
+  XAR_ASSERT(done == (stream ? pages : 1));
+  BurstPoint point;
+  point.pages = pages;
+  point.depth = depth;
+  point.sim_ms = sim.now().to_ms();
+  point.mb_per_s =
+      static_cast<double>(pages * kPage) / (1024.0 * 1024.0) /
+      (point.sim_ms / 1000.0);
+  point.stats = dsm.stats();
+  return point;
+}
+
+/// Measured ARM-path latency with transform overlapped behind the wire,
+/// against the analytic serialized sum of the same legs.
+struct OverlapResult {
+  double serialized_model_ms = 0;
+  double measured_ms = 0;
+  double savings_ms = 0;
+};
+
+OverlapResult run_migration_overlap() {
+  platform::Testbed testbed;
+  runtime::MigrationExecutor executor(testbed);
+  runtime::FunctionCosts costs;
+  costs.arm_ms = Duration::ms(100);
+  costs.migrate_bytes = 4 << 20;  // 4 MiB working set
+  costs.return_bytes = 1 << 20;
+  costs.transform_ms = Duration::ms(5);
+
+  double measured = 0;
+  bool done = false;
+  executor.execute(runtime::Target::kArm, costs, [&](Duration d) {
+    measured = d.to_ms();
+    done = true;
+  });
+  while (!done && testbed.simulation().step_one(TimePoint::at_ms(1e9))) {
+  }
+  XAR_ASSERT(done);
+
+  const auto wire_ms = [&testbed](std::uint64_t bytes) {
+    const auto& spec = testbed.ethernet().spec();
+    return spec.latency.to_ms() + static_cast<double>(bytes) /
+                                      (1024.0 * 1024.0) /
+                                      spec.bandwidth_mb_per_ms;
+  };
+  OverlapResult r;
+  r.serialized_model_ms = costs.transform_ms.to_ms() +
+                          wire_ms(costs.migrate_bytes) +
+                          costs.arm_ms.to_ms() + costs.transform_ms.to_ms() +
+                          wire_ms(costs.return_bytes);
+  r.measured_ms = measured;
+  r.savings_ms = r.serialized_model_ms - r.measured_ms;
+  return r;
+}
+
+/// Host-side engine cost: repeated owner-write (invalidate) + reader
+/// page-stream (re-pull) cycles through the zero-copy entry points.
+struct EngineResult {
+  std::uint64_t ops = 0;
+  std::uint64_t pages = 0;
+  double seconds = 0;
+  AllocSnapshot allocs{};
+};
+
+EngineResult run_engine(std::uint64_t cycles, std::uint64_t warmup_cycles) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  constexpr std::uint64_t kPages = 128;
+  Dsm dsm(sim, eth, Dsm::Config{2, kPages * kPage, kPage, 8});
+  std::vector<std::byte> payload(kPages * kPage, std::byte{0x5C});
+  std::vector<std::byte> sink(kPages * kPage);
+
+  std::uint64_t ops = 0;
+  auto cycle = [&] {
+    // Owner rewrites the working set (upgrades + invalidations), then
+    // the reader streams it back page by page through the window.
+    dsm.write_from(0, 0, payload, [&ops] { ++ops; });
+    for (std::uint64_t p = 0; p < kPages; ++p) {
+      dsm.read_into(1, p * kPage, kPage, sink.data() + p * kPage,
+                    [&ops] { ++ops; });
+    }
+    sim.run();
+  };
+  for (std::uint64_t i = 0; i < warmup_cycles; ++i) cycle();
+
+  const AllocSnapshot before = alloc_snapshot();
+  const std::uint64_t measured_from = ops;
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < cycles; ++i) cycle();
+  EngineResult r;
+  r.seconds = seconds_since(start);
+  const AllocSnapshot after = alloc_snapshot();
+  r.ops = ops - measured_from;
+  r.pages = cycles * kPages * 2;  // each cycle moves the set twice
+  r.allocs = {after.calls - before.calls, after.bytes - before.bytes};
+  return r;
+}
+
+void emit_point(std::ostream& os, const BurstPoint& p, bool last) {
+  os << "      {\"pages\": " << p.pages << ", \"depth\": " << p.depth
+     << ", \"sim_ms\": " << p.sim_ms << ", \"mb_per_s\": " << p.mb_per_s
+     << ", \"link_transfers\": " << p.stats.link_transfers
+     << ", \"coalesced_runs\": " << p.stats.coalesced_runs
+     << ", \"max_in_flight\": " << p.stats.max_in_flight
+     << ", \"bytes_per_transfer\": " << p.stats.bytes_per_transfer() << "}"
+     << (last ? "" : ",") << "\n";
+}
+
+int bench_main() {
+  const bool smoke = std::getenv("XARTREK_BENCH_SMOKE") != nullptr;
+  const std::uint64_t kCycles = smoke ? 100 : 2'000;
+  const std::uint64_t kWarmup = smoke ? 10 : 100;
+
+  const std::vector<std::uint64_t> working_sets{16, 64, 256};
+  const std::vector<std::size_t> depths{1, 2, 4, 8, 16};
+
+  std::vector<BurstPoint> single_read;
+  std::vector<BurstPoint> page_stream;
+  for (const std::uint64_t pages : working_sets) {
+    for (const std::size_t depth : depths) {
+      single_read.push_back(run_burst(pages, depth, /*stream=*/false));
+      page_stream.push_back(run_burst(pages, depth, /*stream=*/true));
+    }
+  }
+  const auto point_ms = [&](const std::vector<BurstPoint>& pts,
+                            std::uint64_t pages, std::size_t depth) {
+    for (const auto& p : pts) {
+      if (p.pages == pages && p.depth == depth) return p.sim_ms;
+    }
+    XAR_ASSERT(false);
+    return 0.0;
+  };
+  const double speedup_single_w4 =
+      point_ms(single_read, 64, 1) / point_ms(single_read, 64, 4);
+  const double speedup_single_w8 =
+      point_ms(single_read, 64, 1) / point_ms(single_read, 64, 8);
+  const double speedup_stream_w4 =
+      point_ms(page_stream, 64, 1) / point_ms(page_stream, 64, 4);
+  const double speedup_stream_w8 =
+      point_ms(page_stream, 64, 1) / point_ms(page_stream, 64, 8);
+
+  std::cerr << "[dsm_bench] migration overlap...\n";
+  const OverlapResult overlap = run_migration_overlap();
+
+  std::cerr << "[dsm_bench] engine cost: " << kCycles
+            << " invalidate+stream cycles...\n";
+  const EngineResult engine = run_engine(kCycles, kWarmup);
+
+  std::ofstream out("BENCH_dsm.json");
+  out.precision(6);
+  out << "{\n  \"bench\": \"dsm\",\n  \"burst\": {\n"
+      << "    \"page_size\": " << kPage << ",\n"
+      << "    \"single_read\": [\n";
+  for (std::size_t i = 0; i < single_read.size(); ++i) {
+    emit_point(out, single_read[i], i + 1 == single_read.size());
+  }
+  out << "    ],\n    \"page_stream\": [\n";
+  for (std::size_t i = 0; i < page_stream.size(); ++i) {
+    emit_point(out, page_stream[i], i + 1 == page_stream.size());
+  }
+  out << "    ],\n"
+      << "    \"speedup_single_read_64p_w4\": " << speedup_single_w4 << ",\n"
+      << "    \"speedup_single_read_64p_w8\": " << speedup_single_w8 << ",\n"
+      << "    \"speedup_page_stream_64p_w4\": " << speedup_stream_w4 << ",\n"
+      << "    \"speedup_page_stream_64p_w8\": " << speedup_stream_w8 << "\n"
+      << "  },\n  \"migration_overlap\": {\n"
+      << "    \"serialized_model_ms\": " << overlap.serialized_model_ms
+      << ",\n"
+      << "    \"measured_ms\": " << overlap.measured_ms << ",\n"
+      << "    \"savings_ms\": " << overlap.savings_ms << "\n"
+      << "  },\n  \"engine\": {\n"
+      << "    \"ops\": " << engine.ops << ",\n"
+      << "    \"pages_moved\": " << engine.pages << ",\n"
+      << "    \"seconds\": " << engine.seconds << ",\n"
+      << "    \"ns_per_page\": "
+      << 1e9 * engine.seconds / static_cast<double>(engine.pages) << ",\n"
+      << "    \"ops_per_sec\": "
+      << static_cast<double>(engine.ops) / engine.seconds << ",\n"
+      << "    \"alloc_calls_per_op\": "
+      << static_cast<double>(engine.allocs.calls) /
+             static_cast<double>(engine.ops)
+      << ",\n    \"alloc_bytes_per_op\": "
+      << static_cast<double>(engine.allocs.bytes) /
+             static_cast<double>(engine.ops)
+      << "\n  }\n}\n";
+  out.close();
+
+  std::cerr << "[dsm_bench] 64p single-read: depth1="
+            << point_ms(single_read, 64, 1)
+            << " ms, depth4=" << point_ms(single_read, 64, 4)
+            << " ms (speedup " << speedup_single_w4 << "x)\n"
+            << "[dsm_bench] 64p page-stream: depth1="
+            << point_ms(page_stream, 64, 1)
+            << " ms, depth4=" << point_ms(page_stream, 64, 4)
+            << " ms (speedup " << speedup_stream_w4 << "x)\n"
+            << "[dsm_bench] migration overlap: serialized "
+            << overlap.serialized_model_ms << " ms -> " << overlap.measured_ms
+            << " ms (saved " << overlap.savings_ms << ")\n"
+            << "[dsm_bench] engine: "
+            << 1e9 * engine.seconds / static_cast<double>(engine.pages)
+            << " ns/page, allocs/op="
+            << static_cast<double>(engine.allocs.calls) /
+                   static_cast<double>(engine.ops)
+            << "\n[dsm_bench] wrote BENCH_dsm.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace xartrek::bench
+
+int main() { return xartrek::bench::bench_main(); }

@@ -32,14 +32,21 @@ void Link::transfer(std::uint64_t bytes, Callback on_complete) {
   // latency is identical for every transfer, so the events fire in the
   // order they were scheduled and the front of `in_latency_` is always
   // the transfer whose latency just elapsed.
-  in_latency_.push_back(std::move(on_complete));
+  in_latency_.push(std::move(on_complete));
+  // Occupancy high-water: in-flight only grows at a transfer() call, so
+  // sampling here (latency-phase entries plus bandwidth-phase jobs)
+  // captures the true peak without wrapping every completion.
+  ++stats_.transfers;
+  const std::size_t in_flight_now = in_latency_.size() + pool_.active_jobs();
+  if (in_flight_now > stats_.max_in_flight) {
+    stats_.max_in_flight = in_flight_now;
+  }
   sim_.schedule_in(spec_.latency, [this, mb] { enter_pool(mb); });
 }
 
 void Link::enter_pool(double mb) {
   XAR_ASSERT(!in_latency_.empty());
-  Callback cb = std::move(in_latency_.front());
-  in_latency_.pop_front();
+  Callback cb = in_latency_.pop();
   if (delivery_.connected()) {
     // The receiver lives on another shard: when the last byte lands,
     // hand the completion to the mailbox instead of running it here.

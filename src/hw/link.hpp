@@ -8,12 +8,12 @@
 // the paper measures migration cost "in locus" rather than predicting it.
 #pragma once
 
-#include <deque>
 #include <string>
 
 #include "common/time.hpp"
 #include "sim/callback.hpp"
 #include "sim/ps_resource.hpp"
+#include "sim/ring.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "sim/slot_pool.hpp"
@@ -39,6 +39,14 @@ class Link {
  public:
   using Callback = sim::UniqueCallback;
 
+  /// Multi-transfer occupancy counters (the DSM window and the overlap
+  /// benches read these; occupancy counts latency-phase and
+  /// bandwidth-phase transfers alike).
+  struct Stats {
+    std::uint64_t transfers = 0;
+    std::size_t max_in_flight = 0;
+  };
+
   Link(sim::Simulation& sim, LinkSpec spec);
 
   /// Transfer `bytes` across the link; `on_complete` fires when the last
@@ -60,6 +68,8 @@ class Link {
   /// Total bytes delivered (tests).
   [[nodiscard]] double delivered_mb() const { return pool_.delivered_work(); }
 
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
   [[nodiscard]] const LinkSpec& spec() const { return spec_; }
 
  private:
@@ -67,12 +77,15 @@ class Link {
 
   sim::Simulation& sim_;
   LinkSpec spec_;
+  Stats stats_;
   sim::PsResource pool_;  // demand unit: megabytes
   /// Completions of transfers still in their fixed-latency phase.  The
   /// latency is constant, so these events fire strictly FIFO; parking
   /// the callbacks here lets the scheduled event capture only
   /// {this, size} -- trivially copyable, no per-transfer allocation.
-  std::deque<Callback> in_latency_;
+  /// A ring, not a deque: a windowed page stream makes this queue
+  /// breathe every wave, and deque chunk churn would allocate each time.
+  sim::RingQueue<Callback> in_latency_;
   /// Cross-shard delivery (inert by default: completions fire locally).
   sim::CrossShardChannel delivery_;
   /// Completions awaiting bandwidth when deliveries are remote; the

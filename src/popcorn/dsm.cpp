@@ -10,6 +10,7 @@ Dsm::Dsm(sim::Simulation& sim, hw::Link& link, Config cfg)
   XAR_EXPECTS(cfg_.nodes >= 2);
   XAR_EXPECTS(cfg_.page_size > 0);
   XAR_EXPECTS(cfg_.memory_bytes % cfg_.page_size == 0);
+  XAR_EXPECTS(cfg_.window_depth >= 1);
   pages_ = cfg_.memory_bytes / cfg_.page_size;
   memory_.resize(cfg_.nodes);
   page_states_.resize(cfg_.nodes);
@@ -18,6 +19,9 @@ Dsm::Dsm(sim::Simulation& sim, hw::Link& link, Config cfg)
     page_states_[n].assign(pages_,
                            n == 0 ? PageState::kModified : PageState::kInvalid);
   }
+  page_head_.assign(pages_, kNone);
+  page_tail_.assign(pages_, kNone);
+  pairs_.assign(cfg_.nodes * cfg_.nodes, Pair{});
 }
 
 PageState Dsm::page_state(std::size_t node, std::uint64_t page) const {
@@ -25,138 +29,439 @@ PageState Dsm::page_state(std::size_t node, std::uint64_t page) const {
   return page_states_[node][page];
 }
 
-void Dsm::read(std::size_t node, std::uint64_t addr, std::uint64_t len,
-               ReadCallback on_done) {
+// --- submission -------------------------------------------------------------
+
+std::uint32_t Dsm::enqueue_op(bool is_write, std::size_t node,
+                              std::uint64_t addr, std::uint64_t len) {
   XAR_EXPECTS(node < cfg_.nodes);
   XAR_EXPECTS(addr + len <= cfg_.memory_bytes);
+  const std::uint32_t s = ops_.acquire();
+  Op& op = ops_[s];
+  op.is_write = is_write;
+  op.wants_vector = false;
+  op.node = node;
+  op.addr = addr;
+  op.len = len;
+  op.out = nullptr;
+  op.on_read = nullptr;
+  op.on_done = nullptr;
+  // A zero-length op spans no pages: it touches no state and sends no
+  // traffic -- in particular `addr == memory_bytes` is a legal no-op
+  // (the old engine derived a page index from `addr` even for empty
+  // ops, walking off the page table at the boundary).
+  op.first_page = len == 0 ? 0 : page_of(addr);
+  op.npages = len == 0 ? 0 : page_of(addr + len - 1) - op.first_page + 1;
+  op.waiting = 0;
+  op.cursor = 0;
+  op.claims.clear();
+  op.order_next = kNone;
+  op.ensured = false;
+  if (order_tail_ == kNone) {
+    order_head_ = s;
+  } else {
+    ops_[order_tail_].order_next = s;
+  }
+  order_tail_ = s;
+  return s;
+}
+
+void Dsm::read(std::size_t node, std::uint64_t addr, std::uint64_t len,
+               ReadCallback on_done) {
   XAR_EXPECTS(on_done != nullptr);
-  op_queue_.push_back(
-      Op{false, node, addr, len, {}, std::move(on_done), nullptr});
-  if (!op_active_) start_next_op();
+  const std::uint32_t s = enqueue_op(false, node, addr, len);
+  ops_[s].wants_vector = true;
+  ops_[s].data.clear();
+  ops_[s].on_read = std::move(on_done);
+  begin_op(s);
+}
+
+void Dsm::read_into(std::size_t node, std::uint64_t addr, std::uint64_t len,
+                    std::byte* out, Callback on_done) {
+  XAR_EXPECTS(on_done != nullptr);
+  XAR_EXPECTS(len == 0 || out != nullptr);
+  const std::uint32_t s = enqueue_op(false, node, addr, len);
+  ops_[s].out = out;
+  ops_[s].on_done = std::move(on_done);
+  begin_op(s);
 }
 
 void Dsm::write(std::size_t node, std::uint64_t addr,
                 std::vector<std::byte> data, Callback on_done) {
-  XAR_EXPECTS(node < cfg_.nodes);
-  XAR_EXPECTS(addr + data.size() <= cfg_.memory_bytes);
   XAR_EXPECTS(on_done != nullptr);
-  op_queue_.push_back(Op{true, node, addr, data.size(), std::move(data),
-                         nullptr, std::move(on_done)});
-  if (!op_active_) start_next_op();
+  const std::uint32_t s = enqueue_op(true, node, addr, data.size());
+  ops_[s].data = std::move(data);
+  ops_[s].on_done = std::move(on_done);
+  begin_op(s);
 }
 
-void Dsm::start_next_op() {
-  if (op_queue_.empty()) {
-    op_active_ = false;
+void Dsm::write_from(std::size_t node, std::uint64_t addr,
+                     std::span<const std::byte> data, Callback on_done) {
+  XAR_EXPECTS(on_done != nullptr);
+  const std::uint32_t s = enqueue_op(true, node, addr, data.size());
+  ops_[s].data.assign(data.begin(), data.end());  // warm slot buffer
+  ops_[s].on_done = std::move(on_done);
+  begin_op(s);
+}
+
+void Dsm::begin_op(std::uint32_t op_slot) {
+  if (ops_[op_slot].npages == 0) {
+    op_ensured(op_slot);
     return;
   }
-  op_active_ = true;
-  // Keep the op alive across the asynchronous page-ensure chain.
-  auto op = std::make_shared<Op>(std::move(op_queue_.front()));
-  op_queue_.pop_front();
-
-  const std::uint64_t first = page_of(op->addr);
-  const std::uint64_t last =
-      op->len == 0 ? first : page_of(op->addr + op->len - 1);
-  ensure_pages(op->node, first, last, op->is_write, [this, op] {
-    if (op->is_write) {
-      std::copy(op->data.begin(), op->data.end(),
-                memory_[op->node].begin() + static_cast<long>(op->addr));
-      auto cb = std::move(op->on_write);
-      start_next_op();
-      cb();
+  if (serialized()) {
+    // One transaction at a time, strictly oldest-first: a submission
+    // landing between a completion and its retire drain must not jump
+    // ahead of ops already queued.
+    serial_start_next();
+    return;
+  }
+  // Pipelined: claim every spanned page.  A claim at the head of its
+  // page queue is ready to act; the rest wait for the earlier
+  // transactions on that page, which is all the ordering MSI needs.
+  const std::uint64_t first = ops_[op_slot].first_page;
+  const std::uint64_t npages = ops_[op_slot].npages;
+  ops_[op_slot].waiting = npages;
+  for (std::uint64_t i = 0; i < npages; ++i) {
+    const std::uint64_t page = first + i;
+    const std::uint32_t c = claims_.acquire();
+    claims_[c].op = op_slot;
+    claims_[c].page = page;
+    claims_[c].next = kNone;
+    if (page_head_[page] == kNone) {
+      page_head_[page] = c;
+      page_tail_[page] = c;
+      claims_[c].status = ClaimStatus::kReady;
     } else {
-      std::vector<std::byte> out(
-          memory_[op->node].begin() + static_cast<long>(op->addr),
-          memory_[op->node].begin() + static_cast<long>(op->addr + op->len));
-      auto cb = std::move(op->on_read);
-      start_next_op();
-      cb(std::move(out));
+      claims_[page_tail_[page]].next = c;
+      page_tail_[page] = c;
+      claims_[c].status = ClaimStatus::kWaiting;
     }
-  });
+    ops_[op_slot].claims.push_back(c);
+  }
+  request_pump(op_slot);
+  drain_pumps();
 }
 
-void Dsm::ensure_pages(std::size_t node, std::uint64_t first_page,
-                       std::uint64_t last_page, bool exclusive,
-                       Callback on_ready) {
-  if (first_page > last_page) {
-    on_ready();
-    return;
+// --- MSI helpers ------------------------------------------------------------
+
+void Dsm::finish_exclusive(std::size_t node, std::uint64_t page) {
+  for (std::size_t n = 0; n < cfg_.nodes; ++n) {
+    if (n != node && page_states_[n][page] != PageState::kInvalid) {
+      page_states_[n][page] = PageState::kInvalid;
+      ++stats_.invalidations;
+    }
   }
-  ensure_one_page(node, first_page, exclusive,
-                  [this, node, first_page, last_page, exclusive,
-                   cb = std::move(on_ready)]() mutable {
-                    ensure_pages(node, first_page + 1, last_page, exclusive,
-                                 std::move(cb));
-                  });
+  page_states_[node][page] = PageState::kModified;
 }
 
-void Dsm::ensure_one_page(std::size_t node, std::uint64_t page,
-                          bool exclusive, Callback on_ready) {
-  PageState& mine = page_states_[node][page];
-
-  auto finish_exclusive = [this, node, page] {
-    for (std::size_t n = 0; n < cfg_.nodes; ++n) {
-      if (n != node && page_states_[n][page] != PageState::kInvalid) {
-        page_states_[n][page] = PageState::kInvalid;
-        ++stats_.invalidations;
-      }
-    }
-    page_states_[node][page] = PageState::kModified;
-  };
-
-  if (mine == PageState::kModified ||
-      (mine == PageState::kShared && !exclusive)) {
-    ++stats_.local_page_hits;
-    // Local hit: complete asynchronously for uniform caller semantics.
-    sim_.schedule_in(Duration::zero(), std::move(on_ready));
-    return;
-  }
-
-  if (mine == PageState::kShared && exclusive) {
-    // Upgrade: invalidation round trip, no payload.
-    sim_.schedule_in(link_.spec().latency,
-                     [finish_exclusive, cb = std::move(on_ready)]() mutable {
-                       finish_exclusive();
-                       cb();
-                     });
-    return;
-  }
-
-  // Invalid: pull the page from the owner or any sharer.
+std::size_t Dsm::pick_source(std::size_t node, std::uint64_t page) const {
   std::size_t source = cfg_.nodes;
   for (std::size_t n = 0; n < cfg_.nodes; ++n) {
     if (n == node) continue;
-    if (page_states_[n][page] == PageState::kModified) {
-      source = n;
-      break;
-    }
+    if (page_states_[n][page] == PageState::kModified) return n;
     if (page_states_[n][page] == PageState::kShared && source == cfg_.nodes) {
       source = n;
     }
   }
   XAR_ASSERT(source < cfg_.nodes);  // some node always holds the page
-
-  link_.transfer(
-      cfg_.page_size,
-      [this, node, page, source, exclusive, finish_exclusive,
-       cb = std::move(on_ready)]() mutable {
-        const std::uint64_t off = page * cfg_.page_size;
-        std::copy(memory_[source].begin() + static_cast<long>(off),
-                  memory_[source].begin() +
-                      static_cast<long>(off + cfg_.page_size),
-                  memory_[node].begin() + static_cast<long>(off));
-        ++stats_.page_transfers;
-        if (exclusive) {
-          finish_exclusive();
-        } else {
-          // Owner downgrades to Shared on a read pull.
-          page_states_[source][page] = PageState::kShared;
-          page_states_[node][page] = PageState::kShared;
-        }
-        cb();
-      });
+  return source;
 }
+
+// --- pipelined engine (window_depth >= 2) -----------------------------------
+
+void Dsm::request_pump(std::uint32_t op_slot) {
+  pump_queue_.push_back(op_slot);
+}
+
+void Dsm::drain_pumps() {
+  if (pumping_) return;  // the outermost frame drains
+  pumping_ = true;
+  while (pump_next_ < pump_queue_.size()) {
+    pump(pump_queue_[pump_next_++]);
+  }
+  pump_queue_.clear();
+  pump_next_ = 0;
+  pumping_ = false;
+}
+
+void Dsm::pump(std::uint32_t op_slot) {
+  Op& op = ops_[op_slot];
+  if (op.ensured) return;  // queued twice and completed on the first pass
+  std::uint64_t i = 0;
+  while (i < op.npages) {
+    if (claims_[op.claims[i]].status != ClaimStatus::kReady) {
+      ++i;
+      continue;
+    }
+    const std::uint64_t page = op.first_page + i;
+    const PageState st = page_states_[op.node][page];
+    if (st == PageState::kModified ||
+        (st == PageState::kShared && !op.is_write)) {
+      ++stats_.local_page_hits;
+      claims_[op.claims[i]].status = ClaimStatus::kDone;
+      XAR_ASSERT(op.waiting > 0);
+      --op.waiting;
+      ++i;
+      continue;
+    }
+    if (st == PageState::kShared) {
+      // Write upgrade: invalidation round trip, no payload.  Control
+      // traffic only, so it does not occupy the pair window.
+      const std::uint32_t c = op.claims[i];
+      claims_[c].status = ClaimStatus::kInFlight;
+      sim_.schedule_in(link_.spec().latency, [this, c] { upgrade_done(c); });
+      ++i;
+      continue;
+    }
+    // Invalid: open a coalesced run -- every following page of this op
+    // that is also ready, Invalid and served by the same source joins
+    // this wire transfer.
+    const std::size_t source = pick_source(op.node, page);
+    std::uint64_t j = i + 1;
+    while (j < op.npages &&
+           claims_[op.claims[j]].status == ClaimStatus::kReady &&
+           page_states_[op.node][op.first_page + j] == PageState::kInvalid &&
+           pick_source(op.node, op.first_page + j) == source) {
+      ++j;
+    }
+    for (std::uint64_t k = i; k < j; ++k) {
+      claims_[op.claims[k]].status = ClaimStatus::kInFlight;
+    }
+    const std::uint32_t u = units_.acquire();
+    units_[u] = Unit{op_slot, source, page, j - i, kNone};
+    issue_unit(u);
+    i = j;
+  }
+  if (op.waiting == 0 && !op.ensured) op_ensured(op_slot);
+}
+
+void Dsm::upgrade_done(std::uint32_t claim_slot) {
+  const std::uint32_t op_slot = claims_[claim_slot].op;
+  finish_exclusive(ops_[op_slot].node, claims_[claim_slot].page);
+  claims_[claim_slot].status = ClaimStatus::kDone;
+  Op& op = ops_[op_slot];
+  XAR_ASSERT(op.waiting > 0);
+  if (--op.waiting == 0) op_ensured(op_slot);
+}
+
+// --- serialized engine (window_depth == 1) ----------------------------------
+
+void Dsm::serial_start_next() {
+  if (serial_starting_) return;  // the outermost frame loops
+  serial_starting_ = true;
+  while (serial_active_ == kNone) {
+    // The oldest unensured op runs next; the ensured prefix is only
+    // awaiting the retire drain.
+    std::uint32_t s = order_head_;
+    while (s != kNone && ops_[s].ensured) s = ops_[s].order_next;
+    if (s == kNone) break;
+    serial_active_ = s;
+    // May complete synchronously (all hits) and clear serial_active_;
+    // the loop then starts its successor instead of recursing.
+    serial_advance(s);
+  }
+  serial_starting_ = false;
+}
+
+void Dsm::serial_advance(std::uint32_t op_slot) {
+  Op& op = ops_[op_slot];
+  while (op.cursor < op.npages) {
+    const std::uint64_t page = op.first_page + op.cursor;
+    const PageState st = page_states_[op.node][page];
+    if (st == PageState::kModified ||
+        (st == PageState::kShared && !op.is_write)) {
+      ++stats_.local_page_hits;
+      ++op.cursor;
+      continue;
+    }
+    if (st == PageState::kShared) {
+      // Upgrade: invalidation round trip, no payload.
+      sim_.schedule_in(link_.spec().latency, [this, op_slot] {
+        Op& o = ops_[op_slot];
+        finish_exclusive(o.node, o.first_page + o.cursor);
+        ++o.cursor;
+        serial_advance(op_slot);
+      });
+      return;
+    }
+    // Invalid: one page, one transfer (no coalescing at depth 1).
+    const std::uint32_t u = units_.acquire();
+    units_[u] = Unit{op_slot, pick_source(op.node, page), page, 1, kNone};
+    issue_unit(u);
+    return;
+  }
+  op_ensured(op_slot);
+}
+
+// --- wire transfers (both engines) ------------------------------------------
+
+void Dsm::issue_unit(std::uint32_t unit_slot) {
+  const Unit& unit = units_[unit_slot];
+  Pair& pair = pairs_[pair_index(ops_[unit.op].node, unit.source)];
+  if (pair.in_flight < cfg_.window_depth) {
+    start_unit(unit_slot);
+    return;
+  }
+  // Window full: park the unit; completions re-issue FIFO.
+  if (pair.tail == kNone) {
+    pair.head = unit_slot;
+  } else {
+    units_[pair.tail].next = unit_slot;
+  }
+  pair.tail = unit_slot;
+}
+
+void Dsm::start_unit(std::uint32_t unit_slot) {
+  const Unit& unit = units_[unit_slot];
+  Pair& pair = pairs_[pair_index(ops_[unit.op].node, unit.source)];
+  ++pair.in_flight;
+  ++in_flight_total_;
+  if (in_flight_total_ > stats_.max_in_flight) {
+    stats_.max_in_flight = in_flight_total_;
+  }
+  ++stats_.link_transfers;
+  if (unit.npages > 1) ++stats_.coalesced_runs;
+  const std::uint64_t bytes = unit.npages * cfg_.page_size;
+  stats_.bytes_transferred += bytes;
+  link_.transfer(bytes, [this, unit_slot] { unit_done(unit_slot); });
+}
+
+void Dsm::unit_done(std::uint32_t unit_slot) {
+  const Unit unit = units_[unit_slot];
+  units_.release(unit_slot);
+  Op& op = ops_[unit.op];
+
+  // The run lands in one piece: bytes, then per-page MSI transitions.
+  const std::uint64_t off = unit.first_page * cfg_.page_size;
+  const std::uint64_t bytes = unit.npages * cfg_.page_size;
+  std::copy(memory_[unit.source].begin() + static_cast<long>(off),
+            memory_[unit.source].begin() + static_cast<long>(off + bytes),
+            memory_[op.node].begin() + static_cast<long>(off));
+  stats_.page_transfers += unit.npages;
+  for (std::uint64_t p = unit.first_page; p < unit.first_page + unit.npages;
+       ++p) {
+    if (op.is_write) {
+      finish_exclusive(op.node, p);
+    } else {
+      // Owner downgrades to Shared on a read pull.
+      page_states_[unit.source][p] = PageState::kShared;
+      page_states_[op.node][p] = PageState::kShared;
+    }
+  }
+
+  Pair& pair = pairs_[pair_index(op.node, unit.source)];
+  XAR_ASSERT(pair.in_flight > 0);
+  --pair.in_flight;
+  --in_flight_total_;
+  if (pair.head != kNone) {
+    const std::uint32_t next = pair.head;
+    pair.head = units_[next].next;
+    if (pair.head == kNone) pair.tail = kNone;
+    units_[next].next = kNone;
+    start_unit(next);
+  }
+
+  if (serialized()) {
+    op.cursor += unit.npages;
+    serial_advance(unit.op);
+    return;
+  }
+  for (std::uint64_t p = unit.first_page; p < unit.first_page + unit.npages;
+       ++p) {
+    claims_[op.claims[p - op.first_page]].status = ClaimStatus::kDone;
+  }
+  XAR_ASSERT(op.waiting >= unit.npages);
+  op.waiting -= unit.npages;
+  if (op.waiting == 0) op_ensured(unit.op);
+}
+
+// --- completion -------------------------------------------------------------
+
+void Dsm::op_ensured(std::uint32_t op_slot) {
+  Op& op = ops_[op_slot];
+  XAR_ASSERT(!op.ensured);
+  // Data phase.  Runs while the op still holds every page claim, so no
+  // later transaction can observe or overwrite the spanned bytes first:
+  // the memory image serializes exactly in submission order.
+  auto& mem = memory_[op.node];
+  if (op.is_write) {
+    std::copy(op.data.begin(), op.data.end(),
+              mem.begin() + static_cast<long>(op.addr));
+  } else if (op.out != nullptr) {
+    std::copy(mem.begin() + static_cast<long>(op.addr),
+              mem.begin() + static_cast<long>(op.addr + op.len), op.out);
+  } else if (op.wants_vector) {
+    op.data.assign(mem.begin() + static_cast<long>(op.addr),
+                   mem.begin() + static_cast<long>(op.addr + op.len));
+  }
+  op.ensured = true;
+
+  if (serialized()) {
+    // Begin the successor inside this completion event -- exactly the
+    // legacy engine's start_next_op-before-callback order (the retire
+    // drain only fires callbacks).
+    if (serial_active_ == op_slot) serial_active_ = kNone;
+    schedule_retire();
+    serial_start_next();
+    return;
+  }
+  if (op.npages > 0) {
+    // Release the page claims; each successor that reaches the head of
+    // its queue becomes ready.  Successors are pumped only after every
+    // page is released, so a successor spanning several of our pages
+    // sees them all at once and coalesces its pull into one run.
+    for (std::uint64_t i = 0; i < op.npages; ++i) {
+      const std::uint64_t page = op.first_page + i;
+      const std::uint32_t c = op.claims[i];
+      XAR_ASSERT(page_head_[page] == c);
+      const std::uint32_t next = claims_[c].next;
+      claims_.release(c);
+      page_head_[page] = next;
+      if (next == kNone) {
+        page_tail_[page] = kNone;
+        continue;
+      }
+      claims_[next].status = ClaimStatus::kReady;
+      request_pump(claims_[next].op);
+    }
+    op.claims.clear();
+  }
+  schedule_retire();
+  // Pump the released successors (a no-op when an enclosing pump frame
+  // is already draining, e.g. when an all-hit op ensures synchronously).
+  drain_pumps();
+}
+
+void Dsm::schedule_retire() {
+  if (retire_scheduled_) return;
+  retire_scheduled_ = true;
+  // Zero-delay event: callbacks never fire synchronously from within
+  // read()/write(), and they fire strictly in submission order.
+  sim_.schedule_in(Duration::zero(), [this] { drain_retire(); });
+}
+
+void Dsm::drain_retire() {
+  retire_scheduled_ = false;
+  while (order_head_ != kNone && ops_[order_head_].ensured) {
+    const std::uint32_t s = order_head_;
+    Op& op = ops_[s];
+    order_head_ = op.order_next;
+    if (order_head_ == kNone) order_tail_ = kNone;
+    ReadCallback on_read = std::move(op.on_read);
+    Callback on_done = std::move(op.on_done);
+    std::vector<std::byte> result;
+    const bool vector_read = op.wants_vector;
+    if (vector_read) result = std::move(op.data);
+    ops_.release(s);  // the slot's buffers stay warm for reuse
+    if (vector_read) {
+      on_read(std::move(result));
+    } else {
+      on_done();
+    }
+  }
+}
+
+// --- invariants -------------------------------------------------------------
 
 void Dsm::check_invariants() const {
   for (std::uint64_t p = 0; p < pages_; ++p) {

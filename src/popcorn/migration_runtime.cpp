@@ -12,26 +12,15 @@ void MigrationRuntime::migrate(const MachineState& state,
                                MigrationCallback on_arrival,
                                bool charge_transform_cost) {
   XAR_EXPECTS(on_arrival != nullptr);
-  // Transform eagerly (functional result), optionally charging its CPU
-  // time before the wire transfer starts.
+  // Transform eagerly (functional result); its cost is charged
+  // concurrently with the wire burst, which starts right away.
   MachineState transformed = transformer_->transform(state, dst_isa);
   const std::uint64_t payload =
       working_set_bytes + transformed.frame_size() +
       64 * 8;  // register file image
-
-  auto send = [this, payload, transformed = std::move(transformed),
-               cb = std::move(on_arrival)]() mutable {
-    ethernet_.transfer(payload, [this, transformed = std::move(transformed),
-                                 cb = std::move(cb)]() mutable {
-      deliver_arrival(std::move(transformed), std::move(cb));
-    });
-  };
-
-  if (charge_transform_cost) {
-    sim_.schedule_in(transformer_->transform_cost(state), std::move(send));
-  } else {
-    send();
-  }
+  overlap_and_deliver(transformer_->transform_cost(state), payload,
+                      std::move(transformed), std::move(on_arrival),
+                      charge_transform_cost);
 }
 
 void MigrationRuntime::migrate_stack(
@@ -43,20 +32,9 @@ void MigrationRuntime::migrate_stack(
   ThreadStack transformed = transformer_->transform_stack(stack, dst_isa);
   const std::uint64_t payload =
       working_set_bytes + transformed.total_frame_bytes() + 64 * 8;
-
-  auto send = [this, payload, transformed = std::move(transformed),
-               cb = std::move(on_arrival)]() mutable {
-    ethernet_.transfer(payload, [this, transformed = std::move(transformed),
-                                 cb = std::move(cb)]() mutable {
-      deliver_arrival(std::move(transformed), std::move(cb));
-    });
-  };
-  if (charge_transform_cost) {
-    sim_.schedule_in(transformer_->stack_transform_cost(stack),
-                     std::move(send));
-  } else {
-    send();
-  }
+  overlap_and_deliver(transformer_->stack_transform_cost(stack), payload,
+                      std::move(transformed), std::move(on_arrival),
+                      charge_transform_cost);
 }
 
 }  // namespace xartrek::popcorn

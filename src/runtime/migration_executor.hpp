@@ -3,9 +3,11 @@
 //
 //  x86:  the function's software demand enters the x86 run queue.
 //  ARM:  Popcorn software migration -- state transformation on the
-//        source CPU, program state + working set over the shared
-//        Ethernet, ARM execution, then the return trip (paper §3.2;
-//        the costs the threshold estimator measures "in locus").
+//        source CPU overlapped with the program state + working set
+//        burst on the shared Ethernet (each direction costs
+//        max(transform, transfer)), ARM execution, then the return
+//        trip (paper §3.2; the costs the threshold estimator measures
+//        "in locus").
 //  FPGA: XRT hardware migration -- fixed OpenCL call overhead, input
 //        DMA over shared PCIe, the kernel's compute unit, output DMA.
 //        No state transformation: hardware kernels take self-contained

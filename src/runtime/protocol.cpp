@@ -75,8 +75,11 @@ void encode_payload(const TableSyncMsg& m, Writer& w) {
 }
 
 void end_frame(Writer& w, std::size_t length_at) {
-  w.patch_u32(length_at,
-              static_cast<std::uint32_t>(w.size() - kHeaderBytes));
+  // The payload starts right after the 4-byte length field, so this is
+  // position-independent: it frames correctly whether the buffer was
+  // cleared first or the frame was appended to a packed arena.
+  w.patch_u32(length_at, static_cast<std::uint32_t>(
+                             w.size() - length_at - sizeof(std::uint32_t)));
   XAR_ENSURES(w.size() >= kHeaderBytes);
 }
 
@@ -90,11 +93,10 @@ void encode_message_into(const Message& message, std::vector<std::byte>& out) {
   end_frame(w, length_at);
 }
 
-void encode_placement_request_into(std::string_view app,
-                                   std::string_view kernel,
-                                   std::uint32_t pid,
-                                   std::vector<std::byte>& out) {
-  out.clear();
+void encode_placement_request_append(std::string_view app,
+                                     std::string_view kernel,
+                                     std::uint32_t pid,
+                                     std::vector<std::byte>& out) {
   Writer w(out);
   const std::size_t length_at =
       begin_frame(w, MessageType::kPlacementRequest);
@@ -231,6 +233,44 @@ Message to_owning(const MessageView& view) {
 Message decode_message(std::span<const std::byte> buffer) {
   // One decoder: the owning form materializes the borrowed one.
   return to_owning(decode_message_view(buffer));
+}
+
+void decode_placement_request_arena(std::span<const std::byte> arena,
+                                    std::size_t count,
+                                    std::vector<PlacementRequestView>& out) {
+  out.clear();
+  std::size_t off = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    if (arena.size() - off < kHeaderBytes) {
+      throw Error("protocol: arena shorter than frame header");
+    }
+    Reader h(arena.subspan(off, kHeaderBytes));
+    if (h.u16() != kProtocolMagic) throw Error("protocol: bad magic");
+    if (h.u8() != kProtocolVersion) {
+      throw Error("protocol: unsupported version");
+    }
+    if (h.u8() !=
+        static_cast<std::uint8_t>(MessageType::kPlacementRequest)) {
+      throw Error("protocol: arena frame is not a PlacementRequest");
+    }
+    const std::uint32_t payload_len = h.u32();
+    if (arena.size() - off - kHeaderBytes < payload_len) {
+      throw Error("protocol: payload length mismatch");
+    }
+    Reader r(arena.subspan(off + kHeaderBytes, payload_len));
+    PlacementRequestView m;
+    m.app = r.str_view();
+    m.kernel = r.str_view();
+    m.pid = r.u32();
+    if (r.remaining() != 0) {
+      throw Error("protocol: trailing bytes after payload");
+    }
+    out.push_back(m);
+    off += kHeaderBytes + payload_len;
+  }
+  if (off != arena.size()) {
+    throw Error("protocol: trailing bytes after arena");
+  }
 }
 
 }  // namespace xartrek::runtime

@@ -154,11 +154,25 @@ void encode_table_sync_into(const ThresholdEntry& entry,
                             std::vector<std::byte>& out);
 
 /// Frame one PlacementRequest straight from borrowed fields, without
-/// materializing a Message (the server's per-request encode path).
-void encode_placement_request_into(std::string_view app,
-                                   std::string_view kernel,
-                                   std::uint32_t pid,
-                                   std::vector<std::byte>& out);
+/// materializing a Message, appending to `out` without clearing it:
+/// same-instant requests pack back to back into one arena buffer, which
+/// the batch decoder below consumes in a single pass.  (Clear `out`
+/// first for a standalone frame.)
+void encode_placement_request_append(std::string_view app,
+                                     std::string_view kernel,
+                                     std::uint32_t pid,
+                                     std::vector<std::byte>& out);
+
+/// Vectorized batch decode: parse `count` back-to-back PlacementRequest
+/// frames from `arena` in one pass, appending a borrowed view per frame
+/// to `out` (cleared first; capacity kept).  Equivalent to calling
+/// decode_message_view per frame -- same strictness (bad magic/version,
+/// wrong type, truncation, trailing bytes all throw) -- but skips the
+/// per-frame variant construction and dispatch, so a spike tick's whole
+/// arena decodes at streaming speed.  The views alias `arena`.
+void decode_placement_request_arena(std::span<const std::byte> arena,
+                                    std::size_t count,
+                                    std::vector<PlacementRequestView>& out);
 
 /// Parse one framed message.  Throws xartrek::Error on bad magic,
 /// unsupported version, unknown type, truncation, or trailing bytes.

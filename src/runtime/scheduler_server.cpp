@@ -123,16 +123,15 @@ void SchedulerServer::request_placement(std::string_view app,
   XAR_EXPECTS(on_decision != nullptr);
   // The client marshals its request over the socket; the server decodes
   // it after the round-trip delay.  Running the real codec on every
-  // request keeps the wire format honest in every experiment.  The wire
-  // bytes and the callback park in a pooled PendingRequest slot; the
-  // slot chains into the batch of every other request arriving at this
-  // same instant, so a whole spike tick shares ONE scheduled event, one
-  // load sample and one residency probe per app.  The event captures
-  // only {this, batch} -- trivially copyable, inside the engine's
-  // inline buffer, zero per-request allocations.
+  // request keeps the wire format honest in every experiment.  The
+  // callback parks in a pooled PendingRequest slot and the wire frame
+  // packs into the open batch's arena, back to back with every other
+  // request arriving at this same instant -- so a whole spike tick
+  // shares ONE scheduled event, one vectorized decode sweep, one load
+  // sample and one residency probe per app.  The event captures only
+  // {this, batch} -- trivially copyable, inside the engine's inline
+  // buffer, zero per-request allocations.
   const std::uint32_t slot = pending_.acquire();
-  encode_placement_request_into(app, /*kernel=*/{}, /*pid=*/0,
-                                pending_[slot].wire);
   pending_[slot].on_decision = std::move(on_decision);
   pending_[slot].next = sim::SlotPool<int>::kNoSlot;
 
@@ -142,13 +141,21 @@ void SchedulerServer::request_placement(std::string_view app,
     // round-trip deadline.  A still-open earlier batch keeps its
     // already-scheduled pass; it just stops accepting requests.
     open_batch_ = batches_.acquire();
-    batches_[open_batch_] = Batch{};  // recycled slots keep old values
+    // Recycled slots keep old values; reset fields individually so the
+    // arena's warm capacity survives.
+    Batch& fresh = batches_[open_batch_];
+    fresh.head = sim::SlotPool<int>::kNoSlot;
+    fresh.tail = sim::SlotPool<int>::kNoSlot;
+    fresh.count = 0;
+    fresh.arena.clear();
     open_batch_at_ = sim_.now();
     const std::uint32_t batch_slot = open_batch_;
     sim_.schedule_in(opts_.request_overhead,
                      [this, batch_slot] { finish_batch(batch_slot); });
   }
   Batch& batch = batches_[open_batch_];
+  encode_placement_request_append(app, /*kernel=*/{}, /*pid=*/0,
+                                  batch.arena);
   if (batch.tail == sim::SlotPool<int>::kNoSlot) {
     batch.head = slot;
   } else {
@@ -160,10 +167,24 @@ void SchedulerServer::request_placement(std::string_view app,
 
 void SchedulerServer::finish_batch(std::uint32_t batch_slot) {
   if (open_batch_ == batch_slot) open_batch_ = sim::SlotPool<int>::kNoSlot;
-  const Batch batch = batches_[batch_slot];
+  // Swap (not copy) the arena out: the batch slot inherits the old
+  // scratch buffer, so both capacities keep cycling without a single
+  // allocation, and a decision callback that re-enters
+  // request_placement writes into a *different* batch's arena while the
+  // views below stay stable.
+  Batch& finishing = batches_[batch_slot];
+  arena_scratch_.swap(finishing.arena);
+  const std::uint32_t head = finishing.head;
+  const std::uint32_t count = finishing.count;
   batches_.release(batch_slot);
   ++stats_.batches;
-  if (batch.count > stats_.max_batch) stats_.max_batch = batch.count;
+  if (count > stats_.max_batch) stats_.max_batch = count;
+
+  // ONE vectorized decode sweep over the packed arena replaces the
+  // per-request decode_message_view calls: a single pass touches the
+  // frames in memory order and skips the per-frame variant dispatch.
+  // Every view aliases arena_scratch_.
+  decode_placement_request_arena(arena_scratch_, count, views_scratch_);
 
   // ONE load-monitor sample serves the whole batch: every same-instant
   // request sees the same sampled load, exactly as the paper's
@@ -172,14 +193,15 @@ void SchedulerServer::finish_batch(std::uint32_t batch_slot) {
   probe_cache_.clear();
   probe_cache_version_ = device_.residency_version();
 
-  std::uint32_t slot = batch.head;
+  std::uint32_t slot = head;
+  std::uint32_t index = 0;
   std::exception_ptr deferred;
   while (slot != sim::SlotPool<int>::kNoSlot) {
     // The callback inside finish_one may re-enter request_placement and
     // recycle slots, so read the link before processing.
     const std::uint32_t next = pending_[slot].next;
     try {
-      finish_one(slot, load);
+      finish_one(slot, load, views_scratch_[index]);
     } catch (...) {
       // One bad request must not swallow its batch-mates' decisions:
       // under the old per-request events they would each have fired
@@ -188,20 +210,20 @@ void SchedulerServer::finish_batch(std::uint32_t batch_slot) {
       if (deferred == nullptr) deferred = std::current_exception();
     }
     slot = next;
+    ++index;
   }
   if (deferred != nullptr) std::rethrow_exception(deferred);
 }
 
-void SchedulerServer::finish_one(std::uint32_t slot, int load) {
+void SchedulerServer::finish_one(std::uint32_t slot, int load,
+                                 const PlacementRequestView& request) {
   ++stats_.requests;
-  // Borrowed decode: `request.app` aliases the slot's wire buffer, and
+  // Borrowed resolve: `request.app` aliases the batch arena, and
   // resolves against the table's interned AppId index without a single
   // string copy.
-  const auto request =
-      std::get<PlacementRequestView>(decode_message_view(pending_[slot].wire));
   const AppId app_id = table_.id_of(request.app);
   if (app_id == kInvalidAppId) {
-    std::string app(request.app);  // the view dies with the slot
+    std::string app(request.app);  // the view dies with the batch pass
     pending_[slot].on_decision = nullptr;  // drop the callback's captures
     pending_.release(slot);
     throw Error("threshold table has no entry for `" + app + "`");
@@ -261,10 +283,11 @@ void SchedulerServer::finish_one(std::uint32_t slot, int load) {
   }
   log_.trace("server: app=", request.app, " load=", load, " -> ",
              to_string(decision.target));
-  // Every borrowed view above is dead before the slot recycles; the
-  // callback runs last so it may immediately issue the next request.
+  // The request view stays valid (it aliases the pass's arena scratch,
+  // not the slot); the callback runs last so it may immediately issue
+  // the next request.
   DecisionCallback cb = std::move(pending_[slot].on_decision);
-  pending_.release(slot);  // the wire buffer stays warm for reuse
+  pending_.release(slot);
   answer(std::move(cb), decision);
 }
 

@@ -10,19 +10,24 @@
 // transfer and programming latency (paper §3.4).
 //
 // Steady-state request path (submit -> encode -> decode -> decide ->
-// callback) is allocation-free and O(log n): the wire frame and the
-// decision callback live in a pooled PendingRequest slot, the scheduled
-// event captures only {server, slot} (trivially copyable, stays inside
-// the engine's inline buffer), the decode borrows string_views straight
-// from the frame, and the app name is interned to a dense AppId against
-// the threshold table without materializing a std::string.
+// callback) is allocation-free and O(log n): the decision callback
+// lives in a pooled PendingRequest slot, the wire frame packs into its
+// batch's arena, the scheduled event captures only {server, batch}
+// (trivially copyable, stays inside the engine's inline buffer), the
+// decode borrows string_views straight from the arena, and the app
+// name is interned to a dense AppId against the threshold table
+// without materializing a std::string.
 //
 // Requests arriving at the same instant (a spike tick) are batched into
 // ONE decision pass: they share a single pooled Batch, one scheduled
-// event, one load-monitor sample, and one kernel-residency probe per
-// distinct app -- the per-request constant at spike scale is the decode
-// plus the Algorithm-2 arithmetic.  A batch of one behaves exactly like
-// the unbatched path, so request/decision semantics are unchanged.
+// event, one *vectorized decode sweep* over the packed frame arena
+// (decode_placement_request_arena -- a single pass in memory order
+// instead of one decode_message_view call per request), one
+// load-monitor sample, and one kernel-residency probe per distinct app
+// -- the per-request constant at spike scale is a handful of bounds
+// checks plus the Algorithm-2 arithmetic.  A batch of one behaves
+// exactly like the unbatched path, so request/decision semantics are
+// unchanged.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +41,7 @@
 #include "common/time.hpp"
 #include "fpga/device.hpp"
 #include "runtime/load_monitor.hpp"
+#include "runtime/protocol.hpp"
 #include "runtime/target.hpp"
 #include "runtime/threshold_table.hpp"
 #include "sim/callback.hpp"
@@ -132,32 +138,36 @@ class SchedulerServer {
   [[nodiscard]] std::vector<std::vector<std::byte>> broadcast_table() const;
 
  private:
-  /// One in-flight request: the encoded frame travelling the simulated
-  /// socket plus the client's decision callback.  Slots recycle through
-  /// the pool's free list; a released slot's wire buffer keeps its
-  /// capacity, so the steady state re-uses a few warm buffers instead
-  /// of allocating.  `next` chains same-instant requests into their
-  /// batch's intrusive FIFO.
+  /// One in-flight request: the client's decision callback.  The wire
+  /// frame itself lives packed in its batch's arena (below).  Slots
+  /// recycle through the pool's free list; `next` chains same-instant
+  /// requests into their batch's intrusive FIFO.
   struct PendingRequest {
-    std::vector<std::byte> wire;
     DecisionCallback on_decision;
     std::uint32_t next = sim::SlotPool<int>::kNoSlot;
   };
 
-  /// Same-instant requests awaiting the shared decision pass.
+  /// Same-instant requests awaiting the shared decision pass.  Their
+  /// encoded frames pack back to back into `arena` (one warm buffer per
+  /// batch slot, capacity kept across recycles), so the decision pass
+  /// decodes the whole spike tick in a single vectorized sweep instead
+  /// of one decode_message_view call per request.
   struct Batch {
     std::uint32_t head = sim::SlotPool<int>::kNoSlot;
     std::uint32_t tail = sim::SlotPool<int>::kNoSlot;
     std::uint32_t count = 0;
+    std::vector<std::byte> arena;
   };
 
   void maybe_start_reconfiguration(std::string_view kernel);
   /// Event body: one decision pass over every request in `batch_slot`
-  /// (one load sample, shared residency probes), answering each client.
+  /// (one arena decode sweep, one load sample, shared residency
+  /// probes), answering each client.
   void finish_batch(std::uint32_t batch_slot);
-  /// Decode, decide and answer the single request in `slot` against the
-  /// batch-shared load sample.
-  void finish_one(std::uint32_t slot, int load);
+  /// Decide and answer the single request in `slot` against the
+  /// batch-shared load sample and its decoded view.
+  void finish_one(std::uint32_t slot, int load,
+                  const PlacementRequestView& request);
   /// Run or remotely deliver one client's decision callback.
   void answer(DecisionCallback cb, PlacementDecision decision);
 
@@ -185,6 +195,12 @@ class SchedulerServer {
   /// decision or callback can mutate residency synchronously.
   std::vector<std::pair<AppId, bool>> probe_cache_;
   std::uint64_t probe_cache_version_ = 0;
+  /// Decision-pass scratch: the finishing batch's arena is swapped in
+  /// here (a re-entrant request_placement from a decision callback
+  /// appends to a *new* batch's arena, never this one) and the decoded
+  /// views alias it.  Both keep their capacity across passes.
+  std::vector<std::byte> arena_scratch_;
+  std::vector<PlacementRequestView> views_scratch_;
 };
 
 }  // namespace xartrek::runtime

@@ -1,0 +1,60 @@
+// Allocation-free FIFO ring queue.
+//
+// Components that park move-only callbacks (hw::Link's latency-phase
+// queue, anything with a bounded breathing FIFO) need a queue whose
+// steady state never touches the allocator.  std::deque frees and
+// re-acquires its chunks as the queue empties and refills, which shows
+// up as per-wave allocations on the streaming paths; this ring keeps
+// one power-of-two buffer that only ever grows.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace xartrek::sim {
+
+template <typename T>
+class RingQueue {
+ public:
+  void push(T value) {
+    if (size_ == buf_.size()) grow();
+    buf_[(head_ + size_) & (buf_.size() - 1)] = std::move(value);
+    ++size_;
+  }
+
+  [[nodiscard]] T pop() {
+    XAR_EXPECTS(size_ > 0);
+    T value = std::move(buf_[head_]);
+    head_ = (head_ + 1) & (buf_.size() - 1);
+    --size_;
+    return value;
+  }
+
+  [[nodiscard]] T& front() {
+    XAR_EXPECTS(size_ > 0);
+    return buf_[head_];
+  }
+
+  [[nodiscard]] std::size_t size() const { return size_; }
+  [[nodiscard]] bool empty() const { return size_ == 0; }
+
+ private:
+  void grow() {
+    const std::size_t cap = buf_.empty() ? 8 : buf_.size() * 2;
+    std::vector<T> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = std::move(buf_[(head_ + i) & (buf_.size() - 1)]);
+    }
+    buf_ = std::move(next);
+    head_ = 0;
+  }
+
+  std::vector<T> buf_;  ///< power-of-two capacity; grows, never shrinks
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace xartrek::sim

@@ -1,0 +1,643 @@
+// Pipelined DSM data path: window-depth-1 trace equivalence against a
+// replica of the legacy serialized engine, randomized multi-node
+// read/write fuzz with invariant checks after every drain, run
+// coalescing and per-pair window behavior, and the zero-length /
+// page-straddling / end-of-memory edge cases.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "hw/link.hpp"
+#include "popcorn/dsm.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek {
+namespace {
+
+using popcorn::Dsm;
+using popcorn::PageState;
+
+// --- legacy serialized engine (the pre-pipelining design, verbatim) ---------
+//
+// One global FIFO, one transaction in flight, pages ensured one at a
+// time, every Invalid page its own wire transfer.  The pipelined
+// engine at window_depth == 1 must reproduce this trace exactly.
+
+class LegacyDsm {
+ public:
+  using Callback = std::function<void()>;
+  using ReadCallback = std::function<void(std::vector<std::byte>)>;
+
+  LegacyDsm(sim::Simulation& sim, hw::Link& link, std::size_t nodes,
+            std::uint64_t memory_bytes, std::uint64_t page_size)
+      : sim_(sim), link_(link), nodes_(nodes), page_size_(page_size) {
+    pages_ = memory_bytes / page_size;
+    memory_.resize(nodes);
+    page_states_.resize(nodes);
+    for (std::size_t n = 0; n < nodes; ++n) {
+      memory_[n].assign(memory_bytes, std::byte{0});
+      page_states_[n].assign(pages_, n == 0 ? PageState::kModified
+                                            : PageState::kInvalid);
+    }
+  }
+
+  void read(std::size_t node, std::uint64_t addr, std::uint64_t len,
+            ReadCallback on_done) {
+    op_queue_.push_back(
+        Op{false, node, addr, len, {}, std::move(on_done), nullptr});
+    if (!op_active_) start_next_op();
+  }
+
+  void write(std::size_t node, std::uint64_t addr,
+             std::vector<std::byte> data, Callback on_done) {
+    op_queue_.push_back(Op{true, node, addr, data.size(), std::move(data),
+                           nullptr, std::move(on_done)});
+    if (!op_active_) start_next_op();
+  }
+
+  [[nodiscard]] PageState page_state(std::size_t node,
+                                     std::uint64_t page) const {
+    return page_states_[node][page];
+  }
+  [[nodiscard]] std::uint64_t page_transfers() const {
+    return page_transfers_;
+  }
+  [[nodiscard]] std::uint64_t local_page_hits() const { return hits_; }
+  [[nodiscard]] std::uint64_t invalidations() const { return invalidations_; }
+
+ private:
+  struct Op {
+    bool is_write;
+    std::size_t node;
+    std::uint64_t addr;
+    std::uint64_t len;
+    std::vector<std::byte> data;
+    ReadCallback on_read;
+    Callback on_write;
+  };
+
+  void start_next_op() {
+    if (op_queue_.empty()) {
+      op_active_ = false;
+      return;
+    }
+    op_active_ = true;
+    auto op = std::make_shared<Op>(std::move(op_queue_.front()));
+    op_queue_.pop_front();
+    const std::uint64_t first = op->addr / page_size_;
+    const std::uint64_t last =
+        op->len == 0 ? first : (op->addr + op->len - 1) / page_size_;
+    ensure_pages(op->node, first, last, op->is_write, [this, op] {
+      if (op->is_write) {
+        std::copy(op->data.begin(), op->data.end(),
+                  memory_[op->node].begin() + static_cast<long>(op->addr));
+        auto cb = std::move(op->on_write);
+        start_next_op();
+        cb();
+      } else {
+        std::vector<std::byte> out(
+            memory_[op->node].begin() + static_cast<long>(op->addr),
+            memory_[op->node].begin() +
+                static_cast<long>(op->addr + op->len));
+        auto cb = std::move(op->on_read);
+        start_next_op();
+        cb(std::move(out));
+      }
+    });
+  }
+
+  void ensure_pages(std::size_t node, std::uint64_t first, std::uint64_t last,
+                    bool exclusive, Callback on_ready) {
+    if (first > last) {
+      on_ready();
+      return;
+    }
+    ensure_one_page(node, first, exclusive,
+                    [this, node, first, last, exclusive,
+                     cb = std::move(on_ready)]() mutable {
+                      ensure_pages(node, first + 1, last, exclusive,
+                                   std::move(cb));
+                    });
+  }
+
+  void ensure_one_page(std::size_t node, std::uint64_t page, bool exclusive,
+                       Callback on_ready) {
+    PageState& mine = page_states_[node][page];
+    auto finish_exclusive = [this, node, page] {
+      for (std::size_t n = 0; n < nodes_; ++n) {
+        if (n != node && page_states_[n][page] != PageState::kInvalid) {
+          page_states_[n][page] = PageState::kInvalid;
+          ++invalidations_;
+        }
+      }
+      page_states_[node][page] = PageState::kModified;
+    };
+    if (mine == PageState::kModified ||
+        (mine == PageState::kShared && !exclusive)) {
+      ++hits_;
+      sim_.schedule_in(Duration::zero(), std::move(on_ready));
+      return;
+    }
+    if (mine == PageState::kShared && exclusive) {
+      sim_.schedule_in(link_.spec().latency,
+                       [finish_exclusive, cb = std::move(on_ready)]() mutable {
+                         finish_exclusive();
+                         cb();
+                       });
+      return;
+    }
+    std::size_t source = nodes_;
+    for (std::size_t n = 0; n < nodes_; ++n) {
+      if (n == node) continue;
+      if (page_states_[n][page] == PageState::kModified) {
+        source = n;
+        break;
+      }
+      if (page_states_[n][page] == PageState::kShared && source == nodes_) {
+        source = n;
+      }
+    }
+    ASSERT_LT(source, nodes_);
+    link_.transfer(page_size_, [this, node, page, source, exclusive,
+                                finish_exclusive,
+                                cb = std::move(on_ready)]() mutable {
+      const std::uint64_t off = page * page_size_;
+      std::copy(memory_[source].begin() + static_cast<long>(off),
+                memory_[source].begin() + static_cast<long>(off + page_size_),
+                memory_[node].begin() + static_cast<long>(off));
+      ++page_transfers_;
+      if (exclusive) {
+        finish_exclusive();
+      } else {
+        page_states_[source][page] = PageState::kShared;
+        page_states_[node][page] = PageState::kShared;
+      }
+      cb();
+    });
+  }
+
+  sim::Simulation& sim_;
+  hw::Link& link_;
+  std::size_t nodes_;
+  std::uint64_t page_size_;
+  std::uint64_t pages_;
+  std::vector<std::vector<std::byte>> memory_;
+  std::vector<std::vector<PageState>> page_states_;
+  std::uint64_t page_transfers_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t invalidations_ = 0;
+  std::deque<Op> op_queue_;
+  bool op_active_ = false;
+};
+
+// --- shared op scripts ------------------------------------------------------
+
+struct ScriptOp {
+  bool is_write = false;
+  std::size_t node = 0;
+  std::uint64_t addr = 0;
+  std::uint64_t len = 0;
+  std::uint8_t fill = 0;  // write payload byte pattern
+};
+
+constexpr std::size_t kNodes = 3;
+constexpr std::uint64_t kMemory = 64 * 1024;
+constexpr std::uint64_t kPage = 4096;
+
+std::vector<std::vector<ScriptOp>> make_script(std::uint64_t seed,
+                                               std::size_t rounds,
+                                               bool allow_empty) {
+  Rng rng(seed);
+  std::vector<std::vector<ScriptOp>> script(rounds);
+  for (auto& round : script) {
+    const std::size_t burst =
+        static_cast<std::size_t>(rng.uniform_int(1, 24));
+    for (std::size_t i = 0; i < burst; ++i) {
+      ScriptOp op;
+      op.is_write = rng.bernoulli(0.3);
+      op.node = rng.pick_index(kNodes);
+      op.addr = static_cast<std::uint64_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(kMemory)));
+      const int shape = static_cast<int>(rng.uniform_int(0, 9));
+      if (shape == 0 && allow_empty) {
+        op.len = 0;
+      } else if (shape <= 4) {
+        op.len = static_cast<std::uint64_t>(rng.uniform_int(1, 64));
+      } else if (shape <= 7) {
+        op.len = static_cast<std::uint64_t>(
+            rng.uniform_int(1, 3 * static_cast<std::int64_t>(kPage)));
+      } else {
+        op.len = static_cast<std::uint64_t>(
+            rng.uniform_int(1, 8 * static_cast<std::int64_t>(kPage)));
+      }
+      if (op.addr > kMemory) op.addr = kMemory;
+      if (op.addr + op.len > kMemory) op.len = kMemory - op.addr;
+      if (op.len == 0 && !allow_empty) {
+        op.addr = 0;
+        op.len = 1;
+      }
+      op.fill = static_cast<std::uint8_t>(rng.uniform_int(1, 255));
+      round.push_back(op);
+    }
+  }
+  return script;
+}
+
+struct Completion {
+  std::size_t op_index;
+  double at_ms;
+  std::vector<std::byte> bytes;  // reads
+};
+
+// --- window depth 1 == legacy trace -----------------------------------------
+
+TEST(DsmTraceEquivalenceTest, Depth1MatchesLegacySerializedEngine) {
+  const auto script = make_script(/*seed=*/0xD5A1, /*rounds=*/20,
+                                  /*allow_empty=*/false);
+
+  auto run_new = [&script] {
+    sim::Simulation sim;
+    hw::Link eth(sim, hw::ethernet_1gbps());
+    Dsm dsm(sim, eth, Dsm::Config{kNodes, kMemory, kPage, 1});
+    std::vector<Completion> done;
+    std::size_t index = 0;
+    for (const auto& round : script) {
+      for (const auto& op : round) {
+        const std::size_t my = index++;
+        if (op.is_write) {
+          dsm.write(op.node, op.addr,
+                    std::vector<std::byte>(op.len, std::byte{op.fill}),
+                    [&done, &sim, my] {
+                      done.push_back({my, sim.now().to_ms(), {}});
+                    });
+        } else {
+          dsm.read(op.node, op.addr, op.len,
+                   [&done, &sim, my](std::vector<std::byte> b) {
+                     done.push_back({my, sim.now().to_ms(), std::move(b)});
+                   });
+        }
+      }
+      sim.run();
+      dsm.check_invariants();
+    }
+    struct Result {
+      std::vector<Completion> done;
+      std::uint64_t transfers, hits, invalidations;
+      double delivered_mb;
+      std::vector<PageState> states;
+    } r{std::move(done), dsm.stats().page_transfers,
+        dsm.stats().local_page_hits, dsm.stats().invalidations,
+        eth.delivered_mb(), {}};
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      for (std::uint64_t p = 0; p < dsm.page_count(); ++p) {
+        r.states.push_back(dsm.page_state(n, p));
+      }
+    }
+    return r;
+  };
+
+  auto run_legacy = [&script] {
+    sim::Simulation sim;
+    hw::Link eth(sim, hw::ethernet_1gbps());
+    LegacyDsm dsm(sim, eth, kNodes, kMemory, kPage);
+    std::vector<Completion> done;
+    std::size_t index = 0;
+    for (const auto& round : script) {
+      for (const auto& op : round) {
+        const std::size_t my = index++;
+        if (op.is_write) {
+          dsm.write(op.node, op.addr,
+                    std::vector<std::byte>(op.len, std::byte{op.fill}),
+                    [&done, &sim, my] {
+                      done.push_back({my, sim.now().to_ms(), {}});
+                    });
+        } else {
+          dsm.read(op.node, op.addr, op.len,
+                   [&done, &sim, my](std::vector<std::byte> b) {
+                     done.push_back({my, sim.now().to_ms(), std::move(b)});
+                   });
+        }
+      }
+      sim.run();
+    }
+    struct Result {
+      std::vector<Completion> done;
+      std::uint64_t transfers, hits, invalidations;
+      double delivered_mb;
+      std::vector<PageState> states;
+    } r{std::move(done), dsm.page_transfers(), dsm.local_page_hits(),
+        dsm.invalidations(), eth.delivered_mb(), {}};
+    for (std::size_t n = 0; n < kNodes; ++n) {
+      for (std::uint64_t p = 0; p < kMemory / kPage; ++p) {
+        r.states.push_back(dsm.page_state(n, p));
+      }
+    }
+    return r;
+  };
+
+  const auto pipelined = run_new();
+  const auto legacy = run_legacy();
+
+  ASSERT_EQ(pipelined.done.size(), legacy.done.size());
+  for (std::size_t i = 0; i < legacy.done.size(); ++i) {
+    EXPECT_EQ(pipelined.done[i].op_index, legacy.done[i].op_index) << i;
+    EXPECT_DOUBLE_EQ(pipelined.done[i].at_ms, legacy.done[i].at_ms) << i;
+    EXPECT_EQ(pipelined.done[i].bytes, legacy.done[i].bytes) << i;
+  }
+  EXPECT_EQ(pipelined.transfers, legacy.transfers);
+  EXPECT_EQ(pipelined.hits, legacy.hits);
+  EXPECT_EQ(pipelined.invalidations, legacy.invalidations);
+  EXPECT_DOUBLE_EQ(pipelined.delivered_mb, legacy.delivered_mb);
+  EXPECT_EQ(pipelined.states, legacy.states);
+}
+
+// --- randomized multi-node coherence fuzz -----------------------------------
+
+class DsmFuzzTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DsmFuzzTest, InvariantsHoldAndEffectsSerializeInSubmissionOrder) {
+  const std::size_t depth = GetParam();
+  const auto script =
+      make_script(/*seed=*/0xF0 + depth, /*rounds=*/40, /*allow_empty=*/true);
+
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  Dsm dsm(sim, eth, Dsm::Config{kNodes, kMemory, kPage, depth});
+
+  // Flat reference image: ops observably serialize in submission order,
+  // so applying each write at submit time predicts every read exactly.
+  std::vector<std::byte> ref(kMemory, std::byte{0});
+  std::vector<std::size_t> completions;
+  std::vector<std::pair<std::size_t, std::vector<std::byte>>> expected_reads;
+  std::vector<std::pair<std::size_t, std::vector<std::byte>>> actual_reads;
+  std::size_t index = 0;
+
+  for (const auto& round : script) {
+    const std::size_t round_start = index;
+    for (const auto& op : round) {
+      const std::size_t my = index++;
+      if (op.is_write) {
+        std::vector<std::byte> data(op.len, std::byte{op.fill});
+        std::copy(data.begin(), data.end(),
+                  ref.begin() + static_cast<long>(op.addr));
+        dsm.write(op.node, op.addr, std::move(data),
+                  [&completions, my] { completions.push_back(my); });
+      } else {
+        expected_reads.emplace_back(
+            my, std::vector<std::byte>(
+                    ref.begin() + static_cast<long>(op.addr),
+                    ref.begin() + static_cast<long>(op.addr + op.len)));
+        dsm.read(op.node, op.addr, op.len,
+                 [&completions, &actual_reads, my](std::vector<std::byte> b) {
+                   completions.push_back(my);
+                   actual_reads.emplace_back(my, std::move(b));
+                 });
+      }
+    }
+    sim.run();
+    dsm.check_invariants();
+    // Every op of the round completed, in submission order.
+    ASSERT_EQ(completions.size(), index);
+    for (std::size_t i = round_start; i < index; ++i) {
+      EXPECT_EQ(completions[i], i);
+    }
+  }
+
+  ASSERT_EQ(actual_reads.size(), expected_reads.size());
+  for (std::size_t i = 0; i < expected_reads.size(); ++i) {
+    EXPECT_EQ(actual_reads[i].first, expected_reads[i].first);
+    EXPECT_EQ(actual_reads[i].second, expected_reads[i].second) << i;
+  }
+
+  if (depth >= 4) {
+    // The pipelined engine actually pipelined: multi-page pulls fused
+    // and transfers overlapped (deterministic under the fixed seed).
+    EXPECT_GT(dsm.stats().coalesced_runs, 0u);
+    EXPECT_GE(dsm.stats().max_in_flight, 2u);
+    EXPECT_GT(dsm.stats().bytes_per_transfer(), double(kPage));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowDepths, DsmFuzzTest,
+                         ::testing::Values(1u, 4u, 8u));
+
+// --- zero-length, boundary and straddling ops -------------------------------
+
+struct DsmEdgeFixture : ::testing::Test {
+  sim::Simulation sim;
+  hw::Link eth{sim, hw::ethernet_1gbps()};
+  Dsm dsm{sim, eth, Dsm::Config{2, kMemory, kPage, 8}};
+};
+
+TEST_F(DsmEdgeFixture, ZeroLengthReadCompletesWithoutLinkTraffic) {
+  bool done = false;
+  dsm.read(1, 100, 0, [&](std::vector<std::byte> b) {
+    done = true;
+    EXPECT_TRUE(b.empty());
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dsm.stats().page_transfers, 0u);
+  EXPECT_EQ(dsm.stats().link_transfers, 0u);
+  EXPECT_EQ(dsm.stats().local_page_hits, 0u);
+  EXPECT_DOUBLE_EQ(eth.delivered_mb(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.now().to_ms(), 0.0);
+  // The page spanned by `addr` is untouched.
+  EXPECT_EQ(dsm.page_state(1, 0), PageState::kInvalid);
+}
+
+TEST_F(DsmEdgeFixture, ZeroLengthOpAtMemoryBoundaryIsLegal) {
+  // addr == memory_bytes with len == 0 spans no page; the legacy engine
+  // derived page_of(memory_bytes) here and walked off the page table.
+  bool read_done = false;
+  bool write_done = false;
+  dsm.read(1, kMemory, 0,
+           [&](std::vector<std::byte> b) {
+             read_done = true;
+             EXPECT_TRUE(b.empty());
+           });
+  dsm.write(1, kMemory, {}, [&] { write_done = true; });
+  sim.run();
+  EXPECT_TRUE(read_done);
+  EXPECT_TRUE(write_done);
+  EXPECT_EQ(dsm.stats().link_transfers, 0u);
+  EXPECT_DOUBLE_EQ(eth.delivered_mb(), 0.0);
+  dsm.check_invariants();
+}
+
+TEST_F(DsmEdgeFixture, ZeroLengthOpsRetireInSubmissionOrder) {
+  std::vector<int> order;
+  dsm.read(1, 0, 8, [&](std::vector<std::byte>) { order.push_back(0); });
+  dsm.write(1, kMemory, {}, [&] { order.push_back(1); });
+  sim.run();
+  // The empty op costs nothing but still retires after the transfer
+  // submitted before it.
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+}
+
+TEST_F(DsmEdgeFixture, PageStraddlingWriteAcquiresBothPages) {
+  const std::uint64_t addr = kPage - 2;
+  dsm.write(1, addr, std::vector<std::byte>(4, std::byte{0x5A}), [] {});
+  sim.run();
+  EXPECT_EQ(dsm.page_state(1, 0), PageState::kModified);
+  EXPECT_EQ(dsm.page_state(1, 1), PageState::kModified);
+  EXPECT_EQ(dsm.stats().page_transfers, 2u);
+  // Both pages were Invalid and contiguous from the same owner: one
+  // coalesced wire transfer.
+  EXPECT_EQ(dsm.stats().link_transfers, 1u);
+  EXPECT_EQ(dsm.stats().coalesced_runs, 1u);
+  std::vector<std::byte> seen;
+  dsm.read(0, addr, 4, [&](std::vector<std::byte> b) { seen = std::move(b); });
+  sim.run();
+  ASSERT_EQ(seen.size(), 4u);
+  for (auto b : seen) EXPECT_EQ(b, std::byte{0x5A});
+  dsm.check_invariants();
+}
+
+TEST_F(DsmEdgeFixture, EndOfMemoryOpTouchesOnlyTheLastPage) {
+  const std::uint64_t last_page = kMemory / kPage - 1;
+  dsm.read(1, kMemory - 8, 8, [](std::vector<std::byte> b) {
+    EXPECT_EQ(b.size(), 8u);
+  });
+  sim.run();
+  EXPECT_EQ(dsm.page_state(1, last_page), PageState::kShared);
+  EXPECT_EQ(dsm.stats().page_transfers, 1u);
+  dsm.check_invariants();
+}
+
+TEST_F(DsmEdgeFixture, SubmissionInRetireWindowDoesNotStarveQueue) {
+  // Serialized mode: op A in flight, op C queued.  A raw link transfer
+  // of the same size shares the PS pool and completes in the same tick
+  // as A's pull, with its callback running *between* A's op_ensured and
+  // the zero-delay retire drain.  A submission landing in that window
+  // must queue behind C, not start ahead of it (starting ahead used to
+  // strand C and B forever).
+  sim::Simulation sim2;
+  hw::Link eth2(sim2, hw::ethernet_1gbps());
+  Dsm serial(sim2, eth2, Dsm::Config{2, kMemory, kPage, 1});
+  std::vector<char> order;
+  serial.read(1, 0, 1, [&](std::vector<std::byte>) { order.push_back('a'); });
+  serial.read(1, kPage, 1,
+              [&](std::vector<std::byte>) { order.push_back('c'); });
+  eth2.transfer(kPage, [&] {
+    serial.read(1, 2 * kPage, 1,
+                [&](std::vector<std::byte>) { order.push_back('b'); });
+  });
+  sim2.run();
+  serial.check_invariants();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 'a');
+  EXPECT_EQ(order[1], 'c');
+  EXPECT_EQ(order[2], 'b');
+}
+
+// --- coalescing and windowing -----------------------------------------------
+
+TEST(DsmPipelineTest, ContiguousBurstCoalescesIntoOneTransfer) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  const std::uint64_t memory = 1 << 20;
+  Dsm dsm(sim, eth, Dsm::Config{2, memory, kPage, 8});
+  const std::uint64_t pages = 64;
+  bool done = false;
+  dsm.read(1, 0, pages * kPage, [&](std::vector<std::byte> b) {
+    done = true;
+    EXPECT_EQ(b.size(), pages * kPage);
+  });
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(dsm.stats().page_transfers, pages);
+  EXPECT_EQ(dsm.stats().link_transfers, 1u);
+  EXPECT_EQ(dsm.stats().coalesced_runs, 1u);
+  EXPECT_DOUBLE_EQ(dsm.stats().bytes_per_transfer(),
+                   static_cast<double>(pages * kPage));
+  // One latency + 256 KiB at 0.125 MB/ms ~= 0.12 + 2.0 ms, against
+  // 64 * 0.151 ms ~= 9.7 ms serialized.
+  EXPECT_NEAR(sim.now().to_ms(), 2.12, 0.05);
+}
+
+TEST(DsmPipelineTest, WindowOverlapsPageStreamLatencies) {
+  auto stream_time = [](std::size_t depth) {
+    sim::Simulation sim;
+    hw::Link eth(sim, hw::ethernet_1gbps());
+    Dsm dsm(sim, eth, Dsm::Config{2, 1 << 20, kPage, depth});
+    std::size_t done = 0;
+    const std::size_t pages = 64;
+    for (std::size_t p = 0; p < pages; ++p) {
+      // One op per page: nothing to coalesce, the window does the work.
+      dsm.read(1, p * kPage, kPage,
+               [&done](std::vector<std::byte>) { ++done; });
+    }
+    sim.run();
+    EXPECT_EQ(done, pages);
+    return std::pair{sim.now().to_ms(), dsm.stats().max_in_flight};
+  };
+  const auto [serial_ms, serial_peak] = stream_time(1);
+  const auto [windowed_ms, windowed_peak] = stream_time(8);
+  EXPECT_EQ(serial_peak, 1u);
+  EXPECT_EQ(windowed_peak, 8u);
+  // 64 pages serialized pay 64 latencies; windowed pulls overlap them.
+  EXPECT_NEAR(serial_ms, 64 * 0.15125, 0.05);
+  EXPECT_LT(windowed_ms, serial_ms / 2.0);
+}
+
+TEST(DsmPipelineTest, ReadIntoStreamsWithoutResultVectors) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  Dsm dsm(sim, eth, Dsm::Config{2, kMemory, kPage, 8});
+  dsm.write(0, 64, std::vector<std::byte>(16, std::byte{0x7E}), [] {});
+  std::vector<std::byte> buffer(16);
+  bool done = false;
+  dsm.read_into(1, 64, 16, buffer.data(), [&] { done = true; });
+  sim.run();
+  EXPECT_TRUE(done);
+  for (auto b : buffer) EXPECT_EQ(b, std::byte{0x7E});
+  dsm.check_invariants();
+}
+
+TEST(DsmPipelineTest, ConflictingOpsOnOnePageSerializeViaPendingList) {
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  Dsm dsm(sim, eth, Dsm::Config{3, kMemory, kPage, 8});
+  // All in flight at once, all touching page 0: the per-page pending
+  // list must serialize them in submission order.
+  std::vector<int> order;
+  std::vector<std::byte> first_read;
+  std::vector<std::byte> second_read;
+  dsm.write(1, 8, std::vector<std::byte>(8, std::byte{0x11}), [&] {
+    order.push_back(0);
+  });
+  dsm.read(2, 8, 8, [&](std::vector<std::byte> b) {
+    order.push_back(1);
+    first_read = std::move(b);
+  });
+  dsm.write(2, 8, std::vector<std::byte>(8, std::byte{0x22}), [&] {
+    order.push_back(2);
+  });
+  dsm.read(0, 8, 8, [&](std::vector<std::byte> b) {
+    order.push_back(3);
+    second_read = std::move(b);
+  });
+  sim.run();
+  dsm.check_invariants();
+  ASSERT_EQ(order.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(order[i], i);
+  ASSERT_EQ(first_read.size(), 8u);
+  for (auto b : first_read) EXPECT_EQ(b, std::byte{0x11});
+  ASSERT_EQ(second_read.size(), 8u);
+  for (auto b : second_read) EXPECT_EQ(b, std::byte{0x22});
+  // The final read pull downgraded the second writer's copy.
+  EXPECT_EQ(dsm.page_state(2, 0), PageState::kShared);
+  EXPECT_EQ(dsm.page_state(0, 0), PageState::kShared);
+  EXPECT_EQ(dsm.page_state(1, 0), PageState::kInvalid);
+}
+
+}  // namespace
+}  // namespace xartrek
