@@ -1,0 +1,285 @@
+// Cluster-scaling benchmark for the topology-partitioned engine.
+//
+// Drives the identical per-cell workload -- a full testbed stack per
+// cell with a micro-churn background cohort -- through exp::Experiment
+// on the classic single queue and through exp::ClusterExperiment at
+// 1/2/4 cells, and compares aggregate event-processing capacity
+// (sum over shards of events per busy-CPU-second, the same metric
+// BENCH_sim_core.json's sharded section gates).  A second section
+// measures the million-job attach/detach sweep through
+// apps::ShardedLoadGenerator -- per-shard batched bookkeeping --
+// against the same cohort funneled through one CpuCluster process
+// table.  Results land in BENCH_cluster.json (schema: docs/perf.md).
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "apps/benchmark_spec.hpp"
+#include "apps/load_generator.hpp"
+#include "common/cpu_time.hpp"
+#include "exp/cluster.hpp"
+#include "exp/experiment.hpp"
+
+namespace xartrek::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+bool smoke_mode() { return std::getenv("XARTREK_BENCH_SMOKE") != nullptr; }
+
+/// The churn cohort every config runs: short batch jobs whose demand is
+/// spread per lane so completions pave the timeline instead of landing
+/// on one tick.  The job count is what the schedulers' load metric
+/// sees; the demand sets the event rate.
+apps::ShardedLoadGenerator::Options churn_options() {
+  apps::ShardedLoadGenerator::Options opts;
+  opts.run_demand = Duration::ms(0.05);
+  opts.demand_jitter = 0.5;
+  return opts;
+}
+
+struct ConfigResult {
+  double wall_seconds = 0;
+  double busy_seconds = 0;  ///< summed per-shard thread-CPU time
+  std::uint64_t events = 0;
+  std::uint64_t posts = 0;
+  /// Sum over shards of events_i / busy_i: capacity with one core per
+  /// shard (converges to the wall rate on an unloaded multicore).
+  double aggregate_events_per_sec = 0;
+};
+
+/// The classic default engine: one exp::Experiment, one global queue.
+ConfigResult run_single_queue(std::uint64_t total_jobs,
+                              Duration sim_span) {
+  exp::ExperimentOptions options;
+  exp::Experiment exp(apps::paper_benchmarks(), runtime::ThresholdTable{},
+                      options);
+  std::vector<platform::Testbed*> cells{&exp.testbed()};
+  apps::ShardedLoadGenerator load(cells, total_jobs, churn_options());
+  sim::Simulation& sim = exp.simulation();
+  const std::uint64_t before = sim.executed_events();
+  const double cpu0 = thread_cpu_seconds();
+  const auto start = Clock::now();
+  sim.run_until(sim.now() + sim_span);
+  ConfigResult r;
+  r.wall_seconds = seconds_since(start);
+  r.busy_seconds = thread_cpu_seconds() - cpu0;
+  r.events = sim.executed_events() - before;
+  r.aggregate_events_per_sec =
+      static_cast<double>(r.events) / r.busy_seconds;
+  return r;
+}
+
+/// Cross-cell traffic: every 5 ms each cell ships a 64 KiB job image
+/// to its ring neighbor, so the mailbox path carries real load while
+/// the cohorts churn.
+struct HandoffPump {
+  exp::ClusterExperiment* cluster = nullptr;
+  std::size_t cell = 0;
+  void fire() {
+    cluster->handoff(cell, 64 * 1024, [] {});
+    cluster->cell(cell).simulation().schedule_in(Duration::ms(5.0),
+                                                 [this] { fire(); });
+  }
+};
+
+/// The partitioned engine: the same per-cell stack and cohort, N cells
+/// joined by a 2 ms datacenter interconnect (the auto-picked epoch).
+ConfigResult run_cluster(std::size_t cells, std::uint64_t total_jobs,
+                         Duration sim_span) {
+  exp::ClusterSpec spec;
+  spec.cells = cells;
+  spec.parallel = cells > 1;
+  spec.intercell.latency = Duration::ms(2.0);
+  spec.epoch = Duration::ms(2.0);  // also sizes the 1-cell windows
+  exp::ClusterExperiment cluster(apps::paper_benchmarks(),
+                                 runtime::ThresholdTable{}, spec);
+  cluster.set_background_load(total_jobs, churn_options());
+  std::vector<HandoffPump> pumps(cells > 1 ? cells : 0);
+  for (std::size_t c = 0; c < pumps.size(); ++c) {
+    pumps[c] = HandoffPump{&cluster, c};
+    HandoffPump* pump = &pumps[c];
+    cluster.cell(c).simulation().schedule_in(Duration::ms(5.0),
+                                             [pump] { pump->fire(); });
+  }
+  const std::uint64_t before = cluster.engine().engine().executed_events();
+  const auto start = Clock::now();
+  cluster.run_for(sim_span);
+  ConfigResult r;
+  r.wall_seconds = seconds_since(start);
+  r.events = cluster.engine().engine().executed_events() - before;
+  for (std::size_t c = 0; c < cells; ++c) {
+    const sim::ShardStats& st =
+        cluster.engine().engine().stats(static_cast<sim::ShardId>(c));
+    r.busy_seconds += st.busy_seconds;
+    r.posts += st.posts;
+    if (st.busy_seconds > 0.0) {
+      r.aggregate_events_per_sec +=
+          static_cast<double>(st.executed) / st.busy_seconds;
+    }
+  }
+  return r;
+}
+
+struct SweepResult {
+  std::uint64_t jobs = 0;
+  double attach_seconds = 0;
+  double detach_seconds = 0;
+};
+
+/// Attach `jobs` across `cells` testbed cells, let the cohort settle
+/// for one short window, tear it down.
+SweepResult run_attach_detach(std::size_t cells, std::uint64_t jobs) {
+  exp::ClusterSpec spec;
+  spec.cells = cells;
+  spec.parallel = cells > 1;
+  exp::ClusterExperiment cluster(apps::paper_benchmarks(),
+                                 runtime::ThresholdTable{}, spec);
+  SweepResult r;
+  r.jobs = jobs;
+  auto start = Clock::now();
+  cluster.set_background_load(jobs);
+  r.attach_seconds = seconds_since(start);
+  cluster.run_for(Duration::ms(10.0));
+  start = Clock::now();
+  cluster.set_background_load(0);
+  r.detach_seconds = seconds_since(start);
+  return r;
+}
+
+/// The pre-sharding path, replicated faithfully: every job funnels
+/// through ONE CpuCluster with one process-table update per job (the
+/// seed LoadGenerator's attach_process/detach_process loop), one
+/// submit per job into one big PS heap, no up-front reservation.
+SweepResult run_attach_detach_single(std::uint64_t jobs) {
+  exp::Experiment exp(apps::paper_benchmarks(), runtime::ThresholdTable{});
+  hw::CpuCluster& x86 = exp.testbed().x86();
+  std::vector<hw::CpuCluster::JobId> ids(jobs);
+  SweepResult r;
+  r.jobs = jobs;
+  auto start = Clock::now();
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    x86.attach_process();
+    ids[j] = x86.run(apps::mg_b_run_demand(), [] {});
+  }
+  r.attach_seconds = seconds_since(start);
+  exp.simulation().run_until(exp.simulation().now() + Duration::ms(10.0));
+  start = Clock::now();
+  for (std::uint64_t j = 0; j < jobs; ++j) {
+    x86.cancel(ids[j]);
+    x86.detach_process();
+  }
+  r.detach_seconds = seconds_since(start);
+  return r;
+}
+
+void emit_config(std::ostream& os, const char* key, const ConfigResult& r) {
+  os << "    \"" << key << "\": {\n"
+     << "      \"wall_seconds\": " << r.wall_seconds << ",\n"
+     << "      \"busy_seconds\": " << r.busy_seconds << ",\n"
+     << "      \"events\": " << r.events << ",\n"
+     << "      \"wall_events_per_sec\": "
+     << static_cast<double>(r.events) / r.wall_seconds << ",\n"
+     << "      \"aggregate_events_per_sec\": "
+     << r.aggregate_events_per_sec << ",\n"
+     << "      \"posts\": " << r.posts << "\n    }";
+}
+
+int bench_main() {
+  const bool smoke = smoke_mode();
+  const std::uint64_t kJobsPerCell = smoke ? 384 : 512;
+  const Duration kSpan =
+      smoke ? Duration::seconds(0.75) : Duration::seconds(2.0);
+  const std::uint64_t kSweepJobs = smoke ? 100'000 : 1'000'000;
+  constexpr std::size_t kSweepCells = 4;
+  const std::uint64_t kTotalJobs = 4 * kJobsPerCell;
+
+  std::cerr << "[cluster_bench] churn: " << kTotalJobs << " jobs over "
+            << kSpan.to_seconds() << " sim-seconds per config...\n";
+  // Best of two per config, selected by the gated metric, so a noisy
+  // neighbor's timeslice does not land in the scaling ratios.
+  auto best2 = [](auto f) {
+    const auto a = f();
+    const auto b = f();
+    return a.aggregate_events_per_sec >= b.aggregate_events_per_sec ? a
+                                                                    : b;
+  };
+  const auto single =
+      best2([&] { return run_single_queue(kTotalJobs, kSpan); });
+  const auto cells_1 =
+      best2([&] { return run_cluster(1, kTotalJobs, kSpan); });
+  const auto cells_2 =
+      best2([&] { return run_cluster(2, kTotalJobs, kSpan); });
+  const auto cells_4 =
+      best2([&] { return run_cluster(4, kTotalJobs, kSpan); });
+
+  const double single_rate = single.aggregate_events_per_sec;
+  const double ratio_1cell = cells_1.aggregate_events_per_sec / single_rate;
+  const double speedup_2 = cells_2.aggregate_events_per_sec / single_rate;
+  const double speedup_4 = cells_4.aggregate_events_per_sec / single_rate;
+
+  std::cerr << "[cluster_bench] attach/detach sweep: " << kSweepJobs
+            << " jobs across " << kSweepCells << " cells...\n";
+  const auto sweep = run_attach_detach(kSweepCells, kSweepJobs);
+  const auto sweep_single = run_attach_detach_single(kSweepJobs);
+  const double sweep_rate =
+      2.0 * static_cast<double>(sweep.jobs) /
+      (sweep.attach_seconds + sweep.detach_seconds);
+  const double sweep_single_rate =
+      2.0 * static_cast<double>(sweep_single.jobs) /
+      (sweep_single.attach_seconds + sweep_single.detach_seconds);
+
+  std::ofstream out("BENCH_cluster.json");
+  out.precision(6);
+  out << "{\n  \"bench\": \"cluster\",\n  \"cluster\": {\n"
+      << "    \"sim_seconds\": " << kSpan.to_seconds() << ",\n"
+      << "    \"total_jobs\": " << kTotalJobs << ",\n"
+      << "    \"run_demand_ms\": 0.05,\n";
+  emit_config(out, "single_queue", single);
+  out << ",\n";
+  emit_config(out, "cells_1", cells_1);
+  out << ",\n";
+  emit_config(out, "cells_2", cells_2);
+  out << ",\n";
+  emit_config(out, "cells_4", cells_4);
+  out << ",\n    \"ratio_1cell_vs_single_queue\": " << ratio_1cell
+      << ",\n    \"aggregate_speedup_2_cells\": " << speedup_2
+      << ",\n    \"aggregate_speedup_4_cells\": " << speedup_4
+      << "\n  },\n  \"attach_detach\": {\n"
+      << "    \"jobs\": " << sweep.jobs << ",\n"
+      << "    \"cells\": " << kSweepCells << ",\n"
+      << "    \"attach_seconds\": " << sweep.attach_seconds << ",\n"
+      << "    \"detach_seconds\": " << sweep.detach_seconds << ",\n"
+      << "    \"attach_jobs_per_sec\": "
+      << static_cast<double>(sweep.jobs) / sweep.attach_seconds << ",\n"
+      << "    \"jobs_per_sec\": " << sweep_rate << ",\n"
+      << "    \"single_table_attach_seconds\": "
+      << sweep_single.attach_seconds << ",\n"
+      << "    \"single_table_jobs_per_sec\": " << sweep_single_rate
+      << ",\n    \"sharded_vs_single_table_ratio\": "
+      << sweep_rate / sweep_single_rate << "\n  }\n}\n";
+  out.close();
+
+  std::cerr << "[cluster_bench] aggregate capacity: single="
+            << single_rate / 1e6 << "M ev/s, 1-cell ratio=" << ratio_1cell
+            << ", 2-cell=" << speedup_2 << "x, 4-cell=" << speedup_4
+            << "x\n"
+            << "[cluster_bench] attach/detach: " << sweep.jobs
+            << " jobs @ " << sweep_rate / 1e6 << "M ops/s sharded vs "
+            << sweep_single_rate / 1e6 << "M single-table (ratio "
+            << sweep_rate / sweep_single_rate << ")\n"
+            << "[cluster_bench] wrote BENCH_cluster.json\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace xartrek::bench
+
+int main() { return xartrek::bench::bench_main(); }

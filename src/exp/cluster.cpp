@@ -1,0 +1,142 @@
+#include "exp/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "runtime/scheduler_server.hpp"
+
+namespace xartrek::exp {
+
+ClusterExperiment::ClusterExperiment(
+    std::vector<apps::BenchmarkSpec> specs,
+    const runtime::ThresholdTable& seed_table, ClusterSpec cluster,
+    ExperimentOptions options)
+    : cluster_(std::move(cluster)) {
+  XAR_EXPECTS(cluster_.cells >= 1);
+  XAR_EXPECTS(cluster_.completion_poll > Duration::zero());
+  const std::size_t n = cluster_.cells;
+
+  // Declare the graph: cell i's components are nodes with affinity
+  // group i, interactions are edges carrying their modeled latency.
+  // The partitioner derives everything else (shard map, epoch,
+  // channels) from this declaration.
+  sim::Topology topo;
+  x86_nodes_.reserve(n);
+  fpga_nodes_.reserve(n);
+  sched_nodes_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string prefix = "cell" + std::to_string(i) + "/";
+    const auto cell_id = static_cast<sim::CellId>(i);
+    x86_nodes_.push_back(topo.add_node(prefix + "x86", cell_id));
+    fpga_nodes_.push_back(topo.add_node(prefix + "fpga", cell_id));
+    sched_nodes_.push_back(topo.add_node(prefix + "sched", cell_id));
+    // In-cell interactions: the FPGA's reconfiguration notify crosses
+    // the PCIe stack, the scheduler's reply the loopback socket.  Both
+    // endpoints share a cell, so the derived channels are inert -- the
+    // registration is what keeps the wiring correct if a later spec
+    // ever splits a cell's components across cells.
+    topo.add_edge(fpga_nodes_[i], sched_nodes_[i],
+                  cluster_.cell_config.pcie.latency);
+    topo.add_edge(sched_nodes_[i], x86_nodes_[i],
+                  runtime::SchedulerServer::Options{}.request_overhead);
+  }
+  if (n > 1) {
+    for (std::size_t i = 0; i < n; ++i) {
+      // The ring interconnect: its latency is the cross-cell lookahead
+      // the auto-picked epoch derives from.
+      topo.add_edge(x86_nodes_[i], x86_nodes_[(i + 1) % n],
+                    cluster_.intercell.latency);
+    }
+  }
+
+  sim::Topology::PartitionOptions popts;
+  popts.epoch = cluster_.epoch;
+  popts.mailbox_capacity = cluster_.mailbox_capacity;
+  popts.parallel = cluster_.parallel;
+  engine_ = std::make_unique<sim::PartitionedEngine>(std::move(topo),
+                                                     popts);
+
+  // One full experiment stack per cell, constructed against the cell's
+  // shard through the testbed's shard-aware hook.  Construction order
+  // within a cell is exactly exp::Experiment's, so a 1-cell cluster
+  // schedules the identical event sequence.
+  cells_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ExperimentOptions cell_options = options;
+    cell_options.testbed = cluster_.cell_config;
+    cell_options.testbed.external_sim = &engine_->sim_of(x86_nodes_[i]);
+    cells_.push_back(std::make_unique<Experiment>(specs, seed_table,
+                                                  cell_options));
+    // Derived wiring instead of hand-assembled channels: in-cell
+    // registrations resolve to inert channels (local behavior), and
+    // would resolve to mailbox channels automatically if the plan ever
+    // placed the endpoints apart.
+    cells_[i]->testbed().fpga().register_notify(*engine_, fpga_nodes_[i],
+                                                sched_nodes_[i]);
+    cells_[i]->server().register_reply(*engine_, sched_nodes_[i],
+                                       x86_nodes_[i]);
+  }
+
+  if (n > 1) {
+    intercell_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      intercell_.push_back(std::make_unique<hw::Link>(
+          engine_->sim_of(x86_nodes_[i]), cluster_.intercell));
+      intercell_[i]->register_route(*engine_, x86_nodes_[i],
+                                    x86_nodes_[(i + 1) % n]);
+    }
+  }
+}
+
+std::vector<platform::Testbed*> ClusterExperiment::testbeds() {
+  std::vector<platform::Testbed*> out;
+  out.reserve(cells_.size());
+  for (auto& cell : cells_) out.push_back(&cell->testbed());
+  return out;
+}
+
+void ClusterExperiment::set_background_load(std::uint64_t total_jobs) {
+  set_background_load(total_jobs, apps::ShardedLoadGenerator::Options{});
+}
+
+void ClusterExperiment::set_background_load(
+    std::uint64_t total_jobs, apps::ShardedLoadGenerator::Options opts) {
+  load_.reset();  // the old cohort detaches before the new one attaches
+  if (total_jobs > 0) {
+    load_ = std::make_unique<apps::ShardedLoadGenerator>(testbeds(),
+                                                         total_jobs, opts);
+  }
+}
+
+void ClusterExperiment::handoff(std::size_t from, std::uint64_t bytes,
+                                sim::UniqueCallback on_arrival) {
+  XAR_EXPECTS(cells_.size() > 1);
+  XAR_EXPECTS(from < cells_.size());
+  handoffs_.fetch_add(1, std::memory_order_relaxed);
+  intercell_[from]->transfer(bytes, std::move(on_arrival));
+}
+
+std::size_t ClusterExperiment::completed_apps() const {
+  std::size_t total = 0;
+  for (const auto& cell : cells_) total += cell->completed_apps();
+  return total;
+}
+
+bool ClusterExperiment::run_until_complete(std::size_t expected,
+                                           Duration horizon) {
+  sim::ShardedSimulation& ssim = engine_->engine();
+  const TimePoint h = ssim.now() + horizon;
+  while (completed_apps() < expected && ssim.now() < h) {
+    ssim.run_until(std::min(h, ssim.now() + cluster_.completion_poll));
+  }
+  return completed_apps() >= expected;
+}
+
+void ClusterExperiment::run_for(Duration d) {
+  XAR_EXPECTS(d >= Duration::zero());
+  sim::ShardedSimulation& ssim = engine_->engine();
+  ssim.run_until(ssim.now() + d);
+}
+
+}  // namespace xartrek::exp

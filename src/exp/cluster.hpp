@@ -1,0 +1,159 @@
+// Cluster experiment: N testbed cells on the sharded engine, derived.
+//
+// A ClusterExperiment builds an N-cell cluster from a declarative
+// ClusterSpec: it registers every cell's components as nodes of a
+// sim::Topology (cell i's components carry affinity group i), registers
+// the interactions -- the FPGA's reconfiguration notify, the scheduler
+// reply hop, and the inter-cell links (a ring, each carrying the
+// modeled Ethernet latency) -- as edges, and lets the partitioner map
+// the graph onto ShardedSimulation shards, auto-picking the largest
+// legal epoch.  Each cell is then a full exp::Experiment (compiler
+// pipeline, threshold table, scheduler, executor) constructed against
+// its shard's engine through the testbed's shard-aware hook, so the
+// sharded core is the default execution engine rather than a
+// hand-wired special case:
+//
+//   * 1 cell degenerates to one shard whose trace is identical to
+//     exp::Experiment on the classic single-queue testbed (pinned by
+//     tests/topology_test.cpp);
+//   * N cells run the same per-cell model on N shards, serial or
+//     parallel, trace-identical either way, with cross-cell job
+//     handoffs riding the inter-cell links through the derived
+//     channels.
+//
+// Background load scales with the cluster: set_background_load spreads
+// the cohort over the cells through apps::ShardedLoadGenerator, whose
+// attach/detach bookkeeping is batched per shard -- the million-user
+// sweep no longer funnels through one CpuCluster process table.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "apps/benchmark_spec.hpp"
+#include "apps/load_generator.hpp"
+#include "exp/experiment.hpp"
+#include "hw/link.hpp"
+#include "sim/topology.hpp"
+
+namespace xartrek::exp {
+
+/// Declarative description of an N-cell cluster.
+struct ClusterSpec {
+  std::size_t cells = 1;
+  /// Per-cell platform (every cell is one paper testbed by default).
+  platform::TestbedConfig cell_config = {};
+  /// The cell-to-cell interconnect (ring: cell i feeds cell (i+1) mod
+  /// N).  Its latency is the lookahead the partitioner derives the
+  /// epoch from.
+  hw::LinkSpec intercell = hw::ethernet_1gbps();
+  /// Force a synchronization window; unset auto-picks the largest
+  /// legal epoch (the minimum cross-cell latency).
+  std::optional<Duration> epoch;
+  std::size_t mailbox_capacity = 4096;
+  /// Run shards on threads.  Traces are identical either way.
+  bool parallel = false;
+  /// How often run_until_complete re-checks the completion count.
+  /// Completions carry exact event timestamps, so this affects polling
+  /// granularity only, never the trace.
+  Duration completion_poll = Duration::seconds(1.0);
+};
+
+/// N cells, one shard each, one experiment stack per cell.
+class ClusterExperiment {
+ public:
+  ClusterExperiment(std::vector<apps::BenchmarkSpec> specs,
+                    const runtime::ThresholdTable& seed_table,
+                    ClusterSpec cluster = {},
+                    ExperimentOptions options = {});
+  ClusterExperiment(const ClusterExperiment&) = delete;
+  ClusterExperiment& operator=(const ClusterExperiment&) = delete;
+
+  [[nodiscard]] std::size_t cell_count() const { return cells_.size(); }
+  [[nodiscard]] sim::PartitionedEngine& engine() { return *engine_; }
+  [[nodiscard]] const sim::Topology& topology() const {
+    return engine_->topology();
+  }
+
+  /// Cell i's full experiment stack.  Cells are numbered like their
+  /// shards (cell i is affinity group i, hence shard i).  Use it to
+  /// launch apps and read results; drive time through *this* (the
+  /// sharded engine), not through the cell's own run_until_complete.
+  [[nodiscard]] Experiment& cell(std::size_t i) {
+    XAR_EXPECTS(i < cells_.size());
+    return *cells_[i];
+  }
+
+  /// Every cell's testbed (the ShardedLoadGenerator input).
+  [[nodiscard]] std::vector<platform::Testbed*> testbeds();
+
+  /// Launch one run of `app_name` on cell `i` now.
+  void launch(std::size_t i, const std::string& app_name) {
+    cell(i).launch(app_name);
+  }
+
+  /// Spread `total_jobs` background processes across the cells (0
+  /// tears the current cohort down).  Bookkeeping is batched per
+  /// shard; see apps::ShardedLoadGenerator.  The two-argument form
+  /// picks the looped run's shape (demand, jitter) -- the load metric
+  /// each scheduler samples depends only on the job count.
+  void set_background_load(std::uint64_t total_jobs);
+  void set_background_load(std::uint64_t total_jobs,
+                           apps::ShardedLoadGenerator::Options opts);
+  [[nodiscard]] apps::ShardedLoadGenerator* background_load() {
+    return load_.get();
+  }
+
+  /// Hand a job off from cell `from` to its ring neighbor: `bytes` of
+  /// state ride the inter-cell link, and `on_arrival` fires on the
+  /// neighbor's shard once the last byte lands (plus the registered
+  /// edge latency).  Requires a multi-cell cluster.
+  void handoff(std::size_t from, std::uint64_t bytes,
+               sim::UniqueCallback on_arrival);
+  [[nodiscard]] std::size_t handoff_target(std::size_t from) const {
+    return (from + 1) % cells_.size();
+  }
+  [[nodiscard]] std::uint64_t handoffs() const {
+    return handoffs_.load(std::memory_order_relaxed);
+  }
+
+  /// Advance the whole cluster in epoch windows until `expected`
+  /// launched apps (across all cells) have exited or the horizon
+  /// passes.  Returns true if the count was reached.
+  bool run_until_complete(std::size_t expected,
+                          Duration horizon = Duration::minutes(120));
+
+  /// Advance the whole cluster to now() + `d`.
+  void run_for(Duration d);
+
+  [[nodiscard]] std::size_t completed_apps() const;
+  [[nodiscard]] const std::vector<apps::AppResult>& results(
+      std::size_t i) const {
+    XAR_EXPECTS(i < cells_.size());
+    return cells_[i]->results();
+  }
+
+  [[nodiscard]] TimePoint now() const { return engine_->engine().now(); }
+
+ private:
+  ClusterSpec cluster_;
+  /// Per-cell topology nodes (index = cell).
+  std::vector<sim::NodeId> x86_nodes_;
+  std::vector<sim::NodeId> fpga_nodes_;
+  std::vector<sim::NodeId> sched_nodes_;
+  std::unique_ptr<sim::PartitionedEngine> engine_;
+  std::vector<std::unique_ptr<Experiment>> cells_;
+  /// Ring link i: cell i -> cell (i+1) mod N (empty for one cell).
+  std::vector<std::unique_ptr<hw::Link>> intercell_;
+  std::unique_ptr<apps::ShardedLoadGenerator> load_;
+  /// Atomic: in parallel mode every cell's shard thread may hand off
+  /// concurrently.
+  std::atomic<std::uint64_t> handoffs_{0};
+};
+
+}  // namespace xartrek::exp

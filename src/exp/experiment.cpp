@@ -12,7 +12,7 @@ Experiment::Experiment(std::vector<apps::BenchmarkSpec> specs,
     : specs_(std::move(specs)), options_(std::move(options)) {
   XAR_EXPECTS(!specs_.empty());
 
-  platform::TestbedConfig tb_cfg;
+  platform::TestbedConfig tb_cfg = options_.testbed;
   tb_cfg.log = options_.log;
   testbed_ = std::make_unique<platform::Testbed>(tb_cfg);
 

@@ -34,6 +34,10 @@ struct ExperimentOptions {
   bool eager_configure = true;          ///< ablation 1 (Figure 6 driver)
   bool dynamic_thresholds = true;       ///< ablation 2 (Algorithm 1 on/off)
   bool hide_reconfiguration = true;     ///< ablation 3 (Algorithm 2 overlap)
+  /// Platform description for the testbed this experiment builds.  A
+  /// ClusterExperiment cell sets `testbed.external_sim` to its shard's
+  /// engine; the default stays the paper's self-contained testbed.
+  platform::TestbedConfig testbed = {};
   Logger log = {};
 };
 

@@ -25,6 +25,7 @@
 #include "sim/fifo_station.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulation.hpp"
+#include "sim/topology.hpp"
 
 namespace xartrek::fpga {
 
@@ -120,11 +121,14 @@ class FpgaDevice {
   void set_offline(bool offline);
   [[nodiscard]] bool offline() const { return offline_; }
 
-  /// Route reconfiguration completions (`reconfigure`'s `on_done`) to
-  /// a scheduler living on another simulation shard.  Inert by default:
-  /// completions fire on this device's shard.
-  void set_notify_channel(sim::CrossShardChannel channel) {
-    notify_ = channel;
+  /// Topology registration: the device is node `self`, the scheduler
+  /// that consumes reconfiguration completions is node `scheduler`.
+  /// When the partitioner put them on different shards, `reconfigure`'s
+  /// `on_done` is delivered through the registered edge's channel;
+  /// otherwise completions keep firing on this device's shard.
+  void register_notify(sim::PartitionedEngine& eng, sim::NodeId self,
+                       sim::NodeId scheduler) {
+    notify_ = eng.channel_between(self, scheduler);
   }
 
   /// Completed reconfigurations (diagnostics / tests).

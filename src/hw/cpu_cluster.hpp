@@ -6,6 +6,7 @@
 // ARM demand differ), so no frequency scaling happens here.
 #pragma once
 
+#include <cstddef>
 #include <string>
 
 #include "common/time.hpp"
@@ -58,6 +59,23 @@ class CpuCluster {
     XAR_EXPECTS(resident_ > 0);
     --resident_;
   }
+
+  /// Batched bookkeeping: `n` processes arrive/depart in one
+  /// process-table update.  Load generators at cluster scale attach a
+  /// cell's whole cohort with one call instead of funneling a million
+  /// per-process updates through the table.
+  void attach_processes(int n) {
+    XAR_EXPECTS(n >= 0);
+    resident_ += n;
+  }
+  void detach_processes(int n) {
+    XAR_EXPECTS(n >= 0 && n <= resident_);
+    resident_ -= n;
+  }
+
+  /// Grow the PS pool up front so a known cohort submits without a
+  /// single reallocation (cluster sweeps; optional).
+  void reserve_jobs(std::size_t n) { pool_.reserve_jobs(n); }
 
   /// Number of resident processes -- the scheduler's load metric.
   [[nodiscard]] int load() const { return resident_; }

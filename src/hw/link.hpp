@@ -17,6 +17,7 @@
 #include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "sim/slot_pool.hpp"
+#include "sim/topology.hpp"
 
 namespace xartrek::hw {
 
@@ -53,13 +54,17 @@ class Link {
   /// byte lands.  Zero-byte transfers still pay the latency.
   void transfer(std::uint64_t bytes, Callback on_complete);
 
-  /// Route every completion to the far end of `channel` (the receiving
-  /// node lives on another simulation shard; the channel's latency
-  /// models the far-side stack traversal).  Completions stay pooled:
-  /// the in-pool event captures only {this, slot}, so the steady state
-  /// remains allocation-free.
-  void set_delivery_channel(sim::CrossShardChannel channel) {
-    delivery_ = channel;
+  /// Topology registration: this link's sending end is node `self`,
+  /// its receiving end node `receiver`, and the partitioner already
+  /// derived where both live.  Completions are routed to the far end's
+  /// shard through the registered `self -> receiver` edge's channel --
+  /// or stay local when the partitioner put both on one shard.  This
+  /// replaces hand-assembled CrossShardChannel wiring at call sites.
+  /// Completions stay pooled: the in-pool event captures only
+  /// {this, slot}, so the steady state remains allocation-free.
+  void register_route(sim::PartitionedEngine& eng, sim::NodeId self,
+                      sim::NodeId receiver) {
+    delivery_ = eng.channel_between(self, receiver);
   }
 
   /// Transfers currently in flight.

@@ -25,6 +25,13 @@ struct TestbedConfig {
   hw::LinkSpec ethernet = hw::ethernet_1gbps();
   hw::LinkSpec pcie = hw::pcie_gen3();
   fpga::FpgaSpec fpga = fpga::alveo_u50_spec();
+  /// Shard-aware construction: build every component against this
+  /// externally-owned engine (a ShardedSimulation shard picked by the
+  /// topology partitioner) instead of a testbed-owned one.  The
+  /// testbed then is one *cell* of a partitioned cluster; null keeps
+  /// the classic self-contained single-queue testbed.  The engine must
+  /// outlive the testbed.
+  sim::Simulation* external_sim = nullptr;
   Logger log = {};
 };
 
@@ -33,7 +40,7 @@ class Testbed {
  public:
   explicit Testbed(TestbedConfig cfg = {});
 
-  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] sim::Simulation& simulation() { return *sim_; }
   [[nodiscard]] hw::CpuCluster& x86() { return *x86_; }
   [[nodiscard]] hw::CpuCluster& arm() { return *arm_; }
   [[nodiscard]] hw::Link& ethernet() { return *ethernet_; }
@@ -50,7 +57,10 @@ class Testbed {
 
  private:
   Logger log_;
-  sim::Simulation sim_;
+  /// Owned in the classic standalone configuration; empty when the
+  /// cell was built against a shard's engine (config.external_sim).
+  std::unique_ptr<sim::Simulation> owned_sim_;
+  sim::Simulation* sim_;
   std::unique_ptr<hw::CpuCluster> x86_;
   std::unique_ptr<hw::CpuCluster> arm_;
   std::unique_ptr<hw::Link> ethernet_;

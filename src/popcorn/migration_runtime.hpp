@@ -27,6 +27,7 @@
 #include "sim/callback.hpp"
 #include "sim/shard.hpp"
 #include "sim/simulation.hpp"
+#include "sim/topology.hpp"
 
 namespace xartrek::popcorn {
 
@@ -63,12 +64,15 @@ class MigrationRuntime {
                      StackCallback on_arrival,
                      bool charge_transform_cost = true);
 
-  /// Route arrivals to a destination node living on another simulation
-  /// shard: `on_arrival` then fires there, the channel's latency after
-  /// the last byte lands (the destination-side resume cost).  Inert by
-  /// default -- arrivals fire on this runtime's shard.
-  void set_arrival_channel(sim::CrossShardChannel channel) {
-    arrival_ = channel;
+  /// Topology registration: this runtime's source side is node `self`,
+  /// the migration destination node `destination`.  When the
+  /// partitioner put them on different shards, `on_arrival` fires on
+  /// the destination's shard, the registered edge's latency after the
+  /// last byte lands (the destination-side resume cost); otherwise
+  /// arrivals keep firing on this runtime's shard.
+  void register_arrival(sim::PartitionedEngine& eng, sim::NodeId self,
+                        sim::NodeId destination) {
+    arrival_ = eng.channel_between(self, destination);
   }
 
   /// The transformer's CPU cost for this state (exposed so callers can

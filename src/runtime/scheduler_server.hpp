@@ -48,6 +48,7 @@
 #include "sim/shard.hpp"
 #include "sim/simulation.hpp"
 #include "sim/slot_pool.hpp"
+#include "sim/topology.hpp"
 
 namespace xartrek::runtime {
 
@@ -122,6 +123,17 @@ class SchedulerServer {
   /// Handle one client request for `app` (Algorithm 2 main loop body).
   /// The callback fires after the socket round trip with the decision.
   void request_placement(std::string_view app, DecisionCallback on_decision);
+
+  /// Topology registration: the server is node `self`, its clients node
+  /// `client`.  When the partitioner put them on different shards,
+  /// decisions are delivered through the registered edge's channel
+  /// (its latency is the far-side hop); otherwise the decision
+  /// callback keeps running locally.  Replaces hand-assembling
+  /// Options::reply_channel at call sites.
+  void register_reply(sim::PartitionedEngine& eng, sim::NodeId self,
+                      sim::NodeId client) {
+    opts_.reply_channel = eng.channel_between(self, client);
+  }
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return opts_; }
