@@ -9,7 +9,11 @@
 // measures the million-job attach/detach sweep through
 // apps::ShardedLoadGenerator -- per-shard batched bookkeeping --
 // against the same cohort funneled through one CpuCluster process
-// table.  Results land in BENCH_cluster.json (schema: docs/perf.md).
+// table.  A third section measures fault-handling overhead: the same
+// tracked-job workload with and without a chaos plan (cell kill with a
+// partitioned drain path), gating the event-count overhead ratio and
+// the exactly-once completion contract.  Results land in
+// BENCH_cluster.json (schema: docs/perf.md).
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -22,6 +26,8 @@
 #include "common/cpu_time.hpp"
 #include "exp/cluster.hpp"
 #include "exp/experiment.hpp"
+#include "exp/threshold_estimator.hpp"
+#include "sim/fault.hpp"
 
 namespace xartrek::bench {
 namespace {
@@ -180,6 +186,48 @@ SweepResult run_attach_detach_single(std::uint64_t jobs) {
   return r;
 }
 
+struct FaultConfigResult {
+  double wall_seconds = 0;
+  std::uint64_t events = 0;
+  exp::ClusterExperiment::JobStats stats;
+};
+
+/// Tracked jobs on a four-cell cluster, with or without the chaos plan
+/// from the CHAOS smoke (drain path partitioned, then cell 1 dies).
+/// Event counts are simulation-deterministic, so the chaos/no-fault
+/// ratio is a machine-neutral measure of what the fault machinery --
+/// heartbeats, backoff, checkpoint drains -- costs.
+FaultConfigResult run_fault_config(const runtime::ThresholdTable& table,
+                                   bool chaos) {
+  constexpr std::size_t kCells = 4;
+  exp::ClusterSpec spec;
+  spec.cells = kCells;
+  spec.parallel = true;
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::ClusterExperiment cluster(apps::paper_benchmarks(), table, spec,
+                                 options);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    cluster.submit(c, "facedet320");
+    cluster.submit(c, "digit500");
+  }
+  if (chaos) {
+    sim::FaultPlan plan;
+    plan.add({sim::FaultEvent::Kind::kLinkDown, TimePoint::at_ms(40.0), 1});
+    plan.add({sim::FaultEvent::Kind::kCellKill, TimePoint::at_ms(50.0), 1});
+    plan.add({sim::FaultEvent::Kind::kLinkUp, TimePoint::at_ms(160.0), 1});
+    cluster.apply_fault_plan(plan);
+  }
+  const std::uint64_t before = cluster.engine().engine().executed_events();
+  const auto start = Clock::now();
+  cluster.run_until_jobs_complete(Duration::minutes(5));
+  FaultConfigResult r;
+  r.wall_seconds = seconds_since(start);
+  r.events = cluster.engine().engine().executed_events() - before;
+  r.stats = cluster.job_stats();
+  return r;
+}
+
 void emit_config(std::ostream& os, const char* key, const ConfigResult& r) {
   os << "    \"" << key << "\": {\n"
      << "      \"wall_seconds\": " << r.wall_seconds << ",\n"
@@ -229,6 +277,20 @@ int bench_main() {
             << " jobs across " << kSweepCells << " cells...\n";
   const auto sweep = run_attach_detach(kSweepCells, kSweepJobs);
   const auto sweep_single = run_attach_detach_single(kSweepJobs);
+
+  std::cerr << "[cluster_bench] fault overhead: tracked jobs with and "
+               "without a chaos plan...\n";
+  const auto fault_table =
+      exp::ThresholdEstimator().estimate(apps::paper_benchmarks()).table;
+  const auto fault_plain = run_fault_config(fault_table, false);
+  const auto fault_chaos = run_fault_config(fault_table, true);
+  const double fault_overhead = static_cast<double>(fault_chaos.events) /
+                                static_cast<double>(fault_plain.events);
+  const int fault_conserved =
+      fault_plain.stats.completed == fault_plain.stats.submitted &&
+              fault_chaos.stats.completed == fault_chaos.stats.submitted
+          ? 1
+          : 0;
   const double sweep_rate =
       2.0 * static_cast<double>(sweep.jobs) /
       (sweep.attach_seconds + sweep.detach_seconds);
@@ -264,7 +326,25 @@ int bench_main() {
       << sweep_single.attach_seconds << ",\n"
       << "    \"single_table_jobs_per_sec\": " << sweep_single_rate
       << ",\n    \"sharded_vs_single_table_ratio\": "
-      << sweep_rate / sweep_single_rate << "\n  }\n}\n";
+      << sweep_rate / sweep_single_rate << "\n  },\n  \"fault\": {\n"
+      << "    \"jobs\": " << fault_plain.stats.submitted << ",\n"
+      << "    \"no_fault\": {\n"
+      << "      \"wall_seconds\": " << fault_plain.wall_seconds << ",\n"
+      << "      \"events\": " << fault_plain.events << ",\n"
+      << "      \"sim_ms_to_complete\": "
+      << fault_plain.stats.max_latency_ms << "\n    },\n"
+      << "    \"chaos\": {\n"
+      << "      \"wall_seconds\": " << fault_chaos.wall_seconds << ",\n"
+      << "      \"events\": " << fault_chaos.events << ",\n"
+      << "      \"sim_ms_to_complete\": "
+      << fault_chaos.stats.max_latency_ms << ",\n"
+      << "      \"drained\": " << fault_chaos.stats.drained << ",\n"
+      << "      \"retries\": " << fault_chaos.stats.retries << ",\n"
+      << "      \"p99_latency_ms\": " << fault_chaos.stats.p99_latency_ms
+      << "\n    },\n"
+      << "    \"completed_conserved\": " << fault_conserved << ",\n"
+      << "    \"event_overhead_ratio\": " << fault_overhead
+      << "\n  }\n}\n";
   out.close();
 
   std::cerr << "[cluster_bench] aggregate capacity: single="
@@ -275,6 +355,9 @@ int bench_main() {
             << " jobs @ " << sweep_rate / 1e6 << "M ops/s sharded vs "
             << sweep_single_rate / 1e6 << "M single-table (ratio "
             << sweep_rate / sweep_single_rate << ")\n"
+            << "[cluster_bench] fault overhead: " << fault_overhead
+            << "x events under chaos (" << fault_chaos.stats.drained
+            << " drained, conserved=" << fault_conserved << ")\n"
             << "[cluster_bench] wrote BENCH_cluster.json\n";
   return 0;
 }

@@ -68,6 +68,11 @@ METRICS = {
         ("cluster.ratio_1cell_vs_single_queue", "higher", False),
         ("cluster.aggregate_speedup_2_cells", "higher", False),
         ("cluster.aggregate_speedup_4_cells", "higher", False),
+        # Fault machinery: exactly-once completion is an exact contract;
+        # the chaos/no-fault event ratio is simulation-deterministic
+        # (same plan, same seeds), hence machine-neutral.
+        ("fault.completed_conserved", "abs", False),
+        ("fault.event_overhead_ratio", "lower", False),
         ("cluster.single_queue.wall_events_per_sec", "higher", True),
         ("attach_detach.jobs_per_sec", "higher", True),
     ],

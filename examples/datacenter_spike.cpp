@@ -5,7 +5,11 @@
 // one run, verbose).
 //
 // Build & run:  ./build/examples/datacenter_spike
+//
+// XARTREK_CHAOS_ONLY=1 runs just the chaos phase (the CHAOS-labelled
+// CI smoke entry), exiting non-zero if any resilience invariant breaks.
 #include <chrono>
+#include <cstdlib>
 #include <iostream>
 #include <vector>
 
@@ -16,9 +20,96 @@
 #include "exp/cluster.hpp"
 #include "exp/experiment.hpp"
 #include "exp/threshold_estimator.hpp"
+#include "sim/fault.hpp"
+
+namespace {
+
+// Chaos phase: a four-cell cluster takes a spike while cell 1 dies and
+// the ring link its jobs drain over is partitioned.  The invariants --
+// the whole point of the fault machinery -- are checked here and the
+// phase exits non-zero on violation:
+//   * conservation: every submitted job completes exactly once;
+//   * bounded tail: p99 job latency stays under a fixed budget even
+//     with a cell dead and checkpoints parked behind the partition.
+int run_chaos_phase() {
+  using namespace xartrek;
+  const auto specs = apps::paper_benchmarks();
+  const auto estimation = exp::ThresholdEstimator().estimate(specs);
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+
+  constexpr std::size_t kCells = 4;
+  exp::ClusterSpec cluster_spec;
+  cluster_spec.cells = kCells;
+  cluster_spec.parallel = true;
+  exp::ClusterExperiment cluster(specs, estimation.table, cluster_spec,
+                                 options);
+
+  // Mid-spike churn load so the faults land on busy cells.
+  apps::ShardedLoadGenerator::Options churn;
+  churn.run_demand = Duration::ms(2.0);
+  churn.demand_jitter = 0.5;
+  cluster.set_background_load(kCells * 60, churn);
+
+  const std::vector<std::string> jobs = {"facedet320", "digit500",
+                                         "facedet640"};
+  for (std::size_t c = 0; c < kCells; ++c) {
+    for (const auto& j : jobs) cluster.submit(c, j);
+  }
+
+  // The chaos: ring link 1 (cell 1 -> cell 2, the dying cell's drain
+  // path) partitions at 40 ms, cell 1 dies at 50 ms -- its in-flight
+  // jobs checkpoint and park on the downed link -- and the partition
+  // heals at 160 ms, releasing the drained checkpoints to cell 2.
+  sim::FaultPlan plan;
+  plan.add({sim::FaultEvent::Kind::kLinkDown, TimePoint::at_ms(40.0), 1});
+  plan.add({sim::FaultEvent::Kind::kCellKill, TimePoint::at_ms(50.0), 1});
+  plan.add({sim::FaultEvent::Kind::kLinkUp, TimePoint::at_ms(160.0), 1});
+  cluster.apply_fault_plan(plan);
+
+  const bool all_done =
+      cluster.run_until_jobs_complete(Duration::minutes(5));
+  cluster.set_background_load(0);
+
+  const auto stats = cluster.job_stats();
+  std::cout << "[chaos] " << stats.submitted << " jobs submitted, "
+            << stats.completed << " completed, " << stats.drained
+            << " checkpoint-drained, " << stats.retries
+            << " backoff retries; p99 "
+            << TextTable::num(stats.p99_latency_ms, 0) << " ms, max "
+            << TextTable::num(stats.max_latency_ms, 0) << " ms\n";
+
+  int failures = 0;
+  if (!all_done || stats.completed != stats.submitted) {
+    std::cout << "[chaos] FAIL: completion-count conservation violated ("
+              << stats.completed << " != " << stats.submitted << ")\n";
+    ++failures;
+  }
+  if (!cluster.cell_dead(1) || stats.drained == 0) {
+    std::cout << "[chaos] FAIL: the kill drained nothing\n";
+    ++failures;
+  }
+  constexpr double kP99BudgetMs = 10'000.0;
+  if (!(stats.p99_latency_ms > 0.0 &&
+        stats.p99_latency_ms <= kP99BudgetMs)) {
+    std::cout << "[chaos] FAIL: p99 " << stats.p99_latency_ms
+              << " ms outside (0, " << kP99BudgetMs << "] budget\n";
+    ++failures;
+  }
+  if (failures == 0) {
+    std::cout << "[chaos] invariants held: no job lost, tail bounded\n\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
 
 int main() {
   using namespace xartrek;
+  if (std::getenv("XARTREK_CHAOS_ONLY") != nullptr) {
+    std::cout << "== Datacenter spike: chaos phase only ==\n\n";
+    return run_chaos_phase();
+  }
   std::cout << "== Datacenter spike scenario ==\n\n";
 
   const auto specs = apps::paper_benchmarks();
@@ -244,6 +335,12 @@ int main() {
               << " escaped x86\n\n";
   }
 
+  // Phase 7: chaos -- the cluster from phase 5 under fire: a cell dies
+  // mid-spike with its drain path partitioned, and the resilience
+  // invariants (exactly-once completion, bounded tail) are asserted.
+  std::cout << "== Phase 7: chaos ==\n";
+  const int chaos_failures = run_chaos_phase();
+
   std::cout << log.render() << "\n";
   std::cout << "During the spike the FPGA-profitable tenants moved to their\n"
                "hardware kernels and CG-A escaped to the ARM server; after\n"
@@ -254,5 +351,5 @@ int main() {
             << stats.to_x86 << " x86, " << stats.to_arm << " ARM, "
             << stats.to_fpga << " FPGA; " << stats.reconfigurations_started
             << " FPGA reconfiguration(s) started.\n";
-  return 0;
+  return chaos_failures;
 }

@@ -82,7 +82,7 @@ void run_function_phase(const StatePtr& st) {
         // Reuse the server's image registry to locate the XCLBIN.
         const fpga::XclbinImage* image =
             st->env.server->image_with(st->spec.kernel_name);
-        if (image != nullptr) device.reconfigure(*image, [] {});
+        if (image != nullptr) device.reconfigure(*image, [](bool) {});
       }
       runtime::FunctionCosts lazy_costs = costs;
       lazy_costs.xrt_call_overhead += st->spec.traditional_call_init;
@@ -153,7 +153,7 @@ void AppProcess::launch(const RuntimeEnv& env, const BenchmarkSpec& spec,
           env.server->image_with(spec.kernel_name);
       if (image != nullptr) {
         env.log.debug("app ", spec.name, ": eager-configuring ", image->id);
-        device.reconfigure(*image, [] {});
+        device.reconfigure(*image, [](bool) {});
       }
     }
   }

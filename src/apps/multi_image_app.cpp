@@ -54,7 +54,7 @@ void process_one(const StatePtr& st) {
           !device.reconfiguring() && st->env.server != nullptr) {
         const fpga::XclbinImage* image =
             st->env.server->image_with(st->spec.kernel_name);
-        if (image != nullptr) device.reconfigure(*image, [] {});
+        if (image != nullptr) device.reconfigure(*image, [](bool) {});
       }
       // Per-call OpenCL initialization: the traditional flow re-creates
       // kernel handles/buffers each call; Xar-Trek hoists this to main
@@ -120,7 +120,7 @@ void MultiImageFaceApp::launch(const RuntimeEnv& env,
       const fpga::XclbinImage* image =
           env.server->image_with(facedet.kernel_name);
       if (image != nullptr) {
-        device.reconfigure(*image, [] {});
+        device.reconfigure(*image, [](bool) {});
         st->configured_eagerly = true;
       }
     }

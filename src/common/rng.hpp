@@ -18,7 +18,7 @@ namespace xartrek {
 /// library needs.  Concrete, regular, cheap to copy (C.10/C.11).
 class Rng {
  public:
-  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
 
   /// Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
   [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
@@ -68,10 +68,29 @@ class Rng {
   /// Derive an independent child stream (for per-run seeding).
   [[nodiscard]] Rng fork() { return Rng(engine_()); }
 
+  /// Derive an independent stream keyed on (construction seed, stream)
+  /// WITHOUT advancing this Rng.  fork() consumes engine state, so
+  /// interleaving a fork into an existing experiment perturbs every
+  /// draw after it; split() is a pure function of the seed, which lets
+  /// a fault schedule (or any side channel) get reproducible randomness
+  /// while the workload's own draws stay bit-identical.
+  [[nodiscard]] Rng split(std::uint64_t stream) const {
+    // splitmix64 finalizer over the seed/stream pair: cheap, and
+    // adjacent streams land in statistically unrelated states.
+    std::uint64_t z = seed_ + 0x9E3779B97F4A7C15ull * (stream + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// The seed this Rng was constructed with (split() keys off it).
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
   /// Direct engine access for <random> interop.
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }
 
  private:
+  std::uint64_t seed_;
   std::mt19937_64 engine_;
 };
 

@@ -1,9 +1,12 @@
 #include "exp/cluster.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 
+#include "apps/application.hpp"
 #include "common/assert.hpp"
+#include "popcorn/checkpoint.hpp"
 #include "runtime/scheduler_server.hpp"
 
 namespace xartrek::exp {
@@ -87,6 +90,32 @@ ClusterExperiment::ClusterExperiment(
                                     x86_nodes_[(i + 1) % n]);
     }
   }
+
+  // Tracked-job and fault-injection state.  Construction schedules
+  // nothing, so a cluster that never submits or applies a plan runs a
+  // bit-identical trace to a pre-fault-injection build.
+  cell_jobs_.resize(n);
+  cell_dead_.assign(n, 0);
+  cell_epoch_.assign(n, 0);
+  if (n > 1) {
+    // The drain path rides the ring: each cell gets a route-less local
+    // link (same spec as intercell_[i], so a partition parks both -- see
+    // set_link_down_impl) and a MigrationRuntime whose registered
+    // arrival edge carries the checkpoint to the neighbor's shard.
+    drain_transformer_ = std::make_unique<popcorn::StateTransformer>(
+        popcorn::drain_metadata());
+    drain_links_.reserve(n);
+    drain_runtimes_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      drain_links_.push_back(std::make_unique<hw::Link>(
+          engine_->sim_of(x86_nodes_[i]), cluster_.intercell));
+      drain_runtimes_.push_back(std::make_unique<popcorn::MigrationRuntime>(
+          engine_->sim_of(x86_nodes_[i]), *drain_links_[i],
+          *drain_transformer_));
+      drain_runtimes_[i]->register_arrival(*engine_, x86_nodes_[i],
+                                           x86_nodes_[(i + 1) % n]);
+    }
+  }
 }
 
 std::vector<platform::Testbed*> ClusterExperiment::testbeds() {
@@ -137,6 +166,234 @@ void ClusterExperiment::run_for(Duration d) {
   XAR_EXPECTS(d >= Duration::zero());
   sim::ShardedSimulation& ssim = engine_->engine();
   ssim.run_until(ssim.now() + d);
+}
+
+void ClusterExperiment::apply_fault_plan(const sim::FaultPlan& plan,
+                                         FaultInjectionOptions opts) {
+  fault_opts_ = opts;
+  // An empty plan must leave the run bit-identical to never having
+  // called this -- so don't even start health checks.
+  if (plan.empty()) return;
+  const std::size_t n = cells_.size();
+  for (const sim::FaultEvent& ev : plan.events()) {
+    XAR_EXPECTS(ev.at >= now());
+    const std::size_t victim = ev.index;
+    switch (ev.kind) {
+      case sim::FaultEvent::Kind::kCellKill:
+        // Drained jobs need a surviving ring neighbor to land on.
+        XAR_EXPECTS(n > 1 && victim < n);
+        engine_->sim_of(x86_nodes_[victim])
+            .schedule_at(ev.at, [this, victim] { kill_cell_impl(victim); });
+        break;
+      case sim::FaultEvent::Kind::kLinkDown:
+      case sim::FaultEvent::Kind::kLinkUp: {
+        XAR_EXPECTS(n > 1 && victim < intercell_.size());
+        const bool down = ev.kind == sim::FaultEvent::Kind::kLinkDown;
+        engine_->sim_of(x86_nodes_[victim])
+            .schedule_at(ev.at, [this, victim, down] {
+              set_link_down_impl(victim, down);
+            });
+        break;
+      }
+      case sim::FaultEvent::Kind::kReconfigureFail:
+        XAR_EXPECTS(victim < n);
+        engine_->sim_of(x86_nodes_[victim]).schedule_at(ev.at, [this, victim] {
+          cells_[victim]->testbed().fpga().inject_reconfigure_failure();
+        });
+        break;
+    }
+  }
+  for (auto& cell : cells_) cell->server().start_health_checks(opts.health);
+}
+
+void ClusterExperiment::kill_cell(std::size_t i) {
+  XAR_EXPECTS(cells_.size() > 1 && i < cells_.size());
+  // Route through the victim's shard so the immediate form and a
+  // FaultPlan event produce the same trace.
+  engine_->sim_of(x86_nodes_[i]).schedule_at(
+      now(), [this, i] { kill_cell_impl(i); });
+}
+
+void ClusterExperiment::set_link_down(std::size_t i, bool down) {
+  XAR_EXPECTS(cells_.size() > 1 && i < intercell_.size());
+  engine_->sim_of(x86_nodes_[i]).schedule_at(
+      now(), [this, i, down] { set_link_down_impl(i, down); });
+}
+
+std::uint64_t ClusterExperiment::submit(std::size_t i,
+                                        const std::string& app_name) {
+  XAR_EXPECTS(i < cells_.size());
+  const auto& specs = cells_[i]->specs();
+  std::size_t app_index = specs.size();
+  for (std::size_t k = 0; k < specs.size(); ++k) {
+    if (specs[k].name == app_name) {
+      app_index = k;
+      break;
+    }
+  }
+  XAR_EXPECTS(app_index < specs.size());
+
+  const std::uint64_t id = jobs_.size();
+  TrackedJob job;
+  job.app_index = static_cast<std::uint32_t>(app_index);
+  job.cell = static_cast<std::uint32_t>(i);
+  job.submitted_at = now();
+  jobs_.push_back(job);
+  cell_jobs_[i].push_back(id);
+  engine_->sim_of(x86_nodes_[i]).schedule_at(now(),
+                                             [this, id] { place_job(id); });
+  return id;
+}
+
+void ClusterExperiment::place_job(std::uint64_t id) {
+  TrackedJob& job = jobs_[id];
+  const std::size_t c = job.cell;
+  if (cell_dead_[c] == 0) {
+    launch_tracked(id);
+    return;
+  }
+  // Owner is dead: back off exponentially, then checkpoint-forward to
+  // the ring neighbor.  The delay is charged on the dead cell's shard,
+  // which stays live in the simulation -- only the modeled cell died.
+  ++job.attempts;
+  job.state = JobState::kBackoff;
+  const std::uint32_t exp =
+      std::min(job.attempts - 1, fault_opts_.backoff_cap_exponent);
+  const Duration delay =
+      fault_opts_.backoff_base * static_cast<double>(std::uint64_t{1} << exp);
+  engine_->sim_of(x86_nodes_[c]).schedule_in(delay,
+                                             [this, id] { forward_job(id); });
+}
+
+void ClusterExperiment::launch_tracked(std::uint64_t id) {
+  TrackedJob& job = jobs_[id];
+  const std::size_t c = job.cell;
+  job.state = JobState::kRunning;
+  const std::uint64_t epoch = cell_epoch_[c];
+  apps::AppProcess::launch(
+      cells_[c]->env(), cells_[c]->specs()[job.app_index],
+      cells_[c]->options().mode,
+      [this, id, c, epoch](const apps::AppResult&) {
+        // Ghost completion: the cell died after this run launched, so
+        // the job was drained and re-placed -- another shard owns its
+        // record now.  Drop the exit without touching anything.
+        if (cell_epoch_[c] != epoch) return;
+        TrackedJob& done = jobs_[id];
+        done.state = JobState::kCompleted;
+        done.completed_at = engine_->sim_of(x86_nodes_[c]).now();
+      });
+}
+
+void ClusterExperiment::forward_job(std::uint64_t id) {
+  TrackedJob& job = jobs_[id];
+  const std::size_t c = job.cell;
+  job.state = JobState::kForwarding;
+  auto& owned = cell_jobs_[c];
+  const auto it = std::find(owned.begin(), owned.end(), id);
+  XAR_ASSERT(it != owned.end());
+  owned.erase(it);
+
+  // Snapshot the job as a drain ticket, lay it out as a real popcorn
+  // stack, and ship it through the migration machinery.  The arrival
+  // fires on the neighbor's shard; until then the record travels
+  // inside the channel message and nobody touches it.
+  popcorn::DrainTicket ticket;
+  ticket.job = id;
+  ticket.app_index = job.app_index;
+  ticket.attempts = job.attempts;
+  const popcorn::ThreadStack stack =
+      popcorn::checkpoint_drain(ticket, isa::IsaKind::kX86_64);
+  const std::size_t dst = handoff_target(c);
+  drain_runtimes_[c]->migrate_stack(
+      stack, isa::IsaKind::kX86_64, fault_opts_.drain_payload_bytes,
+      [this, dst](popcorn::ThreadStack arrived) {
+        const popcorn::DrainTicket t = popcorn::decode_drain(arrived);
+        TrackedJob& job = jobs_[t.job];
+        job.cell = static_cast<std::uint32_t>(dst);
+        job.attempts = t.attempts;
+        job.state = JobState::kPending;
+        cell_jobs_[dst].push_back(t.job);
+        // If dst is dead too, place_job forwards onward around the
+        // ring -- the plan's kill budget guarantees a survivor.
+        place_job(t.job);
+      },
+      /*charge_transform_cost=*/true);
+}
+
+void ClusterExperiment::kill_cell_impl(std::size_t c) {
+  if (cell_dead_[c] != 0) return;
+  cell_dead_[c] = 1;
+  // Exits that race the kill (already-running AppProcesses on this
+  // cell's shard) see a stale epoch and drop themselves.
+  ++cell_epoch_[c];
+  cells_[c]->testbed().fpga().set_offline(true);
+  // Snapshot: forward_job edits the live list.
+  const std::vector<std::uint64_t> doomed = cell_jobs_[c];
+  for (const std::uint64_t id : doomed) {
+    TrackedJob& job = jobs_[id];
+    // Only force-drain running jobs.  Pending/backoff jobs already
+    // have an event scheduled here that will observe cell_dead_ and
+    // forward themselves; draining them now would run them twice.
+    if (job.state != JobState::kRunning) continue;
+    ++job.drains;
+    forward_job(id);
+  }
+}
+
+void ClusterExperiment::set_link_down_impl(std::size_t l, bool down) {
+  // The drain link models the same physical pipe as the handoff link,
+  // so a partition parks checkpoints and handoffs alike.
+  intercell_[l]->set_down(down);
+  drain_links_[l]->set_down(down);
+}
+
+bool ClusterExperiment::run_until_jobs_complete(Duration horizon) {
+  sim::ShardedSimulation& ssim = engine_->engine();
+  const TimePoint h = ssim.now() + horizon;
+  while (completed_jobs() < jobs_.size() && ssim.now() < h) {
+    ssim.run_until(std::min(h, ssim.now() + cluster_.completion_poll));
+  }
+  return completed_jobs() >= jobs_.size();
+}
+
+std::size_t ClusterExperiment::completed_jobs() const {
+  return static_cast<std::size_t>(
+      std::count_if(jobs_.begin(), jobs_.end(), [](const TrackedJob& j) {
+        return j.state == JobState::kCompleted;
+      }));
+}
+
+std::vector<double> ClusterExperiment::job_completion_times_ms() const {
+  std::vector<double> out;
+  out.reserve(jobs_.size());
+  for (const TrackedJob& j : jobs_) {
+    out.push_back(j.state == JobState::kCompleted ? j.completed_at.to_ms()
+                                                  : -1.0);
+  }
+  return out;
+}
+
+ClusterExperiment::JobStats ClusterExperiment::job_stats() const {
+  JobStats s;
+  s.submitted = jobs_.size();
+  std::vector<double> latencies;
+  for (const TrackedJob& j : jobs_) {
+    s.drained += j.drains;
+    s.retries += j.attempts;
+    if (j.state != JobState::kCompleted) continue;
+    ++s.completed;
+    latencies.push_back((j.completed_at - j.submitted_at).to_ms());
+  }
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    s.max_latency_ms = latencies.back();
+    const auto idx = static_cast<std::size_t>(
+                         std::ceil(0.99 * static_cast<double>(
+                                              latencies.size()))) -
+                     1;
+    s.p99_latency_ms = latencies[std::min(idx, latencies.size() - 1)];
+  }
+  return s;
 }
 
 }  // namespace xartrek::exp

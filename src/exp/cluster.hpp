@@ -39,6 +39,10 @@
 #include "apps/load_generator.hpp"
 #include "exp/experiment.hpp"
 #include "hw/link.hpp"
+#include "popcorn/migration_runtime.hpp"
+#include "popcorn/state_transform.hpp"
+#include "runtime/scheduler_server.hpp"
+#include "sim/fault.hpp"
 #include "sim/topology.hpp"
 
 namespace xartrek::exp {
@@ -62,6 +66,19 @@ struct ClusterSpec {
   /// Completions carry exact event timestamps, so this affects polling
   /// granularity only, never the trace.
   Duration completion_poll = Duration::seconds(1.0);
+};
+
+/// Tunables for fault handling (apply_fault_plan).
+struct FaultInjectionOptions {
+  /// First re-placement delay after finding a dead cell; doubles per
+  /// attempt (exponential backoff), capped at base * 2^cap_exponent.
+  Duration backoff_base = Duration::ms(1.0);
+  std::uint32_t backoff_cap_exponent = 6;
+  /// Working-set bytes shipped alongside a drained job's checkpoint.
+  std::uint64_t drain_payload_bytes = 64 * 1024;
+  /// Heartbeat tunables for every cell's scheduler (health checking
+  /// starts when a non-empty plan is applied).
+  runtime::SchedulerServer::HealthOptions health = {};
 };
 
 /// N cells, one shard each, one experiment stack per cell.
@@ -140,6 +157,87 @@ class ClusterExperiment {
 
   [[nodiscard]] TimePoint now() const { return engine_->engine().now(); }
 
+  // --- fault injection & tracked jobs -----------------------------------
+  //
+  // Mutable cross-cell state (job records, death flags, cell epochs)
+  // obeys one discipline: it is touched only from its owning cell's
+  // shard thread during runs, or from the main thread between runs, and
+  // ownership moves between cells only inside channel messages -- which
+  // cross at window boundaries.  That single rule is what makes chaos
+  // runs memory-safe in parallel mode AND trace-identical to serial.
+
+  /// Schedule every event of `plan` onto its victim's shard and start
+  /// health checks on every cell's scheduler.  Call between runs; all
+  /// events must lie in the future.  An empty plan changes nothing --
+  /// the subsequent run is bit-identical to never having called this.
+  void apply_fault_plan(const sim::FaultPlan& plan,
+                        FaultInjectionOptions opts = {});
+
+  /// Immediate conveniences (tests): inject one fault at now().
+  void kill_cell(std::size_t i);
+  void set_link_down(std::size_t i, bool down);
+  [[nodiscard]] bool cell_dead(std::size_t i) const {
+    XAR_EXPECTS(i < cell_dead_.size());
+    return cell_dead_[i] != 0;
+  }
+
+  /// Submit a *tracked* run of `app_name` on cell `i` (between runs).
+  /// Unlike launch(), the job carries a cluster-wide id and the chaos
+  /// invariant: if its cell dies it is checkpointed, drained to a ring
+  /// neighbor, and re-placed until it completes exactly once.  Returns
+  /// the job id.
+  std::uint64_t submit(std::size_t i, const std::string& app_name);
+
+  /// Advance the cluster until every submitted job has completed or the
+  /// horizon passes.  Returns true when all jobs completed.
+  bool run_until_jobs_complete(Duration horizon = Duration::minutes(120));
+
+  [[nodiscard]] std::size_t submitted_jobs() const { return jobs_.size(); }
+  [[nodiscard]] std::size_t completed_jobs() const;
+
+  /// Per-job completion instant in ms by job id (-1 when incomplete).
+  /// The serial/parallel determinism contract is pinned on these.
+  [[nodiscard]] std::vector<double> job_completion_times_ms() const;
+
+  struct JobStats {
+    std::uint64_t submitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t drained = 0;  ///< checkpoint-drain hops at cell death
+    std::uint64_t retries = 0;  ///< backoff re-placements on dead cells
+    double p99_latency_ms = 0.0;
+    double max_latency_ms = 0.0;
+  };
+  /// Aggregate over completed jobs (main thread, between runs).
+  [[nodiscard]] JobStats job_stats() const;
+
+ private:
+  enum class JobState : std::uint8_t {
+    kPending,     ///< placement event scheduled on the owner's shard
+    kBackoff,     ///< owner found dead; forward scheduled after backoff
+    kForwarding,  ///< checkpoint in flight to the ring neighbor
+    kRunning,     ///< launched as an AppProcess on the owner cell
+    kCompleted,
+  };
+
+  /// One tracked job.  Owned by jobs_[id].cell's shard during runs;
+  /// ownership moves only inside the drain channel's messages.
+  struct TrackedJob {
+    std::uint32_t app_index = 0;  ///< index into cell(0).specs()
+    std::uint32_t cell = 0;       ///< current owner
+    std::uint32_t attempts = 0;   ///< dead-cell re-placements (backoff)
+    std::uint32_t drains = 0;     ///< kill-time checkpoint drains
+    JobState state = JobState::kPending;
+    TimePoint submitted_at;
+    TimePoint completed_at;
+  };
+
+  // All of these run on the owning cell's shard.
+  void place_job(std::uint64_t id);
+  void launch_tracked(std::uint64_t id);
+  void forward_job(std::uint64_t id);
+  void kill_cell_impl(std::size_t c);
+  void set_link_down_impl(std::size_t l, bool down);
+
  private:
   ClusterSpec cluster_;
   /// Per-cell topology nodes (index = cell).
@@ -154,6 +252,28 @@ class ClusterExperiment {
   /// Atomic: in parallel mode every cell's shard thread may hand off
   /// concurrently.
   std::atomic<std::uint64_t> handoffs_{0};
+
+  // Fault-injection state (see the ownership discipline above).
+  FaultInjectionOptions fault_opts_;
+  /// Tracked jobs by id.  The vector grows only between runs (submit);
+  /// during runs each element is touched only by its owner's shard.
+  std::vector<TrackedJob> jobs_;
+  /// Ids owned by each cell, in arrival order -- what kill_cell drains.
+  /// cell_jobs_[c] is owned by shard c (submit appends between runs).
+  std::vector<std::vector<std::uint64_t>> cell_jobs_;
+  /// cell_dead_[c] / cell_epoch_[c] are owned by shard c.  The epoch
+  /// bumps at kill time; exit callbacks capture the epoch at launch and
+  /// a mismatch marks a ghost completion from before the kill.
+  std::vector<std::uint8_t> cell_dead_;
+  std::vector<std::uint64_t> cell_epoch_;
+  /// Drain path, one per cell (multi-cell only): a dedicated local link
+  /// (same physical pipe as intercell_[i], so partitions hit both) and
+  /// a MigrationRuntime whose arrival channel is the registered ring
+  /// edge -- checkpoints transform on the dying shard and re-materialize
+  /// on the neighbor's.
+  std::unique_ptr<popcorn::StateTransformer> drain_transformer_;
+  std::vector<std::unique_ptr<hw::Link>> drain_links_;
+  std::vector<std::unique_ptr<popcorn::MigrationRuntime>> drain_runtimes_;
 };
 
 }  // namespace xartrek::exp

@@ -98,7 +98,7 @@ void Experiment::launch_forced(const std::string& app_name,
       !testbed_->fpga().reconfiguring()) {
     const fpga::XclbinImage* image = server_->image_with(s.kernel_name);
     XAR_ASSERT(image != nullptr);
-    testbed_->fpga().reconfigure(*image, [] {});
+    testbed_->fpga().reconfigure(*image, [](bool) {});
   }
   testbed_->x86().run(s.pre, [this, &s, target, post] {
     executor_->execute(target, s.function_costs(),
@@ -114,7 +114,7 @@ void Experiment::warm_fpga_for(const std::string& app_name) {
   if (!device.reconfiguring()) {
     const fpga::XclbinImage* image = server_->image_with(s.kernel_name);
     XAR_ASSERT(image != nullptr);
-    device.reconfigure(*image, [] {});
+    device.reconfigure(*image, [](bool) {});
   }
   const TimePoint horizon = simulation().now() + Duration::minutes(5);
   while (!device.has_kernel(s.kernel_name) && simulation().step_one(horizon)) {

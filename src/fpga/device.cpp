@@ -37,18 +37,21 @@ FpgaDevice::FpgaDevice(sim::Simulation& sim, hw::Link& pcie, FpgaSpec spec,
                        Logger log)
     : sim_(sim), pcie_(pcie), spec_(std::move(spec)), log_(std::move(log)) {}
 
-void FpgaDevice::notify_done(Callback done) {
+void FpgaDevice::notify_done(ReconfigureCallback done, bool success) {
   if (notify_.connected()) {
     // The requester (the scheduler) lives on another shard: the
     // completion crosses through its mailbox, paying the channel
     // latency instead of returning inline.
-    notify_.deliver(std::move(done));
+    notify_.deliver([done = std::move(done), success]() mutable {
+      done(success);
+    });
     return;
   }
-  done();
+  done(success);
 }
 
-void FpgaDevice::reconfigure(const XclbinImage& image, Callback on_done) {
+void FpgaDevice::reconfigure(const XclbinImage& image,
+                             ReconfigureCallback on_done) {
   XAR_EXPECTS(on_done != nullptr);
   XAR_EXPECTS(
       FpgaResources::fits_within(image.total_kernel_resources(),
@@ -60,7 +63,7 @@ void FpgaDevice::reconfigure(const XclbinImage& image, Callback on_done) {
               " dropped -- device offline");
     sim_.schedule_in(Duration::zero(),
                      [this, done = std::move(on_done)]() mutable {
-                       notify_done(std::move(done));
+                       notify_done(std::move(done), /*success=*/false);
                      });
     return;
   }
@@ -72,13 +75,14 @@ void FpgaDevice::set_offline(bool offline) {
   offline_ = offline;
   ++residency_version_;
   if (offline) {
+    ++offline_events_;
     kernels_.clear();
     loaded_.reset();
-    // Drop queued downloads; their completions fire as no-ops.
+    // Drop queued downloads; their completions fire as failures.
     for (auto& [image, cb] : reconfig_queue_) {
       sim_.schedule_in(Duration::zero(),
                        [this, done = std::move(cb)]() mutable {
-                         notify_done(std::move(done));
+                         notify_done(std::move(done), /*success=*/false);
                        });
     }
     reconfig_queue_.clear();
@@ -95,6 +99,7 @@ void FpgaDevice::start_reconfigure() {
   auto [image, cb] = std::move(reconfig_queue_.front());
   reconfig_queue_.pop_front();
 
+  const std::uint64_t offline_mark = offline_events_;
   ++residency_version_;  // the old configuration dies right below
   // The old configuration dies the moment programming starts.  In-flight
   // CU work is considered already-drained: the scheduler never initiates
@@ -106,16 +111,32 @@ void FpgaDevice::start_reconfigure() {
   log_.debug("fpga: downloading xclbin ", image.id, " (", image.size_bytes,
              " bytes)");
   pcie_.transfer(
-      image.size_bytes, [this, image = std::move(image),
+      image.size_bytes, [this, offline_mark, image = std::move(image),
                          done = std::move(cb)]() mutable {
         sim_.schedule_in(
             spec_.programming_time,
-            [this, image = std::move(image), done = std::move(done)]() mutable {
-              if (offline_) {
-                // Card died mid-programming: nothing becomes resident.
+            [this, offline_mark, image = std::move(image),
+             done = std::move(done)]() mutable {
+              if (offline_ || offline_events_ != offline_mark) {
+                // Card died -- or blipped -- mid-programming: the
+                // bitstream write is torn, nothing becomes resident.
                 reconfig_active_ = false;
                 ++residency_version_;
-                notify_done(std::move(done));
+                if (!offline_) start_reconfigure();
+                notify_done(std::move(done), /*success=*/false);
+                return;
+              }
+              if (fail_armed_) {
+                // Injected programming failure (corrupted bitstream /
+                // ICAP error): the card survives but nothing becomes
+                // resident.  One-shot -- the next download works.
+                fail_armed_ = false;
+                reconfig_active_ = false;
+                ++residency_version_;
+                log_.warn("fpga: programming of ", image.id,
+                          " failed (injected)");
+                start_reconfigure();
+                notify_done(std::move(done), /*success=*/false);
                 return;
               }
               for (const auto& k : image.kernels) {
@@ -138,7 +159,7 @@ void FpgaDevice::start_reconfigure() {
               // `reconfiguring()` stays true continuously when requests
               // are stacked.
               start_reconfigure();
-              notify_done(std::move(done));
+              notify_done(std::move(done), /*success=*/true);
             });
       });
 }

@@ -80,6 +80,12 @@ struct FpgaSpec {
 class FpgaDevice {
  public:
   using Callback = sim::UniqueCallback;
+  /// Reconfiguration completion: `success` is true iff the image's
+  /// kernels actually became resident.  A request dropped because the
+  /// card is offline, killed mid-programming, or failed by injection
+  /// still completes -- with success == false -- so callers can
+  /// distinguish "loaded" from "the driver returned an error".
+  using ReconfigureCallback = sim::UniqueFunction<void(bool)>;
 
   FpgaDevice(sim::Simulation& sim, hw::Link& pcie, FpgaSpec spec,
              Logger log = {});
@@ -90,7 +96,7 @@ class FpgaDevice {
   /// kernels are torn down immediately (the scheduler must not route work
   /// here until `on_done`).  Concurrent requests queue FIFO.  Requires
   /// the image's kernels to fit the usable region.
-  void reconfigure(const XclbinImage& image, Callback on_done);
+  void reconfigure(const XclbinImage& image, ReconfigureCallback on_done);
 
   /// True while a download/programming is in progress or queued.
   [[nodiscard]] bool reconfiguring() const {
@@ -120,6 +126,15 @@ class FpgaDevice {
   /// always-FPGA flow stalls -- exactly the contrast the tests assert.
   void set_offline(bool offline);
   [[nodiscard]] bool offline() const { return offline_; }
+
+  /// Failure injection: arm a one-shot reconfiguration failure.  The
+  /// next reconfiguration to finish programming installs nothing and
+  /// completes with success == false (a corrupted bitstream / ICAP
+  /// error), after which the card keeps working normally.
+  void inject_reconfigure_failure() { fail_armed_ = true; }
+  [[nodiscard]] bool reconfigure_failure_armed() const {
+    return fail_armed_;
+  }
 
   /// Topology registration: the device is node `self`, the scheduler
   /// that consumes reconfiguration completions is node `scheduler`.
@@ -158,8 +173,9 @@ class FpgaDevice {
   };
 
   void start_reconfigure();
-  /// Fire `done` locally, or through the notify channel when one is set.
-  void notify_done(Callback done);
+  /// Fire `done(success)` locally, or through the notify channel when
+  /// one is set.
+  void notify_done(ReconfigureCallback done, bool success);
 
   sim::Simulation& sim_;
   hw::Link& pcie_;
@@ -173,7 +189,12 @@ class FpgaDevice {
 
   bool reconfig_active_ = false;
   bool offline_ = false;
-  std::deque<std::pair<XclbinImage, Callback>> reconfig_queue_;
+  bool fail_armed_ = false;
+  /// Offline transitions ever taken.  A programming attempt stamps this
+  /// at start and re-checks at completion, so even an offline blip that
+  /// heals before programming finishes tears the bitstream write.
+  std::uint64_t offline_events_ = 0;
+  std::deque<std::pair<XclbinImage, ReconfigureCallback>> reconfig_queue_;
   std::uint64_t reconfigs_ = 0;
   std::uint64_t residency_version_ = 0;
 };

@@ -27,6 +27,12 @@ Link::Link(sim::Simulation& sim, LinkSpec spec)
 
 void Link::transfer(std::uint64_t bytes, Callback on_complete) {
   XAR_EXPECTS(on_complete != nullptr);
+  if (down_) {
+    // Partitioned: the admission parks until the link is repaired.
+    ++stats_.parked_transfers;
+    parked_.push(ParkedTransfer{bytes, std::move(on_complete)});
+    return;
+  }
   const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
   // Fixed latency first, then bandwidth-shared payload time.  The
   // latency is identical for every transfer, so the events fire in the
@@ -42,6 +48,22 @@ void Link::transfer(std::uint64_t bytes, Callback on_complete) {
     stats_.max_in_flight = in_flight_now;
   }
   sim_.schedule_in(spec_.latency, [this, mb] { enter_pool(mb); });
+}
+
+void Link::set_down(bool down) {
+  if (down == down_) return;
+  down_ = down;
+  if (down) {
+    ++stats_.downs;
+    return;
+  }
+  // Repaired: replay the parked admissions in arrival order.  Each
+  // re-enters transfer() and pays full latency + bandwidth from now --
+  // the queue drains through the same wire model as live traffic.
+  while (!parked_.empty()) {
+    ParkedTransfer p = parked_.pop();
+    transfer(p.bytes, std::move(p.on_complete));
+  }
 }
 
 void Link::enter_pool(double mb) {

@@ -46,6 +46,11 @@ class Link {
   struct Stats {
     std::uint64_t transfers = 0;
     std::size_t max_in_flight = 0;
+    /// set_down(true) transitions (each partition counted once).
+    std::uint64_t downs = 0;
+    /// Admissions that arrived while the link was partitioned and were
+    /// parked for replay.
+    std::uint64_t parked_transfers = 0;
   };
 
   Link(sim::Simulation& sim, LinkSpec spec);
@@ -66,6 +71,18 @@ class Link {
                       sim::NodeId receiver) {
     delivery_ = eng.channel_between(self, receiver);
   }
+
+  /// Fault injection: partition the link.  While down, new admissions
+  /// park FIFO instead of entering the wire; transfers already in their
+  /// latency or bandwidth phase complete normally (store-and-forward:
+  /// the bytes already left the sender).  Repairing the link replays
+  /// every parked admission in arrival order, each paying the full
+  /// latency + bandwidth cost from the repair instant.
+  void set_down(bool down);
+  [[nodiscard]] bool down() const { return down_; }
+
+  /// Admissions currently parked behind a partition.
+  [[nodiscard]] std::size_t parked() const { return parked_.size(); }
 
   /// Transfers currently in flight.
   [[nodiscard]] std::size_t in_flight() const { return pool_.active_jobs(); }
@@ -97,6 +114,13 @@ class Link {
   /// PS pool finishes transfers out of order, so FIFO parking does not
   /// work here -- slots do.
   sim::SlotPool<Callback> remote_;
+  /// Partition state: admissions refused while down wait here, FIFO.
+  struct ParkedTransfer {
+    std::uint64_t bytes = 0;
+    Callback on_complete;
+  };
+  bool down_ = false;
+  sim::RingQueue<ParkedTransfer> parked_;
 };
 
 }  // namespace xartrek::hw

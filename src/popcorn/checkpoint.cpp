@@ -1,0 +1,102 @@
+#include "popcorn/checkpoint.hpp"
+
+#include "common/assert.hpp"
+
+namespace xartrek::popcorn {
+
+namespace {
+
+constexpr const char* kDrainFunction = "__xar_drain";
+constexpr int kDrainSite = 0;
+
+[[nodiscard]] MigrationMetadata build_drain_metadata() {
+  // The ticket's fields as the site's live values.  On x86 they live in
+  // the frame (spilled across the call that reaches the checkpoint); on
+  // aarch64 in callee-saved registers, exercising both location kinds
+  // of the transformer on every cross-ISA drain.
+  CallSiteMetadata site;
+  site.function = kDrainFunction;
+  site.site_id = kDrainSite;
+
+  LiveValue job;
+  job.name = "job";
+  job.type = ValueType::kI64;
+  job.location[isa::IsaKind::kX86_64] = ValueLocation::on_stack(0);
+  job.location[isa::IsaKind::kAarch64] = ValueLocation::in_register("x19");
+  site.live_values.push_back(std::move(job));
+
+  LiveValue app;
+  app.name = "app";
+  app.type = ValueType::kI32;
+  app.location[isa::IsaKind::kX86_64] = ValueLocation::on_stack(8);
+  app.location[isa::IsaKind::kAarch64] = ValueLocation::in_register("x20");
+  site.live_values.push_back(std::move(app));
+
+  LiveValue attempts;
+  attempts.name = "attempts";
+  attempts.type = ValueType::kI32;
+  attempts.location[isa::IsaKind::kX86_64] = ValueLocation::on_stack(12);
+  attempts.location[isa::IsaKind::kAarch64] =
+      ValueLocation::in_register("x21");
+  site.live_values.push_back(std::move(attempts));
+
+  site.frame_size[isa::IsaKind::kX86_64] = 32;
+  site.frame_size[isa::IsaKind::kAarch64] = 16;
+
+  MigrationMetadata md;
+  md.add_site(std::move(site));
+  return md;
+}
+
+}  // namespace
+
+const MigrationMetadata& drain_metadata() {
+  static const MigrationMetadata md = build_drain_metadata();
+  return md;
+}
+
+ThreadStack checkpoint_drain(const DrainTicket& ticket, isa::IsaKind isa) {
+  const CallSiteMetadata* site =
+      drain_metadata().find(kDrainFunction, kDrainSite);
+  XAR_ASSERT(site != nullptr);
+  MachineState frame(isa, kDrainFunction, kDrainSite,
+                     site->frame_size_for(isa));
+  for (const LiveValue& value : site->live_values) {
+    const auto loc = value.location.find(isa);
+    XAR_ASSERT(loc != value.location.end());
+    std::uint64_t raw = 0;
+    if (value.name == "job") raw = ticket.job;
+    if (value.name == "app") raw = ticket.app_index;
+    if (value.name == "attempts") raw = ticket.attempts;
+    frame.write_value(loc->second, value.type, raw);
+  }
+  ThreadStack stack(isa);
+  stack.push_frame(std::move(frame));
+  return stack;
+}
+
+DrainTicket decode_drain(const ThreadStack& stack) {
+  XAR_EXPECTS(!stack.empty());
+  const MachineState& frame = stack.top();
+  XAR_EXPECTS(frame.function() == kDrainFunction &&
+              frame.site_id() == kDrainSite);
+  const CallSiteMetadata* site =
+      drain_metadata().find(kDrainFunction, kDrainSite);
+  XAR_ASSERT(site != nullptr);
+  DrainTicket ticket;
+  for (const LiveValue& value : site->live_values) {
+    const auto loc = value.location.find(frame.isa());
+    XAR_ASSERT(loc != value.location.end());
+    const std::uint64_t raw = frame.read_value(loc->second, value.type);
+    if (value.name == "job") ticket.job = raw;
+    if (value.name == "app") {
+      ticket.app_index = static_cast<std::uint32_t>(raw);
+    }
+    if (value.name == "attempts") {
+      ticket.attempts = static_cast<std::uint32_t>(raw);
+    }
+  }
+  return ticket;
+}
+
+}  // namespace xartrek::popcorn

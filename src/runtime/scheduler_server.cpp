@@ -105,6 +105,7 @@ const fpga::XclbinImage* SchedulerServer::image_with(
 
 void SchedulerServer::maybe_start_reconfiguration(std::string_view kernel) {
   if (device_.reconfiguring()) return;  // one download at a time
+  if (!fpga_healthy_) return;  // evicted target: don't feed it downloads
   const fpga::XclbinImage* image = image_with(kernel);
   if (image == nullptr) {
     log_.warn("server: no XCLBIN provides kernel ", kernel);
@@ -113,9 +114,89 @@ void SchedulerServer::maybe_start_reconfiguration(std::string_view kernel) {
   ++stats_.reconfigurations_started;
   log_.info("server: reconfiguring FPGA with ", image->id, " for kernel ",
             kernel);
-  device_.reconfigure(*image, [this, id = image->id] {
-    log_.debug("server: reconfiguration ", id, " complete");
+  device_.reconfigure(*image, [this, id = image->id](bool ok) {
+    if (ok) {
+      log_.debug("server: reconfiguration ", id, " complete");
+    } else {
+      log_.warn("server: reconfiguration ", id,
+                " failed -- kernels not resident");
+    }
   });
+}
+
+void SchedulerServer::start_health_checks() {
+  start_health_checks(HealthOptions());
+}
+
+void SchedulerServer::start_health_checks(HealthOptions opts) {
+  XAR_EXPECTS(opts.period > Duration::zero());
+  XAR_EXPECTS(opts.timeout > Duration::zero());
+  XAR_EXPECTS(opts.miss_limit >= 1);
+  health_opts_ = opts;
+  if (health_on_) return;  // retune only; the running loop picks it up
+  health_on_ = true;
+  ++health_generation_;
+  const std::uint64_t gen = health_generation_;
+  sim_.schedule_in(health_opts_.period, [this, gen] {
+    if (health_on_ && gen == health_generation_) heartbeat_tick();
+  });
+}
+
+void SchedulerServer::stop_health_checks() {
+  health_on_ = false;
+  ++health_generation_;  // orphan any in-flight tick/timeout events
+  fpga_healthy_ = true;
+  consecutive_misses_ = 0;
+}
+
+void SchedulerServer::heartbeat_tick() {
+  const std::uint64_t seq = ++heartbeat_seq_;
+  const std::uint64_t gen = health_generation_;
+  ++stats_.heartbeats_sent;
+  // A live card answers one reply latency later; a dead card never
+  // does (the ping vanishes into the dead PCIe slot).
+  if (!device_.offline()) {
+    sim_.schedule_in(health_opts_.reply_latency, [this, seq, gen] {
+      if (health_on_ && gen == health_generation_) heartbeat_reply(seq);
+    });
+  }
+  sim_.schedule_in(health_opts_.timeout, [this, seq, gen] {
+    if (health_on_ && gen == health_generation_) heartbeat_timeout(seq);
+  });
+  sim_.schedule_in(health_opts_.period, [this, gen] {
+    if (health_on_ && gen == health_generation_) heartbeat_tick();
+  });
+}
+
+void SchedulerServer::heartbeat_reply(std::uint64_t seq) {
+  if (seq <= expired_seq_) {
+    // The reply lost the race: its timeout already fired and the miss
+    // was counted.  Ignoring it keeps the state machine monotone -- a
+    // stale packet cannot resurrect a target the tracker gave up on.
+    ++stats_.late_replies;
+    return;
+  }
+  if (seq <= replied_seq_) return;  // duplicate
+  replied_seq_ = seq;
+  consecutive_misses_ = 0;
+  if (!fpga_healthy_) {
+    fpga_healthy_ = true;
+    ++stats_.reinstatements;
+    log_.info("server: FPGA target reinstated (heartbeat ", seq, ")");
+  }
+}
+
+void SchedulerServer::heartbeat_timeout(std::uint64_t seq) {
+  if (seq <= replied_seq_) return;  // answered in time
+  if (seq > expired_seq_) expired_seq_ = seq;
+  ++stats_.heartbeats_missed;
+  ++consecutive_misses_;
+  if (consecutive_misses_ >= health_opts_.miss_limit && fpga_healthy_) {
+    fpga_healthy_ = false;
+    ++stats_.evictions;
+    log_.warn("server: FPGA target evicted after ", consecutive_misses_,
+              " missed heartbeats");
+  }
 }
 
 void SchedulerServer::request_placement(std::string_view app,
@@ -250,7 +331,10 @@ void SchedulerServer::finish_one(std::uint32_t slot, int load,
     }
   }
   if (!probed) {
-    kernel_ready = device_.has_kernel(entry.kernel_name);
+    // An evicted target answers no residency probes: the tracker treats
+    // its kernels as absent, which drops Algorithm 2 into its CPU-only
+    // branches exactly as a physically absent card would.
+    kernel_ready = fpga_healthy_ && device_.has_kernel(entry.kernel_name);
     ++stats_.residency_probes;
     probe_cache_.emplace_back(app_id, kernel_ready);
   }

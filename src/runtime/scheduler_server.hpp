@@ -108,6 +108,28 @@ class SchedulerServer {
     /// Kernel-residency lookups actually performed; within a batch the
     /// probe is shared across requests for the same app.
     std::uint64_t residency_probes = 0;
+    // Health checking (all zero while health checks are off).
+    std::uint64_t heartbeats_sent = 0;
+    std::uint64_t heartbeats_missed = 0;  ///< timeouts with no reply
+    /// Replies that arrived after their timeout already fired; they are
+    /// ignored (the eviction decision stands until an in-time reply).
+    std::uint64_t late_replies = 0;
+    std::uint64_t evictions = 0;       ///< healthy -> evicted transitions
+    std::uint64_t reinstatements = 0;  ///< evicted -> healthy transitions
+  };
+
+  /// Heartbeat tunables.  Health checking is opt-in (start_health_checks);
+  /// with it off the server's event schedule is bit-identical to pre-PR
+  /// behavior and `fpga_healthy()` is pinned true.
+  struct HealthOptions {
+    /// Ping cadence.
+    Duration period = Duration::ms(10.0);
+    /// Device-side round trip of one ping when the card is up.
+    Duration reply_latency = Duration::micros(200.0);
+    /// How long after the ping the server waits before declaring a miss.
+    Duration timeout = Duration::ms(2.0);
+    /// Consecutive misses before the target is evicted.
+    std::uint32_t miss_limit = 3;
   };
 
   SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
@@ -137,6 +159,23 @@ class SchedulerServer {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return opts_; }
+
+  /// Start the heartbeat loop against the FPGA target.  Each tick pings
+  /// the device: an online card answers `reply_latency` later, a dead
+  /// one never does, and a reply landing after its `timeout` is *late*
+  /// -- counted, but ignored, so an eviction already decided is not
+  /// retroactively undone by a stale packet.  `miss_limit` consecutive
+  /// timeouts evict the target: `fpga_healthy()` goes false and
+  /// Algorithm 2 stops routing to (or reconfiguring) the card until an
+  /// in-time reply reinstates it.
+  void start_health_checks(HealthOptions opts);
+  void start_health_checks();  // default tunables
+  void stop_health_checks();
+  [[nodiscard]] bool health_checks_active() const { return health_on_; }
+
+  /// False while the heartbeat tracker has the FPGA target evicted.
+  /// Always true when health checks are off.
+  [[nodiscard]] bool fpga_healthy() const { return fpga_healthy_; }
 
   /// The image that contains `kernel`, or nullptr (the server's "Query
   /// Available HW Kernels" bookkeeping).  O(log kernels) via an index
@@ -172,6 +211,10 @@ class SchedulerServer {
   };
 
   void maybe_start_reconfiguration(std::string_view kernel);
+  /// One heartbeat tick: ping, arm the timeout, schedule the next tick.
+  void heartbeat_tick();
+  void heartbeat_reply(std::uint64_t seq);
+  void heartbeat_timeout(std::uint64_t seq);
   /// Event body: one decision pass over every request in `batch_slot`
   /// (one arena decode sweep, one load sample, shared residency
   /// probes), answering each client.
@@ -213,6 +256,20 @@ class SchedulerServer {
   /// views alias it.  Both keep their capacity across passes.
   std::vector<std::byte> arena_scratch_;
   std::vector<PlacementRequestView> views_scratch_;
+
+  // Heartbeat state.  Sequence numbers disambiguate the reply/timeout
+  // race: a reply for seq s is *late* exactly when s's timeout already
+  // fired, and a timeout is a miss exactly when no in-time reply for s
+  // (or a later ping) arrived first.
+  HealthOptions health_opts_;
+  bool health_on_ = false;
+  bool fpga_healthy_ = true;
+  std::uint64_t heartbeat_seq_ = 0;    ///< last ping sent
+  std::uint64_t replied_seq_ = 0;      ///< highest seq answered in time
+  std::uint64_t expired_seq_ = 0;      ///< highest seq whose timeout fired
+  std::uint32_t consecutive_misses_ = 0;
+  /// Generation guard: stop/start invalidates in-flight tick events.
+  std::uint64_t health_generation_ = 0;
 };
 
 }  // namespace xartrek::runtime

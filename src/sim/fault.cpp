@@ -1,0 +1,89 @@
+#include "sim/fault.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+#include "common/assert.hpp"
+
+namespace xartrek::sim {
+
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::kCellKill:        return "cell-kill";
+    case FaultEvent::Kind::kLinkDown:        return "link-down";
+    case FaultEvent::Kind::kLinkUp:          return "link-up";
+    case FaultEvent::Kind::kReconfigureFail: return "reconfigure-fail";
+  }
+  return "?";
+}
+
+namespace {
+
+[[nodiscard]] auto order_key(const FaultEvent& e) {
+  return std::make_tuple(e.at.to_ms(), static_cast<std::uint8_t>(e.kind),
+                         e.index);
+}
+
+}  // namespace
+
+void FaultPlan::add(FaultEvent event) {
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return order_key(a) < order_key(b);
+      });
+  events_.insert(pos, event);
+}
+
+std::size_t FaultPlan::count(FaultEvent::Kind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+FaultPlan FaultPlan::generate(const ChaosProfile& profile, Rng rng) {
+  XAR_EXPECTS(profile.window_end > profile.window_begin);
+  XAR_EXPECTS(profile.mean_partition > Duration::zero());
+  const double begin_ms = profile.window_begin.to_ms();
+  const double end_ms = profile.window_end.to_ms();
+
+  FaultPlan plan;
+  // Draw order is fixed (kills, then flaps, then reconfigure failures;
+  // victims in index order) so the plan is a pure function of the
+  // profile and the Rng's seed.
+  std::uint32_t kill_budget = profile.max_cell_kills != 0
+                                  ? profile.max_cell_kills
+                                  : (profile.cells > 0 ? profile.cells - 1
+                                                       : 0);
+  for (std::uint32_t c = 0; c < profile.cells; ++c) {
+    const bool hit = rng.bernoulli(profile.cell_kill_probability);
+    const double at = rng.uniform_real(begin_ms, end_ms);
+    if (!hit || kill_budget == 0) continue;
+    --kill_budget;
+    plan.add(FaultEvent{FaultEvent::Kind::kCellKill, TimePoint::at_ms(at),
+                        c});
+  }
+  for (std::uint32_t l = 0; l < profile.links; ++l) {
+    const bool hit = rng.bernoulli(profile.link_flap_probability);
+    const double at = rng.uniform_real(begin_ms, end_ms);
+    const double len = rng.exponential_mean(profile.mean_partition.to_ms());
+    if (!hit) continue;
+    // Heal strictly inside the window so a flapped link never stays
+    // down past the chaos phase (parked traffic always drains).
+    const double up = std::min(at + std::max(len, 1e-3), end_ms);
+    plan.add(FaultEvent{FaultEvent::Kind::kLinkDown, TimePoint::at_ms(at),
+                        l});
+    plan.add(FaultEvent{FaultEvent::Kind::kLinkUp, TimePoint::at_ms(up),
+                        l});
+  }
+  for (std::uint32_t c = 0; c < profile.cells; ++c) {
+    const bool hit = rng.bernoulli(profile.reconfigure_fail_probability);
+    const double at = rng.uniform_real(begin_ms, end_ms);
+    if (!hit) continue;
+    plan.add(FaultEvent{FaultEvent::Kind::kReconfigureFail,
+                        TimePoint::at_ms(at), c});
+  }
+  return plan;
+}
+
+}  // namespace xartrek::sim

@@ -1,0 +1,87 @@
+// Deterministic, seed-driven fault schedules for cluster experiments.
+//
+// The paper's multi-tenant premise (§1) is that the accelerator -- and,
+// at cluster scale, whole cells -- can disappear while jobs keep
+// running.  A FaultPlan is the schedule of such disappearances: cell
+// kills, ring-link partitions and flaps, and FPGA reconfiguration
+// failures, each stamped with the simulated instant it strikes and the
+// index of its victim.  The plan is plain data: it owns no simulation
+// state, so the same plan can be applied to a serial and a parallel
+// cluster run and -- because every event is injected on its victim's
+// own shard -- the two runs stay trace-identical.
+//
+// Plans come from two places: tests hand-build them event by event, and
+// chaos runs generate them from a ChaosProfile through Rng::split, so
+// the fault stream is reproducible from (seed, stream) without
+// perturbing the workload's own draws.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace xartrek::sim {
+
+/// One scheduled fault.
+struct FaultEvent {
+  enum class Kind : std::uint8_t {
+    kCellKill,         ///< cell `index` dies (drain + re-place its jobs)
+    kLinkDown,         ///< ring link `index` partitions
+    kLinkUp,           ///< ring link `index` heals
+    kReconfigureFail,  ///< cell `index`'s next FPGA programming fails
+  };
+
+  Kind kind = Kind::kCellKill;
+  TimePoint at;             ///< absolute simulated time the fault strikes
+  std::uint32_t index = 0;  ///< victim: cell or ring-link number
+};
+
+[[nodiscard]] const char* to_string(FaultEvent::Kind kind);
+
+/// Knobs for FaultPlan::generate.  Probabilities are per victim (one
+/// draw per cell / link), times uniform inside the chaos window.
+struct ChaosProfile {
+  std::uint32_t cells = 0;  ///< cluster size (victim candidates)
+  std::uint32_t links = 0;  ///< ring links (usually == cells)
+  TimePoint window_begin;   ///< faults strike inside [begin, end)
+  TimePoint window_end;
+  double cell_kill_probability = 0.25;
+  double link_flap_probability = 0.25;
+  double reconfigure_fail_probability = 0.25;
+  /// Mean partition length of a link flap (exponential, clamped to the
+  /// window so the link always heals before the chaos window closes).
+  Duration mean_partition = Duration::ms(50.0);
+  /// Hard cap on kills.  Defaults (0) to cells - 1: at least one cell
+  /// survives, so drained jobs always have somewhere to land.
+  std::uint32_t max_cell_kills = 0;
+};
+
+/// A sorted, immutable-once-built schedule of FaultEvents.
+class FaultPlan {
+ public:
+  /// Insert one event, keeping the (time, kind, index) order invariant.
+  void add(FaultEvent event);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const { return events_.size(); }
+
+  /// Events of one kind (diagnostics / tests).
+  [[nodiscard]] std::size_t count(FaultEvent::Kind kind) const;
+
+  /// Draw a plan from `profile`.  A pure function of (profile, rng
+  /// state): the same seeded Rng always yields the identical plan.
+  /// Pass a split stream (rng.split(k)) so generation never perturbs
+  /// the workload's randomness.
+  [[nodiscard]] static FaultPlan generate(const ChaosProfile& profile,
+                                          Rng rng);
+
+ private:
+  std::vector<FaultEvent> events_;  ///< sorted by (at, kind, index)
+};
+
+}  // namespace xartrek::sim

@@ -41,7 +41,8 @@ void Kernel::enqueue(std::uint64_t items, Callback on_done) {
 Device::Device(sim::Simulation& sim, fpga::FpgaDevice& card, hw::Link& pcie)
     : sim_(sim), card_(card), pcie_(pcie) {}
 
-void Device::load_xclbin(const fpga::XclbinImage& image, Callback on_done) {
+void Device::load_xclbin(const fpga::XclbinImage& image,
+                         fpga::FpgaDevice::ReconfigureCallback on_done) {
   card_.reconfigure(image, std::move(on_done));
 }
 

@@ -87,8 +87,11 @@ class Device {
 
   Device(sim::Simulation& sim, fpga::FpgaDevice& card, hw::Link& pcie);
 
-  /// Download an XCLBIN (serialized with any other download).
-  void load_xclbin(const fpga::XclbinImage& image, Callback on_done);
+  /// Download an XCLBIN (serialized with any other download).  The
+  /// completion's flag mirrors the driver's return code: false when the
+  /// image did not become resident (card offline or programming error).
+  void load_xclbin(const fpga::XclbinImage& image,
+                   fpga::FpgaDevice::ReconfigureCallback on_done);
 
   /// True if `name` is loaded and callable.
   [[nodiscard]] bool kernel_ready(const std::string& name) const {

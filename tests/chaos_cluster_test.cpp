@@ -1,0 +1,288 @@
+// Cluster-scale chaos: deterministic fault plans, cell kills with
+// checkpointed drain, partitioned ring links, and the conservation
+// invariant -- every submitted job completes exactly once, serial and
+// parallel runs trace-identical under the same FaultPlan, and an empty
+// plan is a bit-identical no-op.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "apps/benchmark_spec.hpp"
+#include "common/rng.hpp"
+#include "exp/cluster.hpp"
+#include "exp/threshold_estimator.hpp"
+#include "hw/link.hpp"
+#include "sim/fault.hpp"
+#include "sim/simulation.hpp"
+
+namespace xartrek {
+namespace {
+
+const runtime::ThresholdTable& shared_table() {
+  static const exp::EstimationResult result =
+      exp::ThresholdEstimator().estimate(apps::paper_benchmarks());
+  return result.table;
+}
+
+// --- rng stream splitting ---------------------------------------------------
+
+TEST(RngSplitTest, SplitIsPureKeyedAndNonPerturbing) {
+  Rng base(42);
+  Rng probe(42);
+
+  // Pure: the same (seed, stream) pair always lands in the same state.
+  Rng s1 = base.split(7);
+  Rng s2 = base.split(7);
+  EXPECT_EQ(s1.seed(), s2.seed());
+  EXPECT_EQ(s1.uniform_int(0, 1'000'000), s2.uniform_int(0, 1'000'000));
+
+  // Keyed: adjacent streams are different states.
+  EXPECT_NE(base.split(8).seed(), base.split(7).seed());
+
+  // Non-perturbing: splitting never advanced `base` -- its draw stream
+  // is still bit-identical to a fresh Rng with the same seed.  (fork()
+  // deliberately does advance; split exists for the side channels.)
+  EXPECT_EQ(base.uniform_int(0, 1'000'000), probe.uniform_int(0, 1'000'000));
+}
+
+// --- fault plan generation --------------------------------------------------
+
+TEST(FaultPlanTest, GenerateIsPureSortedAndBudgeted) {
+  sim::ChaosProfile profile;
+  profile.cells = 4;
+  profile.links = 4;
+  profile.window_begin = TimePoint::at_ms(10.0);
+  profile.window_end = TimePoint::at_ms(100.0);
+  profile.cell_kill_probability = 1.0;
+  profile.link_flap_probability = 1.0;
+  profile.reconfigure_fail_probability = 1.0;
+  profile.mean_partition = Duration::ms(20.0);
+
+  const auto a = sim::FaultPlan::generate(profile, Rng(2026).split(3));
+  const auto b = sim::FaultPlan::generate(profile, Rng(2026).split(3));
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.events()[i].kind, b.events()[i].kind);
+    EXPECT_DOUBLE_EQ(a.events()[i].at.to_ms(), b.events()[i].at.to_ms());
+    EXPECT_EQ(a.events()[i].index, b.events()[i].index);
+  }
+
+  // Sorted, inside the window, and kill-budgeted: at least one cell
+  // survives so drained jobs always have somewhere to land.
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    EXPECT_LE(a.events()[i - 1].at.to_ms(), a.events()[i].at.to_ms());
+  }
+  for (const auto& ev : a.events()) {
+    EXPECT_GE(ev.at.to_ms(), 10.0);
+    EXPECT_LE(ev.at.to_ms(), 100.0);
+  }
+  EXPECT_EQ(a.count(sim::FaultEvent::Kind::kCellKill), profile.cells - 1u);
+  // Every partition heals inside the window.
+  EXPECT_EQ(a.count(sim::FaultEvent::Kind::kLinkDown),
+            a.count(sim::FaultEvent::Kind::kLinkUp));
+  EXPECT_EQ(a.count(sim::FaultEvent::Kind::kLinkDown), profile.links);
+  EXPECT_EQ(a.count(sim::FaultEvent::Kind::kReconfigureFail),
+            profile.cells);
+}
+
+// --- link partition semantics ----------------------------------------------
+
+TEST(LinkPartitionTest, ParksFifoAndStoreAndForwardsInFlight) {
+  sim::Simulation sim;
+  hw::Link link(sim, hw::ethernet_1gbps());
+
+  // An in-flight transfer survives the partition (store-and-forward:
+  // the bytes already left the source NIC).
+  double first_done = -1.0;
+  link.transfer(1024 * 1024, [&] { first_done = sim.now().to_ms(); });
+  sim.schedule_in(Duration::ms(1.0), [&] { link.set_down(true); });
+  sim.run();
+  EXPECT_GT(first_done, 0.0);
+  EXPECT_TRUE(link.down());
+
+  // New admissions park while down, then replay in arrival order.
+  std::vector<int> order;
+  link.transfer(1024, [&] { order.push_back(1); });
+  link.transfer(1024, [&] { order.push_back(2); });
+  link.transfer(1024, [&] { order.push_back(3); });
+  sim.run();
+  EXPECT_TRUE(order.empty());
+  EXPECT_EQ(link.parked(), 3u);
+  EXPECT_EQ(link.stats().parked_transfers, 3u);
+  EXPECT_EQ(link.stats().downs, 1u);
+
+  link.set_down(false);
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(link.parked(), 0u);
+}
+
+// --- cluster chaos ----------------------------------------------------------
+
+TEST(ChaosClusterTest, KillCellDrainsRunningJobsExactlyOnce) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ClusterSpec spec;
+  spec.cells = 3;
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::ClusterExperiment cluster(specs, shared_table(), spec, options);
+
+  // Two jobs on the doomed cell (facedet320 runs for hundreds of ms,
+  // so both are mid-flight at the 50 ms kill), one bystander.
+  cluster.submit(1, "facedet320");
+  cluster.submit(1, "facedet320");
+  cluster.submit(0, "facedet320");
+
+  sim::FaultPlan plan;
+  plan.add({sim::FaultEvent::Kind::kCellKill, TimePoint::at_ms(50.0), 1});
+  cluster.apply_fault_plan(plan);
+
+  ASSERT_TRUE(cluster.run_until_jobs_complete());
+  EXPECT_TRUE(cluster.cell_dead(1));
+  EXPECT_FALSE(cluster.cell_dead(0));
+  EXPECT_FALSE(cluster.cell_dead(2));
+
+  // Conservation: every job completed exactly once, and the doomed
+  // cell's jobs got there via checkpoint drain.
+  const auto stats = cluster.job_stats();
+  EXPECT_EQ(stats.submitted, 3u);
+  EXPECT_EQ(stats.completed, 3u);
+  EXPECT_EQ(stats.drained, 2u);
+  for (const double t : cluster.job_completion_times_ms()) {
+    EXPECT_GT(t, 0.0);
+  }
+  // Health checks were live from the moment the plan was applied.
+  EXPECT_TRUE(cluster.cell(0).server().health_checks_active());
+}
+
+TEST(ChaosClusterTest, DeadCellBackoffRetriesOntoRingNeighbor) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ClusterSpec spec;
+  spec.cells = 2;
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::ClusterExperiment cluster(specs, shared_table(), spec, options);
+
+  cluster.kill_cell(1);
+  cluster.run_for(Duration::ms(1.0));
+  ASSERT_TRUE(cluster.cell_dead(1));
+
+  // Submitting to a dead cell: the placement finds the corpse, backs
+  // off, and forwards the checkpoint to the surviving neighbor.
+  cluster.submit(1, "facedet320");
+  ASSERT_TRUE(cluster.run_until_jobs_complete());
+
+  const auto stats = cluster.job_stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_GE(stats.retries, 1u);  // backoff re-placement, not a drain
+  EXPECT_EQ(stats.drained, 0u);  // it was never running on the corpse
+}
+
+TEST(ChaosClusterTest, KillWithPartitionedDrainPathStillConservesJobs) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ClusterSpec spec;
+  spec.cells = 3;
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::ClusterExperiment cluster(specs, shared_table(), spec, options);
+
+  cluster.submit(1, "facedet320");
+  cluster.submit(1, "facedet320");
+
+  // The drain path out of cell 1 is already partitioned when the cell
+  // dies: checkpoints park on the downed link and deliver at repair.
+  sim::FaultPlan plan;
+  plan.add({sim::FaultEvent::Kind::kLinkDown, TimePoint::at_ms(40.0), 1});
+  plan.add({sim::FaultEvent::Kind::kCellKill, TimePoint::at_ms(50.0), 1});
+  plan.add({sim::FaultEvent::Kind::kLinkUp, TimePoint::at_ms(150.0), 1});
+  cluster.apply_fault_plan(plan);
+
+  ASSERT_TRUE(cluster.run_until_jobs_complete());
+  const auto stats = cluster.job_stats();
+  EXPECT_EQ(stats.completed, 2u);
+  EXPECT_EQ(stats.drained, 2u);
+  // Nothing could land before the link healed.
+  EXPECT_GE(stats.max_latency_ms, 150.0);
+}
+
+std::vector<double> run_chaos_cluster(bool parallel) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ClusterSpec spec;
+  spec.cells = 3;
+  spec.parallel = parallel;
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::ClusterExperiment cluster(specs, shared_table(), spec, options);
+
+  for (std::size_t c = 0; c < 3; ++c) {
+    cluster.submit(c, "facedet320");
+    cluster.submit(c, "digit500");
+  }
+
+  sim::ChaosProfile profile;
+  profile.cells = 3;
+  profile.links = 3;
+  profile.window_begin = TimePoint::at_ms(10.0);
+  profile.window_end = TimePoint::at_ms(200.0);
+  profile.cell_kill_probability = 0.6;
+  profile.link_flap_probability = 0.6;
+  profile.reconfigure_fail_probability = 0.6;
+  profile.mean_partition = Duration::ms(20.0);
+  const auto plan = sim::FaultPlan::generate(profile, Rng(2026).split(7));
+  EXPECT_FALSE(plan.empty());
+  cluster.apply_fault_plan(plan);
+
+  EXPECT_TRUE(cluster.run_until_jobs_complete());
+  EXPECT_EQ(cluster.completed_jobs(), cluster.submitted_jobs());
+  return cluster.job_completion_times_ms();
+}
+
+TEST(ChaosClusterTest, SerialAndParallelChaosTracesIdentical) {
+  // The determinism contract under fire: the same generated FaultPlan
+  // produces bit-identical per-job completion instants across a rerun
+  // and across serial vs threaded shard execution.
+  const auto serial_a = run_chaos_cluster(false);
+  const auto serial_b = run_chaos_cluster(false);
+  const auto threaded = run_chaos_cluster(true);
+  ASSERT_EQ(serial_a.size(), serial_b.size());
+  ASSERT_EQ(serial_a.size(), threaded.size());
+  for (std::size_t i = 0; i < serial_a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(serial_a[i], serial_b[i]) << "job " << i;
+    EXPECT_DOUBLE_EQ(serial_a[i], threaded[i]) << "job " << i;
+  }
+}
+
+std::vector<double> run_fault_free_cluster(bool apply_empty_plan) {
+  const auto specs = apps::paper_benchmarks();
+  exp::ClusterSpec spec;
+  spec.cells = 2;
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::ClusterExperiment cluster(specs, shared_table(), spec, options);
+  cluster.submit(0, "facedet320");
+  cluster.submit(1, "digit500");
+  if (apply_empty_plan) {
+    // Even with aggressive tunables attached, an empty plan must not
+    // start health checks or schedule anything.
+    exp::FaultInjectionOptions opts;
+    opts.health.period = Duration::ms(1.0);
+    cluster.apply_fault_plan(sim::FaultPlan{}, opts);
+    EXPECT_FALSE(cluster.cell(0).server().health_checks_active());
+  }
+  EXPECT_TRUE(cluster.run_until_jobs_complete());
+  return cluster.job_completion_times_ms();
+}
+
+TEST(ChaosClusterTest, EmptyFaultPlanIsBitIdenticalNoOp) {
+  const auto baseline = run_fault_free_cluster(false);
+  const auto with_empty_plan = run_fault_free_cluster(true);
+  ASSERT_EQ(baseline.size(), with_empty_plan.size());
+  for (std::size_t i = 0; i < baseline.size(); ++i) {
+    EXPECT_DOUBLE_EQ(baseline[i], with_empty_plan[i]) << "job " << i;
+  }
+}
+
+}  // namespace
+}  // namespace xartrek

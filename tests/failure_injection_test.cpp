@@ -4,13 +4,22 @@
 // opportunistic escape valve, not a dependency: when the card is
 // reclaimed by a paying tenant -- or simply dies -- Xar-Trek must keep
 // serving from the CPUs, while the traditional always-FPGA flow has
-// nowhere to go.
+// nowhere to go.  The health-check tests pin the heartbeat state
+// machine's race behavior; the link tests pin partition park/replay
+// down to the DSM's windowed data path.
 #include <gtest/gtest.h>
+
+#include <cstddef>
+#include <vector>
 
 #include "apps/application.hpp"
 #include "apps/benchmark_spec.hpp"
 #include "exp/experiment.hpp"
 #include "exp/threshold_estimator.hpp"
+#include "hw/link.hpp"
+#include "popcorn/dsm.hpp"
+#include "runtime/scheduler_server.hpp"
+#include "sim/simulation.hpp"
 
 namespace xartrek {
 namespace {
@@ -34,7 +43,7 @@ TEST(FpgaOfflineTest, DeviceDropsKernelsAndRejectsLoads) {
   k.fixed_cycles = 300'000;
   image.kernels.push_back(k);
 
-  device.reconfigure(image, [] {});
+  device.reconfigure(image, [](bool) {});
   testbed.simulation().run_until(TimePoint::at_ms(2000));
   ASSERT_TRUE(device.has_kernel("K"));
 
@@ -42,19 +51,27 @@ TEST(FpgaOfflineTest, DeviceDropsKernelsAndRejectsLoads) {
   EXPECT_FALSE(device.has_kernel("K"));
   EXPECT_EQ(device.loaded_image(), std::nullopt);
 
-  // Reconfiguration requests complete but install nothing.
+  // Reconfiguration requests complete -- reporting failure -- and
+  // install nothing.
   bool completed = false;
-  device.reconfigure(image, [&] { completed = true; });
+  bool offline_ok = true;
+  device.reconfigure(image, [&](bool ok) {
+    completed = true;
+    offline_ok = ok;
+  });
   testbed.simulation().run_until(testbed.simulation().now() +
                                  Duration::seconds(2));
   EXPECT_TRUE(completed);
+  EXPECT_FALSE(offline_ok);
   EXPECT_FALSE(device.has_kernel("K"));
 
-  // Back online: a fresh download works again.
+  // Back online: a fresh download works again and reports success.
   device.set_offline(false);
-  device.reconfigure(image, [] {});
+  bool online_ok = false;
+  device.reconfigure(image, [&](bool ok) { online_ok = ok; });
   testbed.simulation().run_until(testbed.simulation().now() +
                                  Duration::seconds(2));
+  EXPECT_TRUE(online_ok);
   EXPECT_TRUE(device.has_kernel("K"));
 }
 
@@ -70,14 +87,92 @@ TEST(FpgaOfflineTest, DeathMidProgrammingInstallsNothing) {
   image.kernels.push_back(k);
 
   bool completed = false;
-  device.reconfigure(image, [&] { completed = true; });
+  bool reported_ok = true;
+  device.reconfigure(image, [&](bool ok) {
+    completed = true;
+    reported_ok = ok;
+  });
   // Kill the card halfway through the ~300 ms programming.
   testbed.simulation().schedule_at(TimePoint::at_ms(150),
                                    [&device] { device.set_offline(true); });
   testbed.simulation().run_until(TimePoint::at_ms(2000));
   EXPECT_TRUE(completed);
+  EXPECT_FALSE(reported_ok);
   EXPECT_FALSE(device.has_kernel("K"));
   EXPECT_FALSE(device.reconfiguring());
+}
+
+TEST(FpgaOfflineTest, OfflineFlapDuringInFlightReconfigure) {
+  // The card blips: offline at 150 ms, back at 160 ms -- inside the
+  // programming window of a request issued at t=0.  The in-flight
+  // request must fail cleanly (the bitstream write was torn) and the
+  // recovered card must accept a fresh download.
+  platform::Testbed testbed;
+  auto& device = testbed.fpga();
+  fpga::XclbinImage image;
+  image.id = "img";
+  image.size_bytes = 4 << 20;
+  fpga::HwKernelConfig k;
+  k.name = "K";
+  k.clock_mhz = 300;
+  k.fixed_cycles = 300'000;
+  image.kernels.push_back(k);
+
+  bool completed = false;
+  bool flapped_ok = true;
+  device.reconfigure(image, [&](bool ok) {
+    completed = true;
+    flapped_ok = ok;
+  });
+  testbed.simulation().schedule_at(TimePoint::at_ms(150),
+                                   [&device] { device.set_offline(true); });
+  testbed.simulation().schedule_at(TimePoint::at_ms(160),
+                                   [&device] { device.set_offline(false); });
+  testbed.simulation().run_until(TimePoint::at_ms(2000));
+  EXPECT_TRUE(completed);
+  EXPECT_FALSE(flapped_ok);
+  EXPECT_FALSE(device.has_kernel("K"));
+  EXPECT_FALSE(device.reconfiguring());
+
+  // The flap is over: a fresh download succeeds.
+  bool retry_ok = false;
+  device.reconfigure(image, [&](bool ok) { retry_ok = ok; });
+  testbed.simulation().run_until(testbed.simulation().now() +
+                                 Duration::seconds(2));
+  EXPECT_TRUE(retry_ok);
+  EXPECT_TRUE(device.has_kernel("K"));
+}
+
+TEST(FpgaOfflineTest, InjectedReconfigureFailureIsOneShot) {
+  platform::Testbed testbed;
+  auto& device = testbed.fpga();
+  fpga::XclbinImage image;
+  image.id = "img";
+  image.size_bytes = 4 << 20;
+  fpga::HwKernelConfig k;
+  k.name = "K";
+  k.clock_mhz = 300;
+  k.fixed_cycles = 300'000;
+  image.kernels.push_back(k);
+
+  const std::uint64_t v0 = device.residency_version();
+  device.inject_reconfigure_failure();
+  bool first_ok = true;
+  device.reconfigure(image, [&](bool ok) { first_ok = ok; });
+  testbed.simulation().run_until(TimePoint::at_ms(2000));
+  EXPECT_FALSE(first_ok);
+  EXPECT_FALSE(device.has_kernel("K"));
+  // The failure bumped the residency version: stale probe memos that
+  // predicted this image must re-check.
+  EXPECT_GT(device.residency_version(), v0);
+
+  // One-shot: the next attempt programs normally.
+  bool second_ok = false;
+  device.reconfigure(image, [&](bool ok) { second_ok = ok; });
+  testbed.simulation().run_until(testbed.simulation().now() +
+                                 Duration::seconds(2));
+  EXPECT_TRUE(second_ok);
+  EXPECT_TRUE(device.has_kernel("K"));
 }
 
 TEST(FpgaOfflineTest, XarTrekDegradesToCpuOnlyPlacement) {
@@ -134,6 +229,90 @@ TEST(FpgaOfflineTest, MidFlightOutageFallsBackToSoftware) {
   // Completed on a CPU path either via the scheduler's no-kernel branch
   // or the executor fallback.
   EXPECT_NE(exp.results().front().func_target, runtime::Target::kFpga);
+}
+
+// --- heartbeat health checks ------------------------------------------------
+
+TEST(SchedulerHealthTest, TimeoutRacingLateReplyEvictsAndIgnoresReply) {
+  // Pathological tunables: the card's reply takes longer than the
+  // server is willing to wait, so every heartbeat's timeout wins the
+  // race and the reply always arrives late.  The state machine must
+  // stay monotone: a late reply is counted and dropped, never
+  // resurrecting the target its own timeout just condemned.
+  const auto specs = apps::paper_benchmarks();
+  exp::Experiment exp(specs, seeded_table());
+  auto& server = exp.server();
+
+  runtime::SchedulerServer::HealthOptions opts;
+  opts.period = Duration::ms(10.0);
+  opts.reply_latency = Duration::ms(5.0);  // loses to the 2 ms timeout
+  opts.timeout = Duration::ms(2.0);
+  opts.miss_limit = 2;
+  server.start_health_checks(opts);
+  EXPECT_TRUE(server.health_checks_active());
+
+  exp.simulation().run_until(TimePoint::at_ms(100));
+  EXPECT_FALSE(server.fpga_healthy());  // evicted despite a live card
+  EXPECT_EQ(server.stats().evictions, 1u);
+  EXPECT_GE(server.stats().late_replies, 5u);
+  EXPECT_EQ(server.stats().reinstatements, 0u);
+
+  server.stop_health_checks();
+  EXPECT_FALSE(server.health_checks_active());
+  EXPECT_TRUE(server.fpga_healthy());  // health off: pinned healthy
+}
+
+TEST(SchedulerHealthTest, OfflineCardEvictedThenReinstatedOnRecovery) {
+  const auto specs = apps::paper_benchmarks();
+  exp::Experiment exp(specs, seeded_table());
+  auto& server = exp.server();
+
+  server.start_health_checks();  // default tunables: 10 ms period
+  exp.testbed().fpga().set_offline(true);
+  exp.simulation().run_until(TimePoint::at_ms(100));
+  // A dead card never answers: misses accumulate to the limit.
+  EXPECT_FALSE(server.fpga_healthy());
+  EXPECT_GE(server.stats().heartbeats_missed, 3u);
+  EXPECT_EQ(server.stats().evictions, 1u);
+
+  exp.testbed().fpga().set_offline(false);
+  exp.simulation().run_until(TimePoint::at_ms(200));
+  // First in-time reply reinstates the target.
+  EXPECT_TRUE(server.fpga_healthy());
+  EXPECT_EQ(server.stats().reinstatements, 1u);
+}
+
+// --- link partitions reaching into the DSM window ---------------------------
+
+TEST(LinkPartitionTest, DsmWindowTransfersParkUntilRepair) {
+  // A migration burst's page pulls are in the DSM's transfer window
+  // when the inter-server link partitions: the pulls park on the link,
+  // the reads stall without losing protocol state, and repairing the
+  // link drains the window in FIFO order with coherence intact.
+  sim::Simulation sim;
+  hw::Link eth(sim, hw::ethernet_1gbps());
+  popcorn::Dsm dsm(sim, eth,
+                   popcorn::Dsm::Config{2, 1 << 20, 4096, 8});
+
+  eth.set_down(true);
+  bool done = false;
+  std::vector<std::byte> bytes;
+  dsm.read(1, 0, 4 * 4096, [&](std::vector<std::byte> b) {
+    done = true;
+    bytes = std::move(b);
+  });
+  sim.run();
+  EXPECT_FALSE(done);  // parked, not lost
+  EXPECT_TRUE(eth.down());
+  EXPECT_GT(eth.stats().parked_transfers, 0u);
+  dsm.check_invariants();
+
+  eth.set_down(false);
+  sim.run();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(bytes.size(), 4u * 4096u);
+  EXPECT_EQ(eth.parked(), 0u);
+  dsm.check_invariants();
 }
 
 }  // namespace
