@@ -19,6 +19,7 @@
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <vector>
 
 #include "apps/benchmark_spec.hpp"
@@ -89,9 +90,10 @@ ConfigResult run_single_queue(std::uint64_t total_jobs,
 struct HandoffPump {
   exp::ClusterExperiment* cluster = nullptr;
   std::size_t cell = 0;
+  Duration period = Duration::ms(5.0);
   void fire() {
     cluster->handoff(cell, 64 * 1024, [] {});
-    cluster->cell(cell).simulation().schedule_in(Duration::ms(5.0),
+    cluster->cell(cell).simulation().schedule_in(period,
                                                  [this] { fire(); });
   }
 };
@@ -132,6 +134,101 @@ ConfigResult run_cluster(std::size_t cells, std::uint64_t total_jobs,
     }
   }
   return r;
+}
+
+struct SkewResult {
+  double wall_seconds = 0;
+  double busy_seconds = 0;      ///< summed over workers
+  double max_worker_busy = 0;   ///< the critical path on real cores
+  std::uint64_t events = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t steals = 0;
+  /// Events per second of the busiest worker: the rate the cluster
+  /// would sustain with one real core per worker.  Machine-neutral as
+  /// a ratio between configs (same workload, same host).
+  double cp_events_per_sec = 0;
+};
+
+/// The skewed-load section: 8 cells multiplexed onto 4 workers, with
+/// cell 0's cohort looping `hot_scale`x shorter runs.  Cohort *size*
+/// would not skew anything -- lanes share the cell's cores under
+/// processor sharing, so a cell's event rate is capacity-bound, not
+/// job-bound -- but loop *demand* does: every completion costs the
+/// same few events, so a cell looping 3x shorter runs executes 3x the
+/// events per simulated second.  The epoch is forced 20x tighter than
+/// the 2 ms interconnect, so the fixed-window config pays maximal
+/// synchronization while the adaptive config may legally coarsen to
+/// the link latency whenever no cross-cell traffic is in flight.  The
+/// static map pairs the hot cell with a cold one on worker 0 (cells c
+/// and c+4 share worker c%4); stealing moves that cold cell off the
+/// hot worker at the first rebalance, shortening the critical path.
+/// All three configs execute the identical event trace -- the bench
+/// asserts it -- so the capacity ratios measure pure engine overhead.
+SkewResult run_skew_config(bool adaptive, bool steal,
+                           std::uint64_t jobs_per_cell, double hot_scale,
+                           Duration sim_span) {
+  constexpr std::size_t kCells = 8;
+  exp::ClusterSpec spec;
+  spec.cells = kCells;
+  spec.parallel = true;
+  spec.workers = 4;
+  spec.pin_threads = true;
+  spec.adaptive = adaptive;
+  spec.steal = steal;
+  spec.intercell.latency = Duration::ms(2.0);
+  spec.epoch = Duration::ms(0.1);  // forced: 20x below the link latency
+  exp::ClusterExperiment cluster(apps::paper_benchmarks(),
+                                 runtime::ThresholdTable{}, spec);
+  std::vector<std::unique_ptr<apps::LoadGenerator>> cohorts;
+  cohorts.reserve(kCells);
+  for (std::size_t c = 0; c < kCells; ++c) {
+    apps::LoadGenerator::Options lopts;
+    lopts.run_demand =
+        c == 0 ? Duration::ms(0.05 / hot_scale) : Duration::ms(0.05);
+    lopts.demand_jitter = 0.5;
+    lopts.reserve = true;
+    cohorts.push_back(std::make_unique<apps::LoadGenerator>(
+        cluster.cell(c).testbed(), static_cast<int>(jobs_per_cell), lopts));
+  }
+  // Sparse cross traffic: only the hot cell ships handoffs, every
+  // 25 ms, so adaptation has long quiet stretches to coarsen through
+  // and periodic posts to snap back on.
+  HandoffPump pump{&cluster, 0, Duration::ms(25.0)};
+  cluster.cell(0).simulation().schedule_in(Duration::ms(25.0),
+                                           [&pump] { pump.fire(); });
+  sim::ShardedSimulation& engine = cluster.engine().engine();
+  const std::uint64_t before = engine.executed_events();
+  const auto start = Clock::now();
+  cluster.run_for(sim_span);
+  SkewResult r;
+  r.wall_seconds = seconds_since(start);
+  r.events = engine.executed_events() - before;
+  r.windows = engine.windows();
+  r.steals = engine.steal_moves();
+  for (std::uint32_t w = 0; w < engine.worker_count(); ++w) {
+    const double busy = engine.worker_stats(w).busy_seconds;
+    r.busy_seconds += busy;
+    if (busy > r.max_worker_busy) r.max_worker_busy = busy;
+  }
+  if (r.max_worker_busy > 0.0) {
+    r.cp_events_per_sec =
+        static_cast<double>(r.events) / r.max_worker_busy;
+  }
+  return r;
+}
+
+void emit_skew_config(std::ostream& os, const char* key,
+                      const SkewResult& r) {
+  os << "    \"" << key << "\": {\n"
+     << "      \"wall_seconds\": " << r.wall_seconds << ",\n"
+     << "      \"events\": " << r.events << ",\n"
+     << "      \"windows\": " << r.windows << ",\n"
+     << "      \"steals\": " << r.steals << ",\n"
+     << "      \"busy_seconds\": " << r.busy_seconds << ",\n"
+     << "      \"max_worker_busy_seconds\": " << r.max_worker_busy
+     << ",\n"
+     << "      \"cp_events_per_sec\": " << r.cp_events_per_sec
+     << "\n    }";
 }
 
 struct SweepResult {
@@ -273,6 +370,33 @@ int bench_main() {
   const double speedup_2 = cells_2.aggregate_events_per_sec / single_rate;
   const double speedup_4 = cells_4.aggregate_events_per_sec / single_rate;
 
+  const std::uint64_t kSkewJobsPerCell = smoke ? 16 : 32;
+  const double kHotScale = 3.0;
+  const Duration kSkewSpan =
+      smoke ? Duration::seconds(0.3) : Duration::seconds(1.0);
+  std::cerr << "[cluster_bench] skewed load: 8 cells / 4 workers, hot "
+               "cell at "
+            << kHotScale << "x event rate, fixed vs adaptive vs "
+            << "adaptive+steal...\n";
+  auto best_skew = [&](bool adaptive, bool steal) {
+    const auto a = run_skew_config(adaptive, steal, kSkewJobsPerCell,
+                                   kHotScale, kSkewSpan);
+    const auto b = run_skew_config(adaptive, steal, kSkewJobsPerCell,
+                                   kHotScale, kSkewSpan);
+    return a.cp_events_per_sec >= b.cp_events_per_sec ? a : b;
+  };
+  const auto skew_fixed = best_skew(false, false);
+  const auto skew_adaptive = best_skew(true, false);
+  const auto skew_steal = best_skew(true, true);
+  const int skew_conserved = skew_fixed.events == skew_adaptive.events &&
+                                     skew_fixed.events == skew_steal.events
+                                 ? 1
+                                 : 0;
+  const double skew_speedup_adaptive =
+      skew_adaptive.cp_events_per_sec / skew_fixed.cp_events_per_sec;
+  const double skew_speedup_steal =
+      skew_steal.cp_events_per_sec / skew_fixed.cp_events_per_sec;
+
   std::cerr << "[cluster_bench] attach/detach sweep: " << kSweepJobs
             << " jobs across " << kSweepCells << " cells...\n";
   const auto sweep = run_attach_detach(kSweepCells, kSweepJobs);
@@ -314,7 +438,21 @@ int bench_main() {
   out << ",\n    \"ratio_1cell_vs_single_queue\": " << ratio_1cell
       << ",\n    \"aggregate_speedup_2_cells\": " << speedup_2
       << ",\n    \"aggregate_speedup_4_cells\": " << speedup_4
-      << "\n  },\n  \"attach_detach\": {\n"
+      << "\n  },\n  \"skew\": {\n"
+      << "    \"cells\": 8,\n    \"workers\": 4,\n"
+      << "    \"jobs_per_cell\": " << kSkewJobsPerCell << ",\n"
+      << "    \"hot_demand_scale\": " << kHotScale << ",\n"
+      << "    \"sim_seconds\": " << kSkewSpan.to_seconds() << ",\n"
+      << "    \"epoch_ms\": 0.1,\n    \"max_epoch_ms\": 2,\n";
+  emit_skew_config(out, "fixed", skew_fixed);
+  out << ",\n";
+  emit_skew_config(out, "adaptive", skew_adaptive);
+  out << ",\n";
+  emit_skew_config(out, "adaptive_steal", skew_steal);
+  out << ",\n    \"events_conserved\": " << skew_conserved
+      << ",\n    \"speedup_adaptive_vs_fixed\": " << skew_speedup_adaptive
+      << ",\n    \"speedup_adaptive_steal_vs_fixed\": "
+      << skew_speedup_steal << "\n  },\n  \"attach_detach\": {\n"
       << "    \"jobs\": " << sweep.jobs << ",\n"
       << "    \"cells\": " << kSweepCells << ",\n"
       << "    \"attach_seconds\": " << sweep.attach_seconds << ",\n"
@@ -351,6 +489,11 @@ int bench_main() {
             << single_rate / 1e6 << "M ev/s, 1-cell ratio=" << ratio_1cell
             << ", 2-cell=" << speedup_2 << "x, 4-cell=" << speedup_4
             << "x\n"
+            << "[cluster_bench] skew: adaptive=" << skew_speedup_adaptive
+            << "x, adaptive+steal=" << skew_speedup_steal
+            << "x vs fixed (windows " << skew_fixed.windows << " -> "
+            << skew_steal.windows << ", steals=" << skew_steal.steals
+            << ", conserved=" << skew_conserved << ")\n"
             << "[cluster_bench] attach/detach: " << sweep.jobs
             << " jobs @ " << sweep_rate / 1e6 << "M ops/s sharded vs "
             << sweep_single_rate / 1e6 << "M single-table (ratio "

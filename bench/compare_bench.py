@@ -32,7 +32,10 @@ import sys
 
 # (path, direction, cross_machine) -- direction "higher" means larger is
 # better (gate: candidate >= baseline * (1 - tol)); "lower" means smaller
-# is better (gate: candidate <= baseline * (1 + tol)).
+# is better (gate: candidate <= baseline * (1 + tol)); "abs" means the
+# candidate must stay near zero; "exact" means the candidate must equal
+# the baseline (conservation flags, which must not drift in either
+# direction).
 METRICS = {
     "sim_core": [
         ("events.steady_churn.pooled.alloc_calls_per_event", "abs", False),
@@ -68,10 +71,18 @@ METRICS = {
         ("cluster.ratio_1cell_vs_single_queue", "higher", False),
         ("cluster.aggregate_speedup_2_cells", "higher", False),
         ("cluster.aggregate_speedup_4_cells", "higher", False),
+        # Skewed load: same-run critical-path capacity ratios (fixed vs
+        # adaptive vs adaptive+steal on the identical trace, identical
+        # host) are machine-neutral; events_conserved pins the trace
+        # identity contract exactly.  speedup_adaptive_steal_vs_fixed is
+        # the adaptive-epochs/cell-stealing >= 1.3x acceptance bar.
+        ("skew.speedup_adaptive_vs_fixed", "higher", False),
+        ("skew.speedup_adaptive_steal_vs_fixed", "higher", False),
+        ("skew.events_conserved", "exact", False),
         # Fault machinery: exactly-once completion is an exact contract;
         # the chaos/no-fault event ratio is simulation-deterministic
         # (same plan, same seeds), hence machine-neutral.
-        ("fault.completed_conserved", "abs", False),
+        ("fault.completed_conserved", "exact", False),
         ("fault.event_overhead_ratio", "lower", False),
         ("cluster.single_queue.wall_events_per_sec", "higher", True),
         ("attach_detach.jobs_per_sec", "higher", True),
@@ -144,6 +155,8 @@ def main():
             continue
         if direction == "abs":
             ok = cand <= max(base, 0.0) + ABS_EPSILON
+        elif direction == "exact":
+            ok = abs(cand - base) <= ABS_EPSILON
         elif direction == "higher":
             ok = cand >= base * (1.0 - tol)
         else:  # lower

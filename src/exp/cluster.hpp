@@ -62,6 +62,18 @@ struct ClusterSpec {
   std::size_t mailbox_capacity = 4096;
   /// Run shards on threads.  Traces are identical either way.
   bool parallel = false;
+  /// Execution lanes (0 = one per cell) and CPU pinning for the
+  /// persistent worker pool.  Fewer workers than cells is what lets
+  /// `steal` isolate a hot cell on its own lane.
+  std::size_t workers = 0;
+  bool pin_threads = false;
+  /// Adaptive epochs: coarsen quiet synchronization windows up to the
+  /// topology-derived legal maximum (the minimum inter-cell latency).
+  /// Never changes the trace -- only how often idle cells synchronize.
+  bool adaptive = false;
+  /// Deterministic cell stealing: re-balance the live cell -> worker
+  /// map from executed-event counters at window boundaries.
+  bool steal = false;
   /// How often run_until_complete re-checks the completion count.
   /// Completions carry exact event timestamps, so this affects polling
   /// granularity only, never the trace.

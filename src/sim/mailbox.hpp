@@ -48,6 +48,11 @@ class SpscRing {
     if (tail - head > mask_) return false;
     buf_[tail & mask_] = std::move(value);
     tail_.store(tail + 1, std::memory_order_release);
+    // Producer-owned high-water mark (one compare on data already in
+    // registers): how deep this pair's traffic has ever run, feeding
+    // the adaptive-epoch diagnostics and capacity tuning.
+    const auto depth = static_cast<std::size_t>(tail + 1 - head);
+    if (depth > high_water_) high_water_ = depth;
     return true;
   }
 
@@ -70,9 +75,15 @@ class SpscRing {
   [[nodiscard]] bool empty() const { return size() == 0; }
   [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
 
+  /// Deepest the ring has ever been.  Written by the producer only;
+  /// read it from the producer's thread, or from anywhere once the
+  /// epoch barriers (or a join) have ordered the sides.
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+
  private:
   std::vector<T> buf_;
   std::size_t mask_ = 0;
+  std::size_t high_water_ = 0;  ///< producer-owned, see high_water()
   /// Producer and consumer indices on separate cache lines so the two
   /// sides never false-share.
   alignas(64) std::atomic<std::uint64_t> head_{0};  ///< consumer

@@ -11,12 +11,39 @@
 //
 // Correctness rests on the classic conservative-PDES lookahead
 // contract: every cross-shard interaction models a latency of at least
-// one epoch, so an event executed inside window W can only create work
-// for other shards at or after the end of W -- by the time the message
-// is drained, its timestamp is still in the receiver's future.  The
-// window end is `min(next event anywhere) + epoch`, which both bounds
-// the work a window can discover and fast-forwards over globally idle
-// stretches in one step.
+// one window, so an event executed inside window W can only create
+// work for other shards at or after the end of W -- by the time the
+// message is drained, its timestamp is still in the receiver's future.
+// The window end is `min(next event anywhere) + epoch`, which both
+// bounds the work a window can discover and fast-forwards over
+// globally idle stretches in one step.
+//
+// Shards vs workers.  A *shard* is the unit of model state (one
+// Simulation, one mailbox row/column); a *worker* is an execution lane
+// that runs some set of shards each window.  By default there is one
+// worker per shard; `Options::workers` packs more shards per lane.
+// Because shards share nothing inside a window, WHICH worker runs a
+// shard can never affect the trace -- which is what makes the two
+// scheduling freedoms below deterministic:
+//
+//   * Adaptive epochs (`Options::adaptive`): after K consecutive
+//     windows with zero cross-shard posts the window coarsens
+//     (doubling, up to `Options::max_epoch`, the model's legal
+//     maximum: the minimum cross-shard latency); any cross-shard
+//     traffic snaps it back to the base epoch.  The decision is a pure
+//     function of the per-window post counters, computed at the drain
+//     boundary, so serial and parallel runs size identical windows.
+//   * Deterministic shard stealing (`Options::steal`): every
+//     `steal_period` windows the boundary step re-evaluates the live
+//     shard->worker map from per-shard executed-event counters and
+//     moves the busiest worker's coldest shard to the idlest worker.
+//     Again a pure function of deterministic counters -- the map
+//     evolves identically in serial and parallel runs, and the trace
+//     does not depend on it at all.
+//
+// In parallel mode shard workers are created ONCE and parked on a
+// start gate between `run_span` calls (no per-call spawn/join), and
+// `Options::pin_threads` pins each pool thread to a CPU.
 //
 // Determinism: each shard's local execution is the ordinary (time,
 // insertion-seq) order of its own Simulation; at a boundary, inbound
@@ -26,10 +53,11 @@
 // function of the model -- independent of thread interleaving, and a
 // 1-shard ShardedSimulation executes exactly today's single-queue
 // trace.  `Options::parallel` only chooses whether shards run on
-// std::threads or round-robin on the calling thread; both modes
+// pooled std::threads or round-robin on the calling thread; both modes
 // produce identical traces.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -65,32 +93,85 @@ struct ShardStats {
   /// events/busy_seconds across shards measures aggregate processing
   /// capacity even on an oversubscribed host.
   double busy_seconds = 0.0;
+  /// Times the rebalancer moved this shard to another worker.
+  std::uint64_t steals = 0;
+  /// Most messages ever drained into this shard at one boundary (the
+  /// inbound burst the adaptive-epoch signal reacts to).
+  std::uint64_t mailbox_hwm = 0;
+};
+
+/// Per-worker counters (parallel mode; the skewed-load bench's
+/// critical-path capacity metric reads these).
+struct WorkerStats {
+  std::uint64_t executed = 0;  ///< events run on this lane
+  /// Whole-span thread-CPU time: event execution, mailbox work and
+  /// barrier arrivals, but not time blocked or descheduled.
+  double busy_seconds = 0.0;
 };
 
 class ShardedSimulation {
  public:
   struct Options {
     std::size_t shards = 1;
-    /// Synchronization window length.  Every cross-shard latency must
-    /// be >= this (the lookahead contract); smaller epochs synchronize
-    /// more often, larger ones amortize the boundary cost.
+    /// Base synchronization window length.  Every cross-shard latency
+    /// must be >= this (the lookahead contract); smaller epochs
+    /// synchronize more often, larger ones amortize the boundary cost.
     Duration epoch = Duration::micros(100.0);
     /// SPSC mailbox capacity per ordered shard pair; overflow spills to
     /// an unbounded FIFO drained at later boundaries.
     std::size_t mailbox_capacity = 1024;
-    /// Run shards on std::threads (one per shard, caller's thread runs
-    /// shard 0).  Off = deterministic round-robin on the calling
-    /// thread.  Traces are identical either way.
+    /// Run shards on a persistent pool of std::threads (the caller's
+    /// thread runs worker 0).  Off = deterministic round-robin on the
+    /// calling thread.  Traces are identical either way.
     bool parallel = false;
+    /// Execution lanes in parallel mode; 0 means one per shard.  Fewer
+    /// workers than shards is what gives the stealing rebalancer room
+    /// to isolate a hot shard.
+    std::size_t workers = 0;
+    /// Pin each pool thread to a CPU (worker w -> CPU w mod ncpu).
+    /// The caller's thread (worker 0) is never touched.
+    bool pin_threads = false;
+    /// Adaptive epochs: coarsen the window (doubling, up to max_epoch)
+    /// after `adapt_quiet_windows` consecutive windows with zero
+    /// cross-shard posts; snap back to `epoch` on traffic.
+    bool adaptive = false;
+    /// Legal maximum window: the minimum cross-shard latency of the
+    /// model (the Topology partitioner derives it).  Zero means
+    /// `epoch` -- adaptation enabled but with no room never coarsens.
+    Duration max_epoch = Duration::zero();
+    /// Consecutive quiet windows before the first coarsening step.
+    std::uint32_t adapt_quiet_windows = 4;
+    /// Deterministic shard stealing across workers (parallel balance;
+    /// evaluated -- map and stats maintained -- in serial mode too so
+    /// both modes agree on every decision).
+    bool steal = false;
+    /// Windows between rebalance evaluations.
+    std::uint32_t steal_period = 16;
+    /// Trigger: move a shard when the busiest worker's window load
+    /// exceeds `steal_imbalance` times the idlest worker's.
+    double steal_imbalance = 1.5;
   };
 
   ShardedSimulation() : ShardedSimulation(Options{}) {}
   explicit ShardedSimulation(Options opts);
+  ~ShardedSimulation();
   ShardedSimulation(const ShardedSimulation&) = delete;
   ShardedSimulation& operator=(const ShardedSimulation&) = delete;
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] Duration epoch() const { return opts_.epoch; }
+  /// Largest window the engine may adapt to.  Cross-shard channels
+  /// must model at least this much latency (== epoch() when the engine
+  /// is not adaptive, so the classic contract is unchanged).
+  [[nodiscard]] Duration max_epoch() const {
+    return Duration::ms(max_epoch_ms_);
+  }
+  /// The window length the adaptation currently sits at.
+  [[nodiscard]] Duration current_epoch() const {
+    return Duration::ms(cur_epoch_ms_);
+  }
+  /// Synchronization windows executed since construction.
+  [[nodiscard]] std::uint64_t windows() const { return windows_; }
 
   /// The shard's local engine.  Components constructed against it work
   /// unchanged; schedule onto it freely before and between runs.
@@ -99,10 +180,30 @@ class ShardedSimulation {
     return shards_[id]->sim;
   }
 
+  // --- live shard -> worker map ------------------------------------------
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_; }
+  [[nodiscard]] std::size_t worker_of(ShardId id) const {
+    XAR_EXPECTS(id < cell_worker_.size());
+    return cell_worker_[id];
+  }
+  /// Reassign a shard to a worker (tests, or an external placement
+  /// policy).  Call between runs only; counts as a steal when the
+  /// assignment actually changes.
+  void set_worker_of(ShardId id, std::size_t worker);
+  /// Total rebalance moves (manual and automatic) since construction.
+  [[nodiscard]] std::uint64_t steal_moves() const { return steal_moves_; }
+
+  [[nodiscard]] const WorkerStats& worker_stats(std::size_t w) const {
+    XAR_EXPECTS(w < worker_stats_.size());
+    return worker_stats_[w];
+  }
+
   /// Post `cb` to run on shard `dst` at absolute time `t`.  Must be
-  /// called from shard `src` (its thread, when parallel).  Requires
-  /// `t` to be at or past the current window's end -- guaranteed when
-  /// the modeled latency is >= epoch(); see CrossShardChannel.
+  /// called from shard `src` (its worker's thread, when parallel).
+  /// Requires `t` to be at or past the current window's end --
+  /// guaranteed when the modeled latency is >= max_epoch(); see
+  /// CrossShardChannel.
   void post(ShardId src, ShardId dst, TimePoint t, UniqueCallback cb);
 
   /// Run until every shard is idle and every mailbox is empty.
@@ -132,6 +233,22 @@ class ShardedSimulation {
     /// the mailbox at boundaries (head index avoids O(n) pop-front).
     std::vector<std::vector<CrossShardEvent>> spill;
     std::vector<std::size_t> spill_head;
+    /// Messages currently sitting in the spill FIFOs (all
+    /// destinations).  Owned by this shard's worker; lets both the
+    /// flush and the boundary's min_next scan skip shards that have
+    /// never spilled with one load instead of an O(shards) walk.
+    std::size_t spilled = 0;
+  };
+
+  /// One inbound-occupancy counter per destination shard: messages
+  /// sitting in the destination's column of mailboxes.  Producers
+  /// bump it on push (post and spill flush), the destination's drain
+  /// subtracts what it popped -- so a boundary with no inbound traffic
+  /// costs the destination one relaxed load instead of probing every
+  /// (src, dst) ring.  Padded: producers on different workers would
+  /// otherwise false-share neighboring counters.
+  struct alignas(64) InboundCount {
+    std::atomic<std::uint64_t> n{0};
   };
 
   using Mailbox = SpscRing<CrossShardEvent>;
@@ -145,24 +262,70 @@ class ShardedSimulation {
   /// Drain all inbound mailboxes into the local heap, in source order.
   void drain_inbound(ShardId dst);
   /// Execute one window on one shard.  `account_cpu` adds per-call
-  /// thread-CPU deltas to busy_seconds (serial mode); the parallel
-  /// workers instead measure their whole lifetime once.
-  void run_shard(ShardId id, TimePoint window_end, bool account_cpu);
+  /// thread-CPU deltas to busy_seconds; returns events executed.
+  std::uint64_t run_shard(ShardId id, TimePoint window_end,
+                          bool account_cpu);
   /// Earliest pending work anywhere (events, spilled messages), or
   /// +inf.  Call only at a boundary (mailboxes already drained).
   [[nodiscard]] double min_next_ms();
+
+  /// The boundary step, identical in serial and parallel mode: adapt
+  /// the epoch from the per-window post counters, re-evaluate the
+  /// shard->worker map, then size the next window.  Returns false when
+  /// no work remains at or before `horizon_ms`.  Runs single-threaded
+  /// (serial loop, or the drain barrier's completion while every
+  /// worker is parked).
+  bool plan_next_window(double horizon_ms);
+  void adapt_epoch();
+  void maybe_rebalance();
 
   std::size_t run_span(TimePoint horizon);
   std::size_t run_span_serial(TimePoint horizon);
   std::size_t run_span_parallel(TimePoint horizon);
 
+  // Persistent worker pool (parallel mode).
+  struct Pool;
+  void ensure_pool();
+  void worker_thread(std::size_t w);
+  void worker_span(std::size_t w);
+  void on_drained() noexcept;
+
   Options opts_;
   std::vector<std::unique_ptr<ShardState>> shards_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;  ///< [src * n + dst]
+  std::unique_ptr<InboundCount[]> inbound_;          ///< [dst]
+
+  // Live shard -> worker assignment.  Read by workers during a window,
+  // written only at boundaries (single-threaded, barrier-ordered).
+  std::size_t workers_ = 1;
+  std::vector<std::uint32_t> cell_worker_;
+  std::vector<WorkerStats> worker_stats_;
+  /// Per-shard CPU accounting per window when the worker/shard mapping
+  /// is not the static 1:1 (attribution needs per-call deltas);
+  /// otherwise the worker's whole-span measurement doubles as its only
+  /// shard's busy time, PR-3 style.
+  bool per_cell_cpu_ = false;
+
+  // Adaptive-epoch state (touched at boundaries only).
+  double base_epoch_ms_ = 0.0;
+  double max_epoch_ms_ = 0.0;
+  double cur_epoch_ms_ = 0.0;
+  std::uint32_t quiet_windows_ = 0;
+  std::uint64_t posts_at_boundary_ = 0;
+  std::uint64_t windows_ = 0;
+
+  // Rebalancer state (boundaries only).
+  std::uint32_t windows_since_rebalance_ = 0;
+  std::uint64_t steal_moves_ = 0;
+  std::vector<std::uint64_t> executed_at_rebalance_;  ///< by shard
+  std::vector<std::uint64_t> load_scratch_;           ///< by worker
+
   /// End of the window currently executing (what `post` checks the
   /// lookahead contract against).  Written at boundaries only.
   double window_end_ms_ = 0.0;
+  double span_horizon_ms_ = 0.0;
   bool done_ = false;  ///< parallel-run termination flag
+  std::unique_ptr<Pool> pool_;
 };
 
 /// A typed edge between two component groups living on different
@@ -170,8 +333,12 @@ class ShardedSimulation {
 /// later".  Components hold one and stay topology-agnostic; a
 /// default-constructed channel is inert (`connected()` is false) and
 /// the component falls back to its in-shard behavior.  The latency
-/// must be >= the engine's epoch so the lookahead contract holds --
-/// delivery timing is then identical for every shard count.
+/// must be >= the engine's max_epoch() -- the base epoch, or the
+/// adaptive ceiling when the engine coarsens windows -- so the
+/// lookahead contract holds at every window length the engine may
+/// pick; delivery timing is then identical for every shard count.
+/// Channels name shards, not workers: a rebalance move never
+/// invalidates one.
 class CrossShardChannel {
  public:
   CrossShardChannel() = default;
@@ -180,7 +347,7 @@ class CrossShardChannel {
       : ssim_(&ssim), src_(src), dst_(dst), latency_(latency) {
     XAR_EXPECTS(src < ssim.shard_count() && dst < ssim.shard_count());
     XAR_EXPECTS(latency >= Duration::zero());
-    XAR_EXPECTS(src == dst || latency >= ssim.epoch());
+    XAR_EXPECTS(src == dst || latency >= ssim.max_epoch());
   }
 
   [[nodiscard]] bool connected() const { return ssim_ != nullptr; }

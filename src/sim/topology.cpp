@@ -119,16 +119,44 @@ Topology::Plan Topology::plan(const PartitionOptions& opts) const {
     // allows.
     p.epoch = min_cross;
   }
+
+  // The adaptive ceiling: windows may legally coarsen up to the
+  // minimum cross-shard latency regardless of the (possibly tighter)
+  // epoch in force.  With nothing crossing shards any window is legal;
+  // cap at 256x so adaptation stays bounded.
+  p.max_epoch = tightest != nullptr ? min_cross
+                                    : Duration::ms(p.epoch.to_ms() * 256.0);
   return p;
 }
+
+namespace {
+
+ShardedSimulation::Options engine_options(const Topology::Plan& plan,
+                                          const Topology::PartitionOptions&
+                                              opts) {
+  ShardedSimulation::Options o;
+  o.shards = plan.shards;
+  o.epoch = plan.epoch;
+  o.mailbox_capacity = opts.mailbox_capacity;
+  o.parallel = opts.parallel;
+  o.workers = opts.workers;
+  o.pin_threads = opts.pin_threads;
+  o.adaptive = opts.adaptive;
+  o.max_epoch = plan.max_epoch;
+  o.adapt_quiet_windows = opts.adapt_quiet_windows;
+  o.steal = opts.steal;
+  o.steal_period = opts.steal_period;
+  o.steal_imbalance = opts.steal_imbalance;
+  return o;
+}
+
+}  // namespace
 
 PartitionedEngine::PartitionedEngine(Topology topo,
                                      Topology::PartitionOptions opts)
     : topo_(std::move(topo)),
       plan_(topo_.plan(opts)),
-      ssim_(ShardedSimulation::Options{plan_.shards, plan_.epoch,
-                                       opts.mailbox_capacity,
-                                       opts.parallel}) {}
+      ssim_(engine_options(plan_, opts)) {}
 
 CrossShardChannel PartitionedEngine::channel(EdgeId e) {
   const Topology::Edge& edge = topo_.edge(e);

@@ -87,6 +87,18 @@ class Topology {
     /// Passed through to ShardedSimulation::Options.
     std::size_t mailbox_capacity = 1024;
     bool parallel = false;
+    /// Execution lanes (0 = one per shard) and CPU pinning for them.
+    std::size_t workers = 0;
+    bool pin_threads = false;
+    /// Adaptive epochs: let the engine coarsen quiet windows up to
+    /// Plan::max_epoch, the graph-derived legal ceiling.
+    bool adaptive = false;
+    std::uint32_t adapt_quiet_windows = 4;
+    /// Deterministic shard stealing across workers (only effective
+    /// with fewer workers than shards).
+    bool steal = false;
+    std::uint32_t steal_period = 16;
+    double steal_imbalance = 1.5;
   };
 
   /// The derived mapping: a pure function of (graph, options), so two
@@ -94,6 +106,12 @@ class Topology {
   struct Plan {
     std::size_t shards = 1;
     Duration epoch = Duration::zero();
+    /// Largest window the engine may ever adapt to: the minimum
+    /// cross-shard edge latency (== epoch when the epoch was
+    /// auto-picked; larger when a tighter epoch was forced).  With no
+    /// cross-shard edges any window is legal; capped at 256x the epoch
+    /// so adaptation stays bounded.
+    Duration max_epoch = Duration::zero();
     std::vector<ShardId> node_shard;  ///< by NodeId
     std::vector<CellId> shard_cell;   ///< by ShardId, ascending cells
     std::size_t cross_edges = 0;      ///< edges spanning two shards
@@ -156,6 +174,16 @@ class PartitionedEngine {
 
   [[nodiscard]] ShardId shard_of(NodeId n) const {
     return plan_.shard_of(n);
+  }
+
+  /// The execution lane currently running the node's shard.  The plan
+  /// fixes *which shard* a node lives on; with stealing enabled, the
+  /// engine's live shard -> worker map decides *which lane* runs it
+  /// and may change at window boundaries.  Diagnostics only -- code
+  /// never needs it for correctness, because traces are independent of
+  /// the assignment.
+  [[nodiscard]] std::size_t worker_of(NodeId n) const {
+    return ssim_.worker_of(plan_.shard_of(n));
   }
 
   /// The node's home engine -- what its components are constructed

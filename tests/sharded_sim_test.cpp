@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -48,6 +49,18 @@ TEST(SpscRingTest, RefusesWhenFull) {
 TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwo) {
   SpscRing<int> ring(5);
   EXPECT_EQ(ring.capacity(), 8u);
+}
+
+TEST(SpscRingTest, TracksHighWaterDepth) {
+  SpscRing<int> ring(8);
+  EXPECT_EQ(ring.high_water(), 0u);
+  for (int i = 0; i < 3; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  int out = 0;
+  ASSERT_TRUE(ring.try_pop(out));
+  ASSERT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(ring.high_water(), 3u);  // pops don't lower the mark
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(int{i}));
+  EXPECT_EQ(ring.high_water(), 6u);  // 1 left + 5 pushed
 }
 
 // --- single-shard equivalence ----------------------------------------------
@@ -108,47 +121,43 @@ struct RingResult {
   std::uint64_t stalls = 0;
 };
 
-RingResult run_ring(std::size_t shards, bool parallel,
-                    std::size_t mailbox_capacity = 64,
-                    std::size_t post_every = 4) {
+struct RingChain {
+  ShardedSimulation* ssim;
+  Simulation* local;
+  CrossShardChannel to_next;
+  std::vector<double>* fires;
+  std::vector<double>* arrivals;
+  int remaining;
+  double period;
+  std::size_t post_every = 4;
+  void fire() {
+    fires->push_back(local->now().to_ms());
+    if (fires->size() % post_every == 0) {
+      to_next.deliver([this] {
+        next_arrivals->push_back(next_local->now().to_ms());
+      });
+    }
+    if (remaining-- > 0) {
+      local->schedule_in(Duration::ms(period), [this] { fire(); });
+    }
+  }
+  std::vector<double>* next_arrivals = nullptr;
+  Simulation* next_local = nullptr;
+};
+
+std::vector<std::unique_ptr<RingChain>> build_ring(ShardedSimulation& ssim,
+                                                   RingResult& result,
+                                                   std::size_t post_every) {
   constexpr int kChains = 8;
   constexpr int kFires = 40;
-  ShardedSimulation ssim(ShardedSimulation::Options{
-      shards, Duration::ms(1.0), mailbox_capacity, parallel});
-
-  RingResult result;
   result.fires.resize(kChains);
   result.arrivals.resize(kChains);
-
-  struct Chain {
-    ShardedSimulation* ssim;
-    Simulation* local;
-    CrossShardChannel to_next;
-    std::vector<double>* fires;
-    std::vector<double>* arrivals;
-    int remaining;
-    double period;
-    std::size_t post_every = 4;
-    void fire() {
-      fires->push_back(local->now().to_ms());
-      if (fires->size() % post_every == 0) {
-        to_next.deliver([this] {
-          next_arrivals->push_back(next_local->now().to_ms());
-        });
-      }
-      if (remaining-- > 0) {
-        local->schedule_in(Duration::ms(period), [this] { fire(); });
-      }
-    }
-    std::vector<double>* next_arrivals = nullptr;
-    Simulation* next_local = nullptr;
-  };
-
-  std::vector<std::unique_ptr<Chain>> chains;
+  const std::size_t shards = ssim.shard_count();
+  std::vector<std::unique_ptr<RingChain>> chains;
   for (int c = 0; c < kChains; ++c) {
     const ShardId home = static_cast<ShardId>(c % shards);
     const ShardId next = static_cast<ShardId>((c + 1) % kChains % shards);
-    auto chain = std::make_unique<Chain>();
+    auto chain = std::make_unique<RingChain>();
     chain->ssim = &ssim;
     chain->local = &ssim.shard(home);
     chain->to_next = CrossShardChannel(ssim, home, next, Duration::ms(2.0));
@@ -162,16 +171,42 @@ RingResult run_ring(std::size_t shards, bool parallel,
   for (int c = 0; c < kChains; ++c) {
     chains[c]->next_arrivals = &result.arrivals[(c + 1) % kChains];
     chains[c]->next_local = chains[(c + 1) % kChains]->local;
-    Chain* chain = chains[c].get();
+    RingChain* chain = chains[c].get();
     chain->local->schedule_in(Duration::ms(chain->period),
                               [chain] { chain->fire(); });
   }
+  return chains;
+}
 
-  result.executed = ssim.run();
+/// Run the ring workload on an engine built from `opts`.  When `mid`
+/// is set, the run pauses at `mid_at_ms` to let the test poke the
+/// engine (e.g. force a shard steal) before finishing.
+RingResult run_ring_opts(
+    const ShardedSimulation::Options& opts, std::size_t post_every = 4,
+    const std::function<void(ShardedSimulation&)>& mid = nullptr,
+    double mid_at_ms = 0.0) {
+  ShardedSimulation ssim(opts);
+  RingResult result;
+  auto chains = build_ring(ssim, result, post_every);
+  if (mid) {
+    result.executed = ssim.run_until(TimePoint::at_ms(mid_at_ms));
+    mid(ssim);
+    result.executed += ssim.run();
+  } else {
+    result.executed = ssim.run();
+  }
   for (ShardId s = 0; s < ssim.shard_count(); ++s) {
     result.stalls += ssim.stats(s).backpressure_stalls;
   }
   return result;
+}
+
+RingResult run_ring(std::size_t shards, bool parallel,
+                    std::size_t mailbox_capacity = 64,
+                    std::size_t post_every = 4) {
+  return run_ring_opts(ShardedSimulation::Options{shards, Duration::ms(1.0),
+                                                  mailbox_capacity, parallel},
+                       post_every);
 }
 
 TEST(ShardedSimulationTest, TracesIdenticalAcrossShardCounts) {
@@ -224,6 +259,305 @@ TEST(ShardedSimulationTest, MailboxOverflowBurstSpillsAndDrains) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(received[i], i);
   EXPECT_GT(ssim.stats(0).backpressure_stalls, 0u);
   EXPECT_EQ(ssim.stats(1).received, 100u);
+}
+
+// --- adaptive epochs --------------------------------------------------------
+
+TEST(ShardedSimulationTest, AdaptiveEpochCoarsensWhenQuietAndSnapsBack) {
+  // A purely local workload (no cross-shard posts) on a 0.1 ms base
+  // epoch: the fixed engine grinds a boundary every ~0.1 ms, the
+  // adaptive one coarsens geometrically to the 5 ms ceiling.
+  auto make_opts = [](bool adaptive) {
+    ShardedSimulation::Options opts;
+    opts.shards = 2;
+    opts.epoch = Duration::micros(100.0);
+    opts.adaptive = adaptive;
+    opts.max_epoch = Duration::ms(5.0);
+    opts.adapt_quiet_windows = 2;
+    return opts;
+  };
+  auto drive = [](ShardedSimulation& ssim) {
+    struct Local {
+      Simulation* sim;
+      std::vector<double>* trace;
+      int remaining;
+      void fire() {
+        trace->push_back(sim->now().to_ms());
+        if (remaining-- > 0) {
+          sim->schedule_in(Duration::micros(50.0), [this] { fire(); });
+        }
+      }
+    };
+    auto local = std::make_unique<Local>();
+    local->sim = &ssim.shard(0);
+    local->remaining = 400;
+    auto trace = std::make_unique<std::vector<double>>();
+    local->trace = trace.get();
+    Local* l = local.get();
+    ssim.shard(0).schedule_in(Duration::micros(50.0), [l] { l->fire(); });
+    ssim.run();
+    return std::make_pair(std::move(trace), std::move(local));
+  };
+
+  ShardedSimulation fixed(make_opts(false));
+  const auto fixed_run = drive(fixed);
+  ShardedSimulation adaptive(make_opts(true));
+  const auto adaptive_run = drive(adaptive);
+
+  EXPECT_EQ(*adaptive_run.first, *fixed_run.first);  // trace unchanged
+  EXPECT_EQ(adaptive.current_epoch(), Duration::ms(5.0));  // hit the cap
+  EXPECT_EQ(fixed.current_epoch(), fixed.epoch());  // never moved
+  // Coarsening is the point: the quiet stretch costs far fewer
+  // synchronization windows.
+  EXPECT_LT(adaptive.windows(), fixed.windows() / 4);
+
+  // Cross-shard traffic snaps the window back to the base epoch.
+  double arrived = -1.0;
+  adaptive.shard(0).schedule_in(Duration::ms(1.0), [&] {
+    adaptive.post(0, 1, adaptive.shard(0).now() + Duration::ms(5.0),
+                  [&] { arrived = adaptive.shard(1).now().to_ms(); });
+  });
+  adaptive.run();
+  EXPECT_GT(arrived, 0.0);
+  EXPECT_EQ(adaptive.current_epoch(), adaptive.epoch());
+}
+
+TEST(ShardedSimulationTest, AdaptiveTraceMatchesFixedSerialAndParallel) {
+  // The ring's cross-shard channels model 2 ms, so windows may legally
+  // coarsen to 2 ms; the trace must not notice, serial or parallel.
+  const RingResult fixed = run_ring(4, false);
+  auto opts = [](bool parallel) {
+    ShardedSimulation::Options o;
+    o.shards = 4;
+    o.epoch = Duration::ms(1.0);
+    o.mailbox_capacity = 64;
+    o.parallel = parallel;
+    o.adaptive = true;
+    o.max_epoch = Duration::ms(2.0);
+    o.adapt_quiet_windows = 1;
+    return o;
+  };
+  const RingResult serial = run_ring_opts(opts(false));
+  const RingResult parallel = run_ring_opts(opts(true));
+  EXPECT_EQ(serial.fires, fixed.fires);
+  EXPECT_EQ(serial.arrivals, fixed.arrivals);
+  EXPECT_EQ(parallel.fires, fixed.fires);
+  EXPECT_EQ(parallel.arrivals, fixed.arrivals);
+  EXPECT_EQ(serial.executed, fixed.executed);
+  EXPECT_EQ(parallel.executed, fixed.executed);
+}
+
+TEST(ShardedSimulationTest, AdaptiveOffPinsFixedEpochBehavior) {
+  // adaptive=false with every new knob at its default must reproduce
+  // the fixed-epoch engine exactly: same trace, same window count,
+  // window length never moves, and the ceiling degenerates to the
+  // epoch itself (so channel validation is unchanged).
+  ShardedSimulation::Options defaults;
+  defaults.shards = 4;
+  defaults.epoch = Duration::ms(1.0);
+  defaults.mailbox_capacity = 64;
+  ShardedSimulation probe(defaults);
+  EXPECT_EQ(probe.max_epoch(), probe.epoch());
+  EXPECT_EQ(probe.current_epoch(), probe.epoch());
+
+  ShardedSimulation a(defaults);
+  ShardedSimulation b(defaults);
+  RingResult ra;
+  RingResult rb;
+  auto keep_a = build_ring(a, ra, 4);
+  auto keep_b = build_ring(b, rb, 4);
+  ra.executed = a.run();
+  rb.executed = b.run();
+  EXPECT_EQ(ra.fires, rb.fires);
+  EXPECT_EQ(a.windows(), b.windows());
+  EXPECT_GT(a.windows(), 0u);
+  EXPECT_EQ(a.current_epoch(), a.epoch());
+  EXPECT_EQ(ra.fires, run_ring(1, false).fires);  // today's trace
+}
+
+// --- deterministic shard stealing -------------------------------------------
+
+TEST(ShardedSimulationTest, ForcedMidRunStealPreservesTrace) {
+  const RingResult baseline = run_ring(4, false);
+  auto opts = [](bool parallel) {
+    ShardedSimulation::Options o;
+    o.shards = 4;
+    o.epoch = Duration::ms(1.0);
+    o.mailbox_capacity = 64;
+    o.parallel = parallel;
+    o.workers = 2;
+    return o;
+  };
+  for (const bool parallel : {false, true}) {
+    std::uint64_t moves = 0;
+    std::size_t new_worker = 99;
+    const RingResult stolen = run_ring_opts(
+        opts(parallel), 4,
+        [&](ShardedSimulation& ssim) {
+          // Mid-run, between spans: move shard 0 off worker 0.
+          EXPECT_EQ(ssim.worker_of(0), 0u);
+          ssim.set_worker_of(0, 1);
+          moves = ssim.steal_moves();
+          new_worker = ssim.worker_of(0);
+        },
+        /*mid_at_ms=*/20.0);
+    EXPECT_EQ(moves, 1u);
+    EXPECT_EQ(new_worker, 1u);
+    EXPECT_EQ(stolen.fires, baseline.fires) << "parallel=" << parallel;
+    EXPECT_EQ(stolen.arrivals, baseline.arrivals);
+    EXPECT_EQ(stolen.executed, baseline.executed);
+  }
+}
+
+TEST(ShardedSimulationTest, OrganicStealingIsDeterministicAcrossModes) {
+  // 8 shards on 2 workers with the ring's uneven per-shard load: the
+  // rebalancer's decisions (whatever they are) must be identical in
+  // serial and parallel mode, and the trace must not notice them.
+  const RingResult baseline = run_ring(8, false);
+  auto opts = [](bool parallel) {
+    ShardedSimulation::Options o;
+    o.shards = 8;
+    o.epoch = Duration::ms(1.0);
+    o.mailbox_capacity = 64;
+    o.parallel = parallel;
+    o.workers = 2;
+    o.steal = true;
+    o.steal_period = 4;
+    o.steal_imbalance = 1.1;
+    return o;
+  };
+  std::uint64_t serial_moves = 0;
+  std::uint64_t parallel_moves = 0;
+  std::vector<std::size_t> serial_map;
+  std::vector<std::size_t> parallel_map;
+  auto capture = [](std::uint64_t& moves, std::vector<std::size_t>& map) {
+    return [&moves, &map](ShardedSimulation& ssim) {
+      moves = ssim.steal_moves();
+      for (ShardId s = 0; s < ssim.shard_count(); ++s) {
+        map.push_back(ssim.worker_of(s));
+      }
+    };
+  };
+  // The "mid" hook past the end of the workload reads the final map
+  // (the engine is destroyed when run_ring_opts returns).
+  const RingResult serial = run_ring_opts(
+      opts(false), 4, capture(serial_moves, serial_map), /*mid_at_ms=*/80.0);
+  const RingResult parallel = run_ring_opts(
+      opts(true), 4, capture(parallel_moves, parallel_map),
+      /*mid_at_ms=*/80.0);
+  EXPECT_EQ(serial.fires, baseline.fires);
+  EXPECT_EQ(serial.arrivals, baseline.arrivals);
+  EXPECT_EQ(parallel.fires, baseline.fires);
+  EXPECT_EQ(parallel.arrivals, baseline.arrivals);
+  EXPECT_EQ(parallel_moves, serial_moves);
+  EXPECT_EQ(parallel_map, serial_map);
+}
+
+TEST(ShardedSimulationTest, RebalancerIsolatesHotShard) {
+  // One hot shard (20x the event rate) sharing worker 0 with a cold
+  // shard: the rebalancer must move the cold shard away -- exactly
+  // once (the donor then owns a single shard and may not give it up)
+  // -- and identically in serial and parallel mode.
+  struct Local {
+    Simulation* sim;
+    std::vector<double>* trace;
+    double period_ms;
+    int remaining;
+    void fire() {
+      trace->push_back(sim->now().to_ms());
+      if (remaining-- > 0) {
+        sim->schedule_in(Duration::ms(period_ms), [this] { fire(); });
+      }
+    }
+  };
+  auto run_mode = [](bool parallel, std::uint64_t& moves,
+                     std::vector<std::size_t>& map,
+                     std::vector<std::vector<double>>& traces) {
+    ShardedSimulation::Options o;
+    o.shards = 4;
+    o.epoch = Duration::ms(1.0);
+    o.parallel = parallel;
+    o.workers = 2;
+    o.steal = true;
+    o.steal_period = 4;
+    o.steal_imbalance = 1.5;
+    ShardedSimulation ssim(o);
+    traces.assign(4, {});
+    std::vector<std::unique_ptr<Local>> chains;
+    for (ShardId s = 0; s < 4; ++s) {
+      auto c = std::make_unique<Local>();
+      c->sim = &ssim.shard(s);
+      c->trace = &traces[s];
+      c->period_ms = s == 0 ? 0.05 : 1.0;  // shard 0 is the hot one
+      c->remaining = s == 0 ? 400 : 20;
+      Local* raw = c.get();
+      c->sim->schedule_in(Duration::ms(c->period_ms), [raw] { raw->fire(); });
+      chains.push_back(std::move(c));
+    }
+    ssim.run();
+    moves = ssim.steal_moves();
+    map.clear();
+    for (ShardId s = 0; s < 4; ++s) map.push_back(ssim.worker_of(s));
+  };
+
+  std::uint64_t serial_moves = 0;
+  std::uint64_t parallel_moves = 0;
+  std::vector<std::size_t> serial_map;
+  std::vector<std::size_t> parallel_map;
+  std::vector<std::vector<double>> serial_traces;
+  std::vector<std::vector<double>> parallel_traces;
+  run_mode(false, serial_moves, serial_map, serial_traces);
+  run_mode(true, parallel_moves, parallel_map, parallel_traces);
+
+  EXPECT_EQ(serial_moves, 1u);  // cold shard 2 leaves worker 0, once
+  EXPECT_EQ(serial_map, (std::vector<std::size_t>{0, 1, 1, 1}));
+  EXPECT_EQ(parallel_moves, serial_moves);
+  EXPECT_EQ(parallel_map, serial_map);
+  EXPECT_EQ(parallel_traces, serial_traces);
+}
+
+TEST(ShardedSimulationTest, WorkerStatsAccountEveryEvent) {
+  ShardedSimulation::Options opts;
+  opts.shards = 4;
+  opts.epoch = Duration::ms(1.0);
+  opts.mailbox_capacity = 64;
+  opts.parallel = true;
+  opts.workers = 2;
+  ShardedSimulation ssim(opts);
+  RingResult result;
+  auto keep = build_ring(ssim, result, 4);
+  result.executed = ssim.run();
+  ASSERT_EQ(ssim.worker_count(), 2u);
+  std::uint64_t by_worker = 0;
+  for (std::size_t w = 0; w < ssim.worker_count(); ++w) {
+    by_worker += ssim.worker_stats(w).executed;
+  }
+  EXPECT_EQ(by_worker, result.executed);
+  std::uint64_t by_shard = 0;
+  for (ShardId s = 0; s < ssim.shard_count(); ++s) {
+    by_shard += ssim.stats(s).executed;
+  }
+  EXPECT_EQ(by_shard, result.executed);
+}
+
+TEST(ShardedSimulationTest, MailboxHighWaterStatTracksInboundBursts) {
+  // Capacity-2 mailboxes with a post on every firing: boundaries drain
+  // multi-message bursts, and the stat must see them.
+  const RingResult tight = run_ring(4, false, 2, 1);
+  EXPECT_GT(tight.stalls, 0u);
+  ShardedSimulation::Options opts;
+  opts.shards = 4;
+  opts.epoch = Duration::ms(1.0);
+  opts.mailbox_capacity = 2;
+  ShardedSimulation ssim(opts);
+  RingResult result;
+  auto keep = build_ring(ssim, result, 1);
+  result.executed = ssim.run();
+  std::uint64_t max_hwm = 0;
+  for (ShardId s = 0; s < ssim.shard_count(); ++s) {
+    max_hwm = std::max(max_hwm, ssim.stats(s).mailbox_hwm);
+  }
+  EXPECT_GT(max_hwm, 1u);
 }
 
 // --- API contracts ----------------------------------------------------------

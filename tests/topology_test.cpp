@@ -72,6 +72,34 @@ TEST(TopologyTest, AutoPicksLargestLegalEpoch) {
   EXPECT_EQ(plan.cross_edges, 2u);
 }
 
+TEST(TopologyTest, PlanDerivesAdaptiveCeilingFromCrossEdges) {
+  sim::Topology topo;
+  const auto a = topo.add_node("a", 0);
+  const auto b = topo.add_node("b", 1);
+  topo.add_edge(a, b, Duration::ms(3.0));
+  topo.add_edge(b, a, Duration::ms(2.0));
+
+  // Auto-picked epoch: ceiling == epoch == the tightest cross edge.
+  const auto auto_plan = topo.plan();
+  EXPECT_EQ(auto_plan.epoch, Duration::ms(2.0));
+  EXPECT_EQ(auto_plan.max_epoch, Duration::ms(2.0));
+
+  // Forced tighter epoch: the ceiling stays at the tightest cross
+  // edge, so adaptation may legally coarsen past the forced value.
+  sim::Topology::PartitionOptions opts;
+  opts.epoch = Duration::ms(0.5);
+  const auto forced = topo.plan(opts);
+  EXPECT_EQ(forced.epoch, Duration::ms(0.5));
+  EXPECT_EQ(forced.max_epoch, Duration::ms(2.0));
+
+  // Nothing crossing shards: any window is legal; the ceiling is the
+  // bounded 256x cap.
+  sim::Topology isolated;
+  (void)isolated.add_node("solo", 0);
+  const auto solo = isolated.plan();
+  EXPECT_DOUBLE_EQ(solo.max_epoch.to_ms(), solo.epoch.to_ms() * 256.0);
+}
+
 TEST(TopologyTest, FallbackEpochWhenNothingCrosses) {
   sim::Topology topo;
   const auto a = topo.add_node("a", 0);
@@ -138,6 +166,55 @@ TEST(PartitionedEngineTest, DerivesInertAndMailboxChannels) {
   });
   eng.engine().run();
   EXPECT_DOUBLE_EQ(arrived_at, 3.0);
+}
+
+TEST(PartitionedEngineTest, LiveRemapMovesShardsAndKeepsChannelsValid) {
+  // Three cells on two workers.  The plan fixes the node -> shard map
+  // forever; the live shard -> worker map starts round-robin and may
+  // be rewritten between runs.  Channels name shards, so a remap never
+  // invalidates one -- a channel derived before the move and one
+  // re-derived after must behave identically.
+  sim::Topology topo;
+  const auto a = topo.add_node("a", 0);
+  const auto b = topo.add_node("b", 1);
+  const auto c = topo.add_node("c", 2);
+  const auto ab = topo.add_edge(a, b, Duration::ms(2.0));
+  topo.add_edge(b, c, Duration::ms(2.0));
+  sim::Topology::PartitionOptions opts;
+  opts.workers = 2;
+  sim::PartitionedEngine eng(std::move(topo), opts);
+
+  ASSERT_EQ(eng.engine().worker_count(), 2u);
+  EXPECT_EQ(eng.worker_of(a), 0u);
+  EXPECT_EQ(eng.worker_of(b), 1u);
+  EXPECT_EQ(eng.worker_of(c), 0u);
+
+  const auto before = eng.channel(ab);
+  double first = -1.0;
+  eng.sim_of(a).schedule_at(TimePoint::at_ms(1.0), [&] {
+    before.deliver([&] { first = eng.sim_of(b).now().to_ms(); });
+  });
+  eng.engine().run();
+  EXPECT_DOUBLE_EQ(first, 3.0);
+
+  // Move node a's shard to worker 1 between runs; the node -> shard
+  // map is untouched, only the execution lane changes.
+  eng.engine().set_worker_of(eng.shard_of(a), 1);
+  EXPECT_EQ(eng.worker_of(a), 1u);
+  EXPECT_EQ(eng.shard_of(a), 0u);
+  EXPECT_EQ(eng.engine().steal_moves(), 1u);
+
+  // The old channel still delivers, and re-deriving it yields the
+  // same shard pair and latency.
+  const auto after = eng.channel(ab);
+  EXPECT_TRUE(after.connected());
+  EXPECT_EQ(after.latency(), before.latency());
+  double second = -1.0;
+  eng.sim_of(a).schedule_in(Duration::ms(1.0), [&] {
+    before.deliver([&] { second = eng.sim_of(b).now().to_ms(); });
+  });
+  eng.engine().run();
+  EXPECT_GT(second, first);
 }
 
 TEST(PartitionedEngineTest, LinkRegistersRouteAcrossCells) {
@@ -243,11 +320,9 @@ struct CellRun {
   double finished_ms;
 };
 
-std::vector<std::vector<CellRun>> run_two_cell_cluster(bool parallel) {
+std::vector<std::vector<CellRun>> run_two_cell_cluster(exp::ClusterSpec spec) {
   const auto specs = apps::paper_benchmarks();
-  exp::ClusterSpec spec;
   spec.cells = 2;
-  spec.parallel = parallel;
   exp::ExperimentOptions options;
   options.mode = apps::SystemMode::kXarTrek;
   exp::ClusterExperiment cluster(specs, shared_table(), spec, options);
@@ -266,6 +341,12 @@ std::vector<std::vector<CellRun>> run_two_cell_cluster(bool parallel) {
   return out;
 }
 
+std::vector<std::vector<CellRun>> run_two_cell_cluster(bool parallel) {
+  exp::ClusterSpec spec;
+  spec.parallel = parallel;
+  return run_two_cell_cluster(spec);
+}
+
 TEST(ClusterExperimentTest, MultiCellDeterministicAndParallelIdentical) {
   const auto serial_a = run_two_cell_cluster(false);
   const auto serial_b = run_two_cell_cluster(false);
@@ -279,6 +360,55 @@ TEST(ClusterExperimentTest, MultiCellDeterministicAndParallelIdentical) {
       EXPECT_EQ(threaded[c][i].app, serial_a[c][i].app);
       EXPECT_DOUBLE_EQ(threaded[c][i].finished_ms,
                        serial_a[c][i].finished_ms);
+    }
+  }
+}
+
+std::vector<std::vector<CellRun>> run_four_cell_cluster(
+    exp::ClusterSpec spec) {
+  const auto specs = apps::paper_benchmarks();
+  spec.cells = 4;
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+  exp::ClusterExperiment cluster(specs, shared_table(), spec, options);
+  cluster.launch(0, "facedet320");
+  cluster.launch(0, "cg_a");
+  cluster.launch(1, "digit2000");
+  cluster.launch(2, "facedet640");
+  cluster.launch(3, "facedet320");
+  EXPECT_TRUE(cluster.run_until_complete(5));
+  std::vector<std::vector<CellRun>> out(4);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (const auto& r : cluster.results(c)) {
+      out[c].push_back(CellRun{r.app, r.started.to_ms(),
+                               r.finished.to_ms()});
+    }
+  }
+  return out;
+}
+
+TEST(ClusterExperimentTest, AdaptiveAndStealingKeepTheTraceIdentical) {
+  // The acceptance pin for the adaptive sharded core: adaptive epochs,
+  // two pinned workers carrying four cells, and stealing all switched
+  // on at once must reproduce the plain fixed-epoch serial trace
+  // exactly, serial and parallel alike.
+  const auto baseline = run_four_cell_cluster(exp::ClusterSpec{});
+  for (const bool parallel : {false, true}) {
+    exp::ClusterSpec spec;
+    spec.parallel = parallel;
+    spec.adaptive = true;
+    spec.steal = true;
+    spec.workers = 2;
+    spec.pin_threads = parallel;
+    const auto tuned = run_four_cell_cluster(spec);
+    for (std::size_t c = 0; c < 4; ++c) {
+      ASSERT_EQ(tuned[c].size(), baseline[c].size());
+      for (std::size_t i = 0; i < baseline[c].size(); ++i) {
+        EXPECT_EQ(tuned[c][i].app, baseline[c][i].app);
+        EXPECT_DOUBLE_EQ(tuned[c][i].started_ms, baseline[c][i].started_ms);
+        EXPECT_DOUBLE_EQ(tuned[c][i].finished_ms,
+                         baseline[c][i].finished_ms);
+      }
     }
   }
 }
