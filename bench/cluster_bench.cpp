@@ -171,10 +171,10 @@ SkewResult run_skew_config(bool adaptive, bool steal,
   exp::ClusterSpec spec;
   spec.cells = kCells;
   spec.parallel = true;
-  spec.workers = 4;
-  spec.pin_threads = true;
-  spec.adaptive = adaptive;
-  spec.steal = steal;
+  spec.exec.workers = 4;
+  spec.exec.pin_threads = true;
+  spec.exec.adaptive = adaptive;
+  spec.exec.steal = steal;
   spec.intercell.latency = Duration::ms(2.0);
   spec.epoch = Duration::ms(0.1);  // forced: 20x below the link latency
   exp::ClusterExperiment cluster(apps::paper_benchmarks(),

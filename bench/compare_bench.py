@@ -87,6 +87,24 @@ METRICS = {
         ("cluster.single_queue.wall_events_per_sec", "higher", True),
         ("attach_detach.jobs_per_sec", "higher", True),
     ],
+    "fpga": [
+        # Everything gated here is a simulated-time count from a
+        # deterministic workload (same arrival schedule, same policy
+        # decisions on any host), so all metrics are machine-neutral.
+        # speedup_vs_whole_image is the virtualization tentpole's >= 2x
+        # acceptance bar; trace_identical pins serial-vs-parallel
+        # bitwise trace identity with the slot scheduler evicting and
+        # replicating mid-run, and slot_activity pins that both policy
+        # arms actually fired (identity over an idle scheduler would be
+        # vacuous).  Gating both absolute completion counts keeps the
+        # ratio honest -- the speedup cannot "improve" by degrading the
+        # whole-image baseline.
+        ("slots.speedup_vs_whole_image", "higher", False),
+        ("slots.trace_identical", "exact", False),
+        ("slots.slot_activity", "exact", False),
+        ("slots.virtualized.fpga_completions", "higher", False),
+        ("slots.whole_image.fpga_completions", "higher", False),
+    ],
     "dsm": [
         # Simulated-time ratios and allocation contracts are exact and
         # machine-neutral; only the host-side engine rate crosses

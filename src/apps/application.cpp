@@ -76,13 +76,11 @@ void run_function_phase(const StatePtr& st) {
       // per-call OpenCL initialization that instrumented binaries hoist
       // to main start.
       st->result.func_target = runtime::Target::kFpga;
-      auto& device = testbed.fpga();
-      if (!device.has_kernel(st->spec.kernel_name) &&
-          !device.reconfiguring() && st->env.server != nullptr) {
-        // Reuse the server's image registry to locate the XCLBIN.
-        const fpga::XclbinImage* image =
-            st->env.server->image_with(st->spec.kernel_name);
-        if (image != nullptr) device.reconfigure(*image, [](bool) {});
+      if (st->env.server != nullptr) {
+        // The server owns the image registry (and, on a virtualized
+        // device, the slot scheduler): ask it to make the kernel
+        // resident instead of juggling raw XclbinImage pointers here.
+        st->env.server->ensure_resident(st->spec.kernel_name);
       }
       runtime::FunctionCosts lazy_costs = costs;
       lazy_costs.xrt_call_overhead += st->spec.traditional_call_init;
@@ -147,14 +145,9 @@ void AppProcess::launch(const RuntimeEnv& env, const BenchmarkSpec& spec,
   // so the kernel is warm by the time the function call arrives
   // (paper §3.1 step B; the Figure-6 advantage and ablation 1).
   if (mode == SystemMode::kXarTrek && env.eager_configure) {
-    auto& device = env.testbed->fpga();
-    if (!device.has_kernel(spec.kernel_name) && !device.reconfiguring()) {
-      const fpga::XclbinImage* image =
-          env.server->image_with(spec.kernel_name);
-      if (image != nullptr) {
-        env.log.debug("app ", spec.name, ": eager-configuring ", image->id);
-        device.reconfigure(*image, [](bool) {});
-      }
+    if (env.server->ensure_resident(spec.kernel_name)) {
+      env.log.debug("app ", spec.name, ": eager-configuring for kernel ",
+                    spec.kernel_name);
     }
   }
   run_pre_phase(st);

@@ -49,12 +49,8 @@ void process_one(const StatePtr& st) {
                                 std::move(done));
       return;
     case SystemMode::kAlwaysFpga: {
-      auto& device = st->env.testbed->fpga();
-      if (!device.has_kernel(st->spec.kernel_name) &&
-          !device.reconfiguring() && st->env.server != nullptr) {
-        const fpga::XclbinImage* image =
-            st->env.server->image_with(st->spec.kernel_name);
-        if (image != nullptr) device.reconfigure(*image, [](bool) {});
+      if (st->env.server != nullptr) {
+        st->env.server->ensure_resident(st->spec.kernel_name);
       }
       // Per-call OpenCL initialization: the traditional flow re-creates
       // kernel handles/buffers each call; Xar-Trek hoists this to main
@@ -115,14 +111,8 @@ void MultiImageFaceApp::launch(const RuntimeEnv& env,
   // load crosses the threshold, the kernel is already resident -- this
   // is why Figure 6 shows Xar-Trek beating even the always-FPGA flow.
   if (mode == SystemMode::kXarTrek && env.eager_configure) {
-    auto& device = env.testbed->fpga();
-    if (!device.has_kernel(facedet.kernel_name) && !device.reconfiguring()) {
-      const fpga::XclbinImage* image =
-          env.server->image_with(facedet.kernel_name);
-      if (image != nullptr) {
-        device.reconfigure(*image, [](bool) {});
-        st->configured_eagerly = true;
-      }
+    if (env.server->ensure_resident(facedet.kernel_name)) {
+      st->configured_eagerly = true;
     }
   }
   next_image(st);

@@ -57,10 +57,7 @@ ClusterExperiment::ClusterExperiment(
   popts.epoch = cluster_.epoch;
   popts.mailbox_capacity = cluster_.mailbox_capacity;
   popts.parallel = cluster_.parallel;
-  popts.workers = cluster_.workers;
-  popts.pin_threads = cluster_.pin_threads;
-  popts.adaptive = cluster_.adaptive;
-  popts.steal = cluster_.steal;
+  popts.exec = cluster_.exec;  // all seven knobs, nothing forgotten
   engine_ = std::make_unique<sim::PartitionedEngine>(std::move(topo),
                                                      popts);
 

@@ -42,6 +42,7 @@
 #include "popcorn/migration_runtime.hpp"
 #include "popcorn/state_transform.hpp"
 #include "runtime/scheduler_server.hpp"
+#include "sim/exec_options.hpp"
 #include "sim/fault.hpp"
 #include "sim/topology.hpp"
 
@@ -62,18 +63,11 @@ struct ClusterSpec {
   std::size_t mailbox_capacity = 4096;
   /// Run shards on threads.  Traces are identical either way.
   bool parallel = false;
-  /// Execution lanes (0 = one per cell) and CPU pinning for the
-  /// persistent worker pool.  Fewer workers than cells is what lets
-  /// `steal` isolate a hot cell on its own lane.
-  std::size_t workers = 0;
-  bool pin_threads = false;
-  /// Adaptive epochs: coarsen quiet synchronization windows up to the
-  /// topology-derived legal maximum (the minimum inter-cell latency).
-  /// Never changes the trace -- only how often idle cells synchronize.
-  bool adaptive = false;
-  /// Deterministic cell stealing: re-balance the live cell -> worker
-  /// map from executed-event counters at window boundaries.
-  bool steal = false;
+  /// Worker mapping (0 workers = one lane per cell), adaptive epochs
+  /// and deterministic cell stealing, forwarded wholesale down through
+  /// Topology::PartitionOptions to the engine.  None of these change
+  /// the trace -- only wall-clock behavior.
+  sim::ExecOptions exec;
   /// How often run_until_complete re-checks the completion count.
   /// Completions carry exact event timestamps, so this affects polling
   /// granularity only, never the trace.

@@ -93,12 +93,8 @@ void Experiment::launch_forced(const std::string& app_name,
   // A forced-FPGA scenario measures the *offload* cost, not
   // configuration: warm the image up front if it is absent (the
   // instrumented binary would have configured it at main start).
-  if (target == runtime::Target::kFpga &&
-      !testbed_->fpga().has_kernel(s.kernel_name) &&
-      !testbed_->fpga().reconfiguring()) {
-    const fpga::XclbinImage* image = server_->image_with(s.kernel_name);
-    XAR_ASSERT(image != nullptr);
-    testbed_->fpga().reconfigure(*image, [](bool) {});
+  if (target == runtime::Target::kFpga) {
+    server_->ensure_resident(s.kernel_name);
   }
   testbed_->x86().run(s.pre, [this, &s, target, post] {
     executor_->execute(target, s.function_costs(),
@@ -111,11 +107,7 @@ void Experiment::warm_fpga_for(const std::string& app_name) {
   const apps::BenchmarkSpec& s = spec(app_name);
   auto& device = testbed_->fpga();
   if (device.has_kernel(s.kernel_name)) return;
-  if (!device.reconfiguring()) {
-    const fpga::XclbinImage* image = server_->image_with(s.kernel_name);
-    XAR_ASSERT(image != nullptr);
-    device.reconfigure(*image, [](bool) {});
-  }
+  server_->ensure_resident(s.kernel_name);
   const TimePoint horizon = simulation().now() + Duration::minutes(5);
   while (!device.has_kernel(s.kernel_name) && simulation().step_one(horizon)) {
   }

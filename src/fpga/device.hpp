@@ -1,12 +1,24 @@
 // FPGA accelerator-card device model.
 //
-// Models an Alveo-class PCIe card: a programmable region that holds the
-// kernels of exactly one XCLBIN at a time, a reconfiguration port that
-// serializes XCLBIN downloads (download over PCIe + fabric programming
-// time), and one FIFO compute unit per loaded kernel.
+// Models an Alveo-class PCIe card in one of two modes:
+//
+//  * Whole-image mode (default): the programmable region holds the
+//    kernels of exactly one XCLBIN at a time and a reconfiguration
+//    swaps the entire fabric (download over PCIe + full programming
+//    time).
+//
+//  * Slot mode (`enable_slots`): the usable region is carved into N
+//    equal partial-reconfiguration slots.  Each slot hosts one kernel
+//    with a replication count (CUs per slot), programs independently at
+//    a per-slot latency much cheaper than a full bitstream download,
+//    and keeps serving while *other* slots reprogram.  This is the
+//    SYNERGY-style virtualization the ROADMAP calls for: several
+//    tenants resident at once instead of one hot tenant monopolizing
+//    the device.
 //
 // The device is deliberately dumb: *when* to reconfigure and *whether* a
-// kernel is worth calling are the Xar-Trek scheduler's decisions.
+// kernel is worth calling are the Xar-Trek scheduler's decisions (the
+// slot eviction/replication policy lives in fpga::SlotScheduler).
 #pragma once
 
 #include <cstdint>
@@ -15,6 +27,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/log.hpp"
@@ -75,62 +88,154 @@ struct FpgaSpec {
 /// The paper's Xilinx Alveo U50.
 [[nodiscard]] FpgaSpec alveo_u50_spec();
 
-/// The device model.  Owns the loaded image and the per-kernel compute
-/// units; reconfiguration requests are serialized FIFO.
+/// Outcome of a reconfiguration request.  The old bool collapsed four
+/// distinct failure paths; callers (retry loops, fault-injection tests,
+/// the slot scheduler's accounting) need to tell them apart.
+enum class ReconfigureResult : std::uint8_t {
+  kOk,               ///< kernels became resident
+  kNoFit,            ///< request exceeds the slot's area budget
+  kOfflineDrop,      ///< dropped before programming: device offline
+  kTornWrite,        ///< device died/blipped mid-programming
+  kInjectedFailure,  ///< armed one-shot failure (corrupted bitstream)
+};
+
+/// True iff the kernels actually became resident.
+[[nodiscard]] constexpr bool succeeded(ReconfigureResult r) {
+  return r == ReconfigureResult::kOk;
+}
+
+[[nodiscard]] const char* to_string(ReconfigureResult r);
+
+/// Partial-reconfiguration slot geometry (slot mode).
+struct SlotConfig {
+  std::uint32_t slots = 4;  ///< PR slots carved from usable()
+  /// Fabric programming time for one slot's partial bitstream.  Scales
+  /// with region size, so roughly programming_time / slots for an
+  /// equal carve -- an order of magnitude under a full download.
+  Duration slot_program_time = Duration::ms(40.0);
+  /// Partial bitstream size moved over PCIe per slot programming.
+  std::uint64_t slot_bitstream_bytes = 4ull << 20;
+};
+
+/// Where a slot-addressable reconfiguration may also target the whole
+/// device (whole-image mode requests).
+inline constexpr std::uint32_t kNoSlot = ~0u;
+
+/// Snapshot of one kernel's residency, the unit the scheduler's
+/// per-batch memo caches.  `version` is the hosting slot's programming
+/// version (slot mode) or the device residency epoch (whole-image mode
+/// and non-resident answers); `FpgaDevice::residency_current` says
+/// whether the snapshot still holds, replacing the old scheme of
+/// comparing a device-wide `residency_version()` by hand.
+struct ResidencyView {
+  std::uint32_t slot = kNoSlot;  ///< hosting slot, kNoSlot if none/whole
+  std::uint32_t cus = 0;         ///< callable compute units right now
+  std::uint64_t version = 0;
+
+  [[nodiscard]] constexpr bool resident() const { return cus != 0; }
+};
+
+/// The device model.  Owns the loaded image (or slot table) and the
+/// per-kernel compute units; reconfiguration requests are serialized
+/// FIFO through the single reconfiguration port.
 class FpgaDevice {
  public:
   using Callback = sim::UniqueCallback;
-  /// Reconfiguration completion: `success` is true iff the image's
-  /// kernels actually became resident.  A request dropped because the
-  /// card is offline, killed mid-programming, or failed by injection
-  /// still completes -- with success == false -- so callers can
-  /// distinguish "loaded" from "the driver returned an error".
-  using ReconfigureCallback = sim::UniqueFunction<void(bool)>;
+  /// Reconfiguration completion.  A request dropped because the card is
+  /// offline, killed mid-programming, failed by injection, or refused
+  /// for area still completes -- with the matching non-kOk result -- so
+  /// callers can distinguish the failure paths.
+  using ReconfigureCallback = sim::UniqueFunction<void(ReconfigureResult)>;
 
   FpgaDevice(sim::Simulation& sim, hw::Link& pcie, FpgaSpec spec,
              Logger log = {});
   FpgaDevice(const FpgaDevice&) = delete;
   FpgaDevice& operator=(const FpgaDevice&) = delete;
 
+  // ---- whole-image mode -------------------------------------------------
+
   /// Download and program `image`.  During reconfiguration the previous
   /// kernels are torn down immediately (the scheduler must not route work
   /// here until `on_done`).  Concurrent requests queue FIFO.  Requires
-  /// the image's kernels to fit the usable region.
+  /// the image's kernels to fit the usable region, and whole-image mode.
   void reconfigure(const XclbinImage& image, ReconfigureCallback on_done);
 
-  /// True while a download/programming is in progress or queued.
+  /// The currently loaded image id, if any (always nullopt in slot mode).
+  [[nodiscard]] std::optional<std::string> loaded_image() const;
+
+  // ---- slot mode --------------------------------------------------------
+
+  /// Switch to slot mode: carve usable() into cfg.slots equal PR slots.
+  /// One-way, and requires a quiescent device (nothing loaded, nothing
+  /// queued, online).
+  void enable_slots(SlotConfig cfg);
+
+  [[nodiscard]] bool slot_mode() const { return slot_cfg_.has_value(); }
+  [[nodiscard]] std::uint32_t slot_count() const {
+    return slot_mode() ? slot_cfg_->slots : 0;
+  }
+  /// Area budget of one slot (slot mode only).
+  [[nodiscard]] const FpgaResources& slot_capacity() const;
+
+  /// Program `slot` with `replicas` CUs of `kernel`, tearing down
+  /// whatever the slot held.  Serialized FIFO with other programmings
+  /// on the reconfiguration port, but only this slot goes dark; the
+  /// others keep serving.  Completes kNoFit when replicas x footprint
+  /// exceeds the slot capacity.  Requires slot mode.
+  void reconfigure_slot(std::uint32_t slot, const HwKernelConfig& kernel,
+                        std::uint32_t replicas, ReconfigureCallback on_done);
+
+  /// Kernel hosted by `slot` right now, if any (diagnostics / policy).
+  [[nodiscard]] std::optional<std::string> slot_kernel(
+      std::uint32_t slot) const;
+
+  // ---- common -----------------------------------------------------------
+
+  /// True while a download/programming is in progress or queued (in slot
+  /// mode: the reconfiguration port is busy, not the whole device).
   [[nodiscard]] bool reconfiguring() const {
     return reconfig_active_ || !reconfig_queue_.empty();
   }
 
-  /// True when `name` is loaded and callable right now.
+  /// True when `name` is loaded and callable right now.  In slot mode a
+  /// kernel is callable while *other* slots reprogram.
   [[nodiscard]] bool has_kernel(const std::string& name) const;
 
   /// Names of callable kernels (the scheduler's "Query Available HW
   /// Kernels", Algorithm 2 line 1).
   [[nodiscard]] std::vector<std::string> available_kernels() const;
 
-  /// Run kernel `name` over `items` work items; FIFO behind earlier
-  /// invocations of the same kernel.  Requires has_kernel(name).
+  /// Slot-aware residency snapshot for `kernel`; agrees with
+  /// has_kernel() on `resident()`.  Cache it and revalidate with
+  /// residency_current() -- the scheduler's batched decision pass keys
+  /// its per-batch memo on this.
+  [[nodiscard]] ResidencyView residency(std::string_view kernel) const;
+
+  /// Whether a cached view still describes the device: in slot mode a
+  /// resident view stays valid until *its* slot reprograms (other slots
+  /// churning doesn't invalidate it); otherwise it is compared against
+  /// the device residency epoch.
+  [[nodiscard]] bool residency_current(const ResidencyView& view) const;
+
+  /// Run kernel `name` over `items` work items; routed to the
+  /// least-backlogged CU hosting it.  Requires has_kernel(name).
   void execute(const std::string& name, std::uint64_t items,
                Callback on_done);
 
-  /// The currently loaded image id, if any.
-  [[nodiscard]] std::optional<std::string> loaded_image() const;
-
   /// Failure injection: take the card offline (XRT device lost).  All
-  /// kernels are torn down and every subsequent reconfiguration request
-  /// completes without loading anything, so `has_kernel` stays false
-  /// until the card is brought back.  The Xar-Trek scheduler degrades
-  /// to the CPU-only branches of Algorithm 2; the traditional
-  /// always-FPGA flow stalls -- exactly the contrast the tests assert.
+  /// kernels -- every slot in slot mode -- are torn down and every
+  /// subsequent reconfiguration request completes with kOfflineDrop, so
+  /// `has_kernel` stays false until the card is brought back.  The
+  /// Xar-Trek scheduler degrades to the CPU-only branches of Algorithm
+  /// 2; the traditional always-FPGA flow stalls -- exactly the contrast
+  /// the tests assert.
   void set_offline(bool offline);
   [[nodiscard]] bool offline() const { return offline_; }
 
   /// Failure injection: arm a one-shot reconfiguration failure.  The
-  /// next reconfiguration to finish programming installs nothing and
-  /// completes with success == false (a corrupted bitstream / ICAP
-  /// error), after which the card keeps working normally.
+  /// next programming to finish installs nothing and completes with
+  /// kInjectedFailure (a corrupted bitstream / ICAP error), after which
+  /// the card keeps working normally.
   void inject_reconfigure_failure() { fail_armed_ = true; }
   [[nodiscard]] bool reconfigure_failure_armed() const {
     return fail_armed_;
@@ -146,16 +251,16 @@ class FpgaDevice {
     notify_ = eng.channel_between(self, scheduler);
   }
 
-  /// Completed reconfigurations (diagnostics / tests).
+  /// Completed reconfigurations (diagnostics / tests).  Slot
+  /// programmings count individually.
   [[nodiscard]] std::uint64_t reconfigurations() const { return reconfigs_; }
 
   /// Bumped on every event that can change `has_kernel` answers
-  /// (reconfiguration start/completion, offline transitions).  Callers
-  /// that memoize residency probes -- the scheduler's batched decision
-  /// pass -- compare versions instead of guessing which code paths can
-  /// invalidate them.
-  [[nodiscard]] std::uint64_t residency_version() const {
-    return residency_version_;
+  /// (programming start/completion, offline transitions).  Prefer
+  /// residency()/residency_current() -- in slot mode they avoid
+  /// invalidating cached answers for slots that didn't change.
+  [[nodiscard]] std::uint64_t residency_epoch() const {
+    return residency_epoch_;
   }
 
   /// Completed kernel invocations across all CUs.
@@ -172,10 +277,43 @@ class FpgaDevice {
     [[nodiscard]] sim::FifoStation& pick_cu() const;
   };
 
+  /// One partial-reconfiguration slot.
+  struct Slot {
+    enum class State : std::uint8_t { kEmpty, kProgramming, kLoaded };
+    State state = State::kEmpty;
+    HwKernelConfig config;  ///< valid when kLoaded
+    std::vector<std::unique_ptr<sim::FifoStation>> cus;
+    /// Bumped whenever this slot's contents change (programming start,
+    /// completion, teardown).  ResidencyView caching keys on it.
+    std::uint64_t version = 0;
+  };
+
+  /// A queued programming: whole-image when slot == kNoSlot.
+  struct PendingReconfig {
+    std::uint32_t slot = kNoSlot;
+    XclbinImage image;       ///< whole-image payload
+    HwKernelConfig kernel;   ///< slot payload
+    std::uint32_t replicas = 0;
+    ReconfigureCallback on_done;
+  };
+
   void start_reconfigure();
-  /// Fire `done(success)` locally, or through the notify channel when
+  void start_whole_image(PendingReconfig req);
+  void start_slot(PendingReconfig req);
+  void finish_port(ReconfigureCallback done, ReconfigureResult result);
+  /// Fire `done(result)` locally, or through the notify channel when
   /// one is set.
-  void notify_done(ReconfigureCallback done, bool success);
+  void notify_done(ReconfigureCallback done, ReconfigureResult result);
+  /// Least-backlogged CU hosting `name` across slots; null if absent.
+  [[nodiscard]] sim::FifoStation* pick_slot_cu(const std::string& name,
+                                               const HwKernelConfig** cfg);
+  void bump_epoch() { ++residency_epoch_; }
+  /// Displace `cus`: stations with work in flight drain in the
+  /// graveyard (their completions still fire, modeling
+  /// quiesce-before-reprogram without blocking the port); idle ones are
+  /// destroyed now.  A busy FifoStation has a scheduled event pointing
+  /// at it, so destroying one in place would be a use-after-free.
+  void retire_cus(std::vector<std::unique_ptr<sim::FifoStation>>& cus);
 
   sim::Simulation& sim_;
   hw::Link& pcie_;
@@ -185,7 +323,13 @@ class FpgaDevice {
 
   std::optional<XclbinImage> loaded_;
   std::map<std::string, LoadedKernel> kernels_;
+  /// Displaced CUs still draining in-flight work (see retire_cus).
+  std::vector<std::unique_ptr<sim::FifoStation>> draining_cus_;
   std::uint64_t retired_invocations_ = 0;
+
+  std::optional<SlotConfig> slot_cfg_;
+  FpgaResources slot_capacity_;
+  std::vector<Slot> slots_;
 
   bool reconfig_active_ = false;
   bool offline_ = false;
@@ -194,9 +338,9 @@ class FpgaDevice {
   /// at start and re-checks at completion, so even an offline blip that
   /// heals before programming finishes tears the bitstream write.
   std::uint64_t offline_events_ = 0;
-  std::deque<std::pair<XclbinImage, ReconfigureCallback>> reconfig_queue_;
+  std::deque<PendingReconfig> reconfig_queue_;
   std::uint64_t reconfigs_ = 0;
-  std::uint64_t residency_version_ = 0;
+  std::uint64_t residency_epoch_ = 0;
 };
 
 }  // namespace xartrek::fpga

@@ -39,6 +39,14 @@ struct FpgaResources {
             dsps - o.dsps};
   }
 
+  /// Component-wise integer division: carving the usable region into
+  /// `n` equal partial-reconfiguration slots.  Rounds down, so `n`
+  /// slots always fit back inside the original vector.
+  constexpr FpgaResources operator/(std::uint64_t n) const {
+    XAR_EXPECTS(n >= 1);
+    return {luts / n, ffs / n, brams / n, urams / n, dsps / n};
+  }
+
   constexpr bool operator==(const FpgaResources&) const = default;
 
   /// True when `a` fits component-wise inside `b`.

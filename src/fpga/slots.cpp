@@ -1,0 +1,140 @@
+#include "fpga/slots.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace xartrek::fpga {
+
+SlotScheduler::SlotScheduler(FpgaDevice& device, Options opts)
+    : device_(device), opts_(opts) {
+  XAR_EXPECTS(opts_.fold_window >= 1);
+  XAR_EXPECTS(opts_.ewma_alpha > 0.0 && opts_.ewma_alpha <= 1.0);
+  XAR_EXPECTS(opts_.max_replicas >= 1);
+}
+
+std::size_t SlotScheduler::find(std::string_view kernel) const {
+  for (std::size_t i = 0; i < tenants_.size(); ++i) {
+    if (tenants_[i].config.name == kernel) return i;
+  }
+  return tenants_.size();
+}
+
+void SlotScheduler::register_kernel(const HwKernelConfig& kernel) {
+  if (find(kernel.name) != tenants_.size()) return;
+  Tenant t;
+  t.config = kernel;
+  tenants_.push_back(std::move(t));
+}
+
+bool SlotScheduler::knows(std::string_view kernel) const {
+  return find(kernel) != tenants_.size();
+}
+
+void SlotScheduler::note_demand(std::string_view kernel) {
+  const std::size_t idx = find(kernel);
+  if (idx == tenants_.size()) return;
+  ++tenants_[idx].hits;
+  if (++since_fold_ < opts_.fold_window) return;
+  since_fold_ = 0;
+  for (Tenant& t : tenants_) {
+    t.ewma = (1.0 - opts_.ewma_alpha) * t.ewma +
+             opts_.ewma_alpha * static_cast<double>(t.hits);
+    t.hits = 0;
+  }
+}
+
+double SlotScheduler::demand(std::string_view kernel) const {
+  const std::size_t idx = find(kernel);
+  if (idx == tenants_.size()) return 0.0;
+  return score(tenants_[idx]);
+}
+
+std::uint32_t SlotScheduler::fit_cap(const HwKernelConfig& k) const {
+  const FpgaResources& cap = device_.slot_capacity();
+  FpgaResources used;
+  std::uint32_t n = 0;
+  while (n < opts_.max_replicas) {
+    used += k.resources;
+    if (!FpgaResources::fits_within(used, cap)) break;
+    ++n;
+  }
+  return n;
+}
+
+void SlotScheduler::program(std::uint32_t slot, const Tenant& tenant,
+                            std::uint32_t replicas) {
+  device_.reconfigure_slot(slot, tenant.config, replicas,
+                           [this](ReconfigureResult r) {
+                             if (!succeeded(r)) ++stats_.failed;
+                           });
+}
+
+bool SlotScheduler::provision(std::string_view kernel) {
+  // One in-flight decision at a time: while the port programs (or holds
+  // a queue), demand keeps accumulating and the next idle pass decides
+  // with fresher numbers.
+  if (!device_.slot_mode() || device_.reconfiguring() || device_.offline())
+    return false;
+  const std::size_t idx = find(kernel);
+  if (idx == tenants_.size()) return false;
+  const Tenant& claimant = tenants_[idx];
+  const std::uint32_t cap = fit_cap(claimant.config);
+  if (cap == 0) {
+    ++stats_.denied_no_fit;
+    return false;
+  }
+  const double mine = score(claimant);
+
+  const ResidencyView view = device_.residency(kernel);
+  if (view.resident()) {
+    // Replicate-hottest: grow one CU when this tenant clearly dominates
+    // every other and the slot has area left.
+    if (view.cus >= cap) return false;
+    double best_other = 0.0;
+    for (std::size_t i = 0; i < tenants_.size(); ++i) {
+      if (i == idx) continue;
+      best_other = std::max(best_other, score(tenants_[i]));
+    }
+    if (mine < opts_.min_evict_demand ||
+        mine <= opts_.replicate_margin * best_other) {
+      return false;
+    }
+    program(view.slot, claimant, view.cus + 1);
+    ++stats_.programs;
+    ++stats_.replications;
+    return true;
+  }
+
+  // Fresh placement: lowest empty slot wins.  With the port idle (the
+  // early-out above) every slot is either empty or loaded.
+  const std::uint32_t slots = device_.slot_count();
+  std::uint32_t coldest_slot = kNoSlot;
+  double coldest = std::numeric_limits<double>::infinity();
+  for (std::uint32_t s = 0; s < slots; ++s) {
+    const auto resident = device_.slot_kernel(s);
+    if (!resident.has_value()) {
+      program(s, claimant, 1);
+      ++stats_.programs;
+      return true;
+    }
+    const std::size_t r = find(*resident);
+    const double sc = r == tenants_.size() ? 0.0 : score(tenants_[r]);
+    if (sc < coldest) {
+      coldest = sc;
+      coldest_slot = s;
+    }
+  }
+  // Evict-coldest, with hysteresis so two similar tenants don't ping-pong
+  // a slot.
+  if (coldest_slot != kNoSlot && mine >= opts_.min_evict_demand &&
+      mine >= opts_.evict_margin * coldest) {
+    program(coldest_slot, claimant, 1);
+    ++stats_.programs;
+    ++stats_.evictions;
+    return true;
+  }
+  ++stats_.denied_cold;
+  return false;
+}
+
+}  // namespace xartrek::fpga

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 
 #include "common/log.hpp"
 #include "fpga/device.hpp"
@@ -25,6 +26,9 @@ struct TestbedConfig {
   hw::LinkSpec ethernet = hw::ethernet_1gbps();
   hw::LinkSpec pcie = hw::pcie_gen3();
   fpga::FpgaSpec fpga = fpga::alveo_u50_spec();
+  /// Virtualize the card: carve its usable region into PR slots right
+  /// after construction.  Unset keeps whole-image residency.
+  std::optional<fpga::SlotConfig> fpga_slots;
   /// Shard-aware construction: build every component against this
   /// externally-owned engine (a ShardedSimulation shard picked by the
   /// topology partitioner) instead of a testbed-owned one.  The

@@ -85,6 +85,15 @@ SchedulerServer::SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
       kernel_index_.try_emplace(k.name, i);
     }
   }
+  // A virtualized device gets a slot scheduler with every registered
+  // kernel in its catalog: placement decisions then trade slots in a
+  // capacity market instead of swapping whole images.
+  if (device_.slot_mode()) {
+    slots_ = std::make_unique<fpga::SlotScheduler>(device_, opts_.slot_policy);
+    for (const auto& image : xclbins_) {
+      for (const auto& k : image.kernels) slots_->register_kernel(k);
+    }
+  }
 }
 
 std::vector<std::vector<std::byte>> SchedulerServer::broadcast_table()
@@ -114,14 +123,43 @@ void SchedulerServer::maybe_start_reconfiguration(std::string_view kernel) {
   ++stats_.reconfigurations_started;
   log_.info("server: reconfiguring FPGA with ", image->id, " for kernel ",
             kernel);
-  device_.reconfigure(*image, [this, id = image->id](bool ok) {
-    if (ok) {
-      log_.debug("server: reconfiguration ", id, " complete");
-    } else {
-      log_.warn("server: reconfiguration ", id,
-                " failed -- kernels not resident");
-    }
-  });
+  device_.reconfigure(
+      *image, [this, id = image->id](fpga::ReconfigureResult result) {
+        if (succeeded(result)) {
+          log_.debug("server: reconfiguration ", id, " complete");
+        } else {
+          log_.warn("server: reconfiguration ", id, " failed (",
+                    fpga::to_string(result), ") -- kernels not resident");
+        }
+      });
+}
+
+fpga::ResidencyView SchedulerServer::residency(
+    std::string_view kernel) const {
+  // An evicted target answers no residency probes: its kernels read as
+  // absent, exactly as a physically absent card would.
+  if (!fpga_healthy_) return fpga::ResidencyView{};
+  return device_.residency(kernel);
+}
+
+bool SchedulerServer::ensure_resident(std::string_view kernel) {
+  if (!fpga_healthy_ || device_.reconfiguring()) return false;
+  if (device_.residency(kernel).resident()) return false;
+  if (slots_ != nullptr) return slots_->provision(kernel);
+  const fpga::XclbinImage* image = image_with(kernel);
+  if (image == nullptr) {
+    log_.warn("server: no XCLBIN provides kernel ", kernel);
+    return false;
+  }
+  log_.debug("server: warming ", image->id, " for kernel ", kernel);
+  device_.reconfigure(
+      *image, [this, id = image->id](fpga::ReconfigureResult result) {
+        if (!succeeded(result)) {
+          log_.warn("server: warm load of ", id, " failed (",
+                    fpga::to_string(result), ")");
+        }
+      });
+  return true;
 }
 
 void SchedulerServer::start_health_checks() {
@@ -272,7 +310,6 @@ void SchedulerServer::finish_batch(std::uint32_t batch_slot) {
   // timer-driven x86LOAD figure would be read once per server tick.
   const int load = monitor_.x86_load();
   probe_cache_.clear();
-  probe_cache_version_ = device_.residency_version();
 
   std::uint32_t slot = head;
   std::uint32_t index = 0;
@@ -314,30 +351,36 @@ void SchedulerServer::finish_one(std::uint32_t slot, int load,
   // Residency probes are shared across the batch: one lookup per
   // distinct app (linear scan -- spikes are many requests for few
   // apps).  A batch-mate's decision (or its callback) can mutate
-  // residency synchronously -- starting a reconfiguration tears the
-  // loaded image down, a callback may even take the card offline -- so
-  // the memo is valid only while the device's residency version holds.
-  if (probe_cache_version_ != device_.residency_version()) {
-    probe_cache_.clear();
-    probe_cache_version_ = device_.residency_version();
-  }
-  bool kernel_ready = false;
+  // residency synchronously -- starting a reconfiguration tears
+  // fabric down, a callback may even take the card offline -- so each
+  // cached ResidencyView is revalidated against the device: in slot
+  // mode it stays good until *its* slot reprograms, otherwise until
+  // the device's residency epoch moves.
+  fpga::ResidencyView view;
   bool probed = false;
-  for (const auto& [id, ready] : probe_cache_) {
-    if (id == app_id) {
-      kernel_ready = ready;
+  std::size_t cached = probe_cache_.size();
+  for (std::size_t i = 0; i < probe_cache_.size(); ++i) {
+    if (probe_cache_[i].first != app_id) continue;
+    cached = i;
+    if (device_.residency_current(probe_cache_[i].second)) {
+      view = probe_cache_[i].second;
       probed = true;
-      break;
     }
+    break;
   }
   if (!probed) {
-    // An evicted target answers no residency probes: the tracker treats
-    // its kernels as absent, which drops Algorithm 2 into its CPU-only
-    // branches exactly as a physically absent card would.
-    kernel_ready = fpga_healthy_ && device_.has_kernel(entry.kernel_name);
+    view = device_.residency(entry.kernel_name);
     ++stats_.residency_probes;
-    probe_cache_.emplace_back(app_id, kernel_ready);
+    if (cached == probe_cache_.size()) {
+      probe_cache_.emplace_back(app_id, view);
+    } else {
+      probe_cache_[cached].second = view;
+    }
   }
+  // An evicted target answers no residency probes: the tracker treats
+  // its kernels as absent, which drops Algorithm 2 into its CPU-only
+  // branches exactly as a physically absent card would.
+  const bool kernel_ready = fpga_healthy_ && view.resident();
 
   PlacementDecision decision;
   decision.observed_load = load;
@@ -347,7 +390,23 @@ void SchedulerServer::finish_one(std::uint32_t slot, int load,
       decide_placement(load, entry.arm_threshold, entry.fpga_threshold,
                        kernel_ready, wants_reconfigure);
 
-  if (wants_reconfigure) {
+  if (slots_ != nullptr) {
+    // Virtualized device: every request is a demand signal, and the
+    // slot scheduler -- not a whole-image download -- decides whether
+    // the kernel deserves fabric (fresh slot, eviction) or more of it
+    // (replication).  Replication is also consulted when the kernel is
+    // already resident but the load is past FPGA_THR: sustained
+    // pressure grows CUs.
+    slots_->note_demand(entry.kernel_name);
+    if (fpga_healthy_ &&
+        (wants_reconfigure ||
+         (kernel_ready && load > entry.fpga_threshold))) {
+      if (slots_->provision(entry.kernel_name)) {
+        ++stats_.reconfigurations_started;
+        decision.reconfiguration_started = true;
+      }
+    }
+  } else if (wants_reconfigure) {
     const bool was_reconfiguring = device_.reconfiguring();
     maybe_start_reconfiguration(entry.kernel_name);
     decision.reconfiguration_started = !was_reconfiguring;

@@ -33,6 +33,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +41,7 @@
 #include "common/log.hpp"
 #include "common/time.hpp"
 #include "fpga/device.hpp"
+#include "fpga/slots.hpp"
 #include "runtime/load_monitor.hpp"
 #include "runtime/protocol.hpp"
 #include "runtime/target.hpp"
@@ -94,6 +96,9 @@ class SchedulerServer {
     /// delivered through this channel (its latency replaces the local
     /// callback's zero-cost return hop).  Inert by default.
     sim::CrossShardChannel reply_channel;
+    /// Eviction/replication tunables for the slot scheduler the server
+    /// builds when the device is in slot mode.  Ignored otherwise.
+    fpga::SlotScheduler::Options slot_policy;
   };
 
   struct Stats {
@@ -177,11 +182,24 @@ class SchedulerServer {
   /// Always true when health checks are off.
   [[nodiscard]] bool fpga_healthy() const { return fpga_healthy_; }
 
-  /// The image that contains `kernel`, or nullptr (the server's "Query
-  /// Available HW Kernels" bookkeeping).  O(log kernels) via an index
-  /// built at construction.
-  [[nodiscard]] const fpga::XclbinImage* image_with(
-      std::string_view kernel) const;
+  /// Slot-aware residency of `kernel` as the placement policy sees it:
+  /// an evicted (unhealthy) target answers "not resident" regardless of
+  /// what physically sits on the fabric.  Replaces peeking at
+  /// image_with() + has_kernel() from outside the server.
+  [[nodiscard]] fpga::ResidencyView residency(std::string_view kernel) const;
+
+  /// Warm path: make `kernel` resident if it isn't already -- a slot
+  /// programming through the slot scheduler, or a whole-image download
+  /// otherwise.  Returns true when a (re)configuration was started.
+  /// No-op while the port is busy or the target is unhealthy.  Not
+  /// counted in Stats::reconfigurations_started (which tracks
+  /// Algorithm-2-driven reconfigurations only).
+  bool ensure_resident(std::string_view kernel);
+
+  /// The slot scheduler, when the device is virtualized (else null).
+  [[nodiscard]] const fpga::SlotScheduler* slot_scheduler() const {
+    return slots_.get();
+  }
 
   /// Marshal the whole threshold table as TableSync wire messages (the
   /// server pushes these to clients so their local copies track the
@@ -209,6 +227,13 @@ class SchedulerServer {
     std::uint32_t count = 0;
     std::vector<std::byte> arena;
   };
+
+  /// The image that contains `kernel`, or nullptr (the server's "Query
+  /// Available HW Kernels" bookkeeping).  O(log kernels) via an index
+  /// built at construction.  Whole-image mode only; external callers
+  /// use residency()/ensure_resident() instead of the raw image.
+  [[nodiscard]] const fpga::XclbinImage* image_with(
+      std::string_view kernel) const;
 
   void maybe_start_reconfiguration(std::string_view kernel);
   /// One heartbeat tick: ping, arm the timeout, schedule the next tick.
@@ -244,12 +269,15 @@ class SchedulerServer {
   /// fresh batch with its own round-trip deadline.
   std::uint32_t open_batch_ = sim::SlotPool<int>::kNoSlot;
   TimePoint open_batch_at_;
+  /// The eviction/replication policy when the device is in slot mode;
+  /// null against a whole-image device.
+  std::unique_ptr<fpga::SlotScheduler> slots_;
   /// Per-batch memo of kernel residency by app (cleared per pass; keeps
-  /// capacity, so the steady state stays allocation-free).  Valid only
-  /// while the device's residency_version matches: a batch-mate's
-  /// decision or callback can mutate residency synchronously.
-  std::vector<std::pair<AppId, bool>> probe_cache_;
-  std::uint64_t probe_cache_version_ = 0;
+  /// capacity, so the steady state stays allocation-free).  Each entry
+  /// is revalidated with FpgaDevice::residency_current -- in slot mode
+  /// a cached answer keys on *its* slot's version, so batch-mates
+  /// churning other slots don't force a re-probe.
+  std::vector<std::pair<AppId, fpga::ResidencyView>> probe_cache_;
   /// Decision-pass scratch: the finishing batch's arena is swapped in
   /// here (a re-entrant request_placement from a decision callback
   /// appends to a *new* batch's arena, never this one) and the decoded

@@ -71,8 +71,8 @@ ShardedSimulation::ShardedSimulation(Options opts) : opts_(opts) {
   XAR_EXPECTS(opts.epoch > Duration::zero());
   XAR_EXPECTS(opts.mailbox_capacity >= 1);
   XAR_EXPECTS(opts.max_epoch.to_ms() == 0.0 || opts.max_epoch >= opts.epoch);
-  XAR_EXPECTS(opts.steal_period >= 1);
-  XAR_EXPECTS(opts.steal_imbalance >= 1.0);
+  XAR_EXPECTS(opts.exec.steal_period >= 1);
+  XAR_EXPECTS(opts.exec.steal_imbalance >= 1.0);
   const std::size_t n = opts.shards;
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -90,16 +90,16 @@ ShardedSimulation::ShardedSimulation(Options opts) : opts_(opts) {
   // Workers and the initial static shard -> worker map.  The map (and
   // the stealing that rewrites it) is maintained in serial mode too,
   // so serial and parallel runs agree on every decision and stat.
-  workers_ = opts.workers == 0 ? n : std::min(opts.workers, n);
+  workers_ = opts.exec.workers == 0 ? n : std::min(opts.exec.workers, n);
   cell_worker_.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     cell_worker_[i] = static_cast<std::uint32_t>(i % workers_);
   }
   worker_stats_.resize(workers_);
-  per_cell_cpu_ = opts.steal || workers_ != n;
+  per_cell_cpu_ = opts.exec.steal || workers_ != n;
 
   base_epoch_ms_ = cur_epoch_ms_ = opts.epoch.to_ms();
-  max_epoch_ms_ = (opts.adaptive && opts.max_epoch.to_ms() > 0.0)
+  max_epoch_ms_ = (opts.exec.adaptive && opts.max_epoch.to_ms() > 0.0)
                       ? opts.max_epoch.to_ms()
                       : base_epoch_ms_;
   executed_at_rebalance_.assign(n, 0);
@@ -245,7 +245,7 @@ void ShardedSimulation::adapt_epoch() {
     // granularity (and spill pressure) stays what the model asked for.
     quiet_windows_ = 0;
     cur_epoch_ms_ = base_epoch_ms_;
-  } else if (quiet_windows_ < opts_.adapt_quiet_windows) {
+  } else if (quiet_windows_ < opts_.exec.adapt_quiet_windows) {
     ++quiet_windows_;
   } else {
     // Quiet streak: coarsen geometrically up to the legal maximum (the
@@ -255,7 +255,7 @@ void ShardedSimulation::adapt_epoch() {
 }
 
 void ShardedSimulation::maybe_rebalance() {
-  if (++windows_since_rebalance_ < opts_.steal_period) return;
+  if (++windows_since_rebalance_ < opts_.exec.steal_period) return;
   windows_since_rebalance_ = 0;
   const std::size_t n = shards_.size();
   // Per-worker load over the evaluation period, from the per-shard
@@ -276,7 +276,7 @@ void ShardedSimulation::maybe_rebalance() {
   const std::uint64_t cold = load_scratch_[wmin];
   if (wmax != wmin && hot != 0 &&
       static_cast<double>(hot) >
-          opts_.steal_imbalance * static_cast<double>(cold + 1)) {
+          opts_.exec.steal_imbalance * static_cast<double>(cold + 1)) {
     // Move the hot worker's coldest shard (ties -> lowest id): it
     // narrows the gap with the least disruption, and a hot shard never
     // migrates away from the lane it is keeping warm.
@@ -309,8 +309,8 @@ void ShardedSimulation::maybe_rebalance() {
 }
 
 bool ShardedSimulation::plan_next_window(double horizon_ms) {
-  if (opts_.adaptive) adapt_epoch();
-  if (opts_.steal && workers_ < shards_.size()) maybe_rebalance();
+  if (opts_.exec.adaptive) adapt_epoch();
+  if (opts_.exec.steal && workers_ < shards_.size()) maybe_rebalance();
   const double min_next = min_next_ms();
   if (min_next == kInf || min_next > horizon_ms) return false;
   window_end_ms_ = std::min(min_next + cur_epoch_ms_, horizon_ms);
@@ -396,7 +396,7 @@ void ShardedSimulation::worker_span(std::size_t w) {
 }
 
 void ShardedSimulation::worker_thread(std::size_t w) {
-  if (opts_.pin_threads) pin_to_cpu(w);
+  if (opts_.exec.pin_threads) pin_to_cpu(w);
   for (;;) {
     pool_->start_gate.arrive_and_wait();
     if (pool_->shutdown) return;

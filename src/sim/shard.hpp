@@ -66,6 +66,7 @@
 #include "common/assert.hpp"
 #include "common/time.hpp"
 #include "sim/callback.hpp"
+#include "sim/exec_options.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/simulation.hpp"
 
@@ -124,32 +125,13 @@ class ShardedSimulation {
     /// thread runs worker 0).  Off = deterministic round-robin on the
     /// calling thread.  Traces are identical either way.
     bool parallel = false;
-    /// Execution lanes in parallel mode; 0 means one per shard.  Fewer
-    /// workers than shards is what gives the stealing rebalancer room
-    /// to isolate a hot shard.
-    std::size_t workers = 0;
-    /// Pin each pool thread to a CPU (worker w -> CPU w mod ncpu).
-    /// The caller's thread (worker 0) is never touched.
-    bool pin_threads = false;
-    /// Adaptive epochs: coarsen the window (doubling, up to max_epoch)
-    /// after `adapt_quiet_windows` consecutive windows with zero
-    /// cross-shard posts; snap back to `epoch` on traffic.
-    bool adaptive = false;
     /// Legal maximum window: the minimum cross-shard latency of the
     /// model (the Topology partitioner derives it).  Zero means
     /// `epoch` -- adaptation enabled but with no room never coarsens.
     Duration max_epoch = Duration::zero();
-    /// Consecutive quiet windows before the first coarsening step.
-    std::uint32_t adapt_quiet_windows = 4;
-    /// Deterministic shard stealing across workers (parallel balance;
-    /// evaluated -- map and stats maintained -- in serial mode too so
-    /// both modes agree on every decision).
-    bool steal = false;
-    /// Windows between rebalance evaluations.
-    std::uint32_t steal_period = 16;
-    /// Trigger: move a shard when the busiest worker's window load
-    /// exceeds `steal_imbalance` times the idlest worker's.
-    double steal_imbalance = 1.5;
+    /// Worker mapping / adaptive-epoch / stealing knobs, shared with
+    /// Topology::PartitionOptions and exp::ClusterSpec.
+    ExecOptions exec;
   };
 
   ShardedSimulation() : ShardedSimulation(Options{}) {}

@@ -139,14 +139,8 @@ ShardedSimulation::Options engine_options(const Topology::Plan& plan,
   o.epoch = plan.epoch;
   o.mailbox_capacity = opts.mailbox_capacity;
   o.parallel = opts.parallel;
-  o.workers = opts.workers;
-  o.pin_threads = opts.pin_threads;
-  o.adaptive = opts.adaptive;
   o.max_epoch = plan.max_epoch;
-  o.adapt_quiet_windows = opts.adapt_quiet_windows;
-  o.steal = opts.steal;
-  o.steal_period = opts.steal_period;
-  o.steal_imbalance = opts.steal_imbalance;
+  o.exec = opts.exec;  // one assignment, no three-way mirroring
   return o;
 }
 

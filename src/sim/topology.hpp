@@ -87,18 +87,10 @@ class Topology {
     /// Passed through to ShardedSimulation::Options.
     std::size_t mailbox_capacity = 1024;
     bool parallel = false;
-    /// Execution lanes (0 = one per shard) and CPU pinning for them.
-    std::size_t workers = 0;
-    bool pin_threads = false;
-    /// Adaptive epochs: let the engine coarsen quiet windows up to
-    /// Plan::max_epoch, the graph-derived legal ceiling.
-    bool adaptive = false;
-    std::uint32_t adapt_quiet_windows = 4;
-    /// Deterministic shard stealing across workers (only effective
-    /// with fewer workers than shards).
-    bool steal = false;
-    std::uint32_t steal_period = 16;
-    double steal_imbalance = 1.5;
+    /// Worker/adaptation/stealing knobs, forwarded wholesale to
+    /// ShardedSimulation::Options::exec (adaptive epochs may coarsen
+    /// up to Plan::max_epoch, the graph-derived legal ceiling).
+    ExecOptions exec;
   };
 
   /// The derived mapping: a pure function of (graph, options), so two

@@ -88,8 +88,9 @@ class Device {
   Device(sim::Simulation& sim, fpga::FpgaDevice& card, hw::Link& pcie);
 
   /// Download an XCLBIN (serialized with any other download).  The
-  /// completion's flag mirrors the driver's return code: false when the
-  /// image did not become resident (card offline or programming error).
+  /// completion's ReconfigureResult mirrors the driver's return code:
+  /// non-kOk when the image did not become resident, with the failure
+  /// path (offline drop, torn write, injected error) spelled out.
   void load_xclbin(const fpga::XclbinImage& image,
                    fpga::FpgaDevice::ReconfigureCallback on_done);
 

@@ -16,6 +16,7 @@
 #include "apps/benchmark_spec.hpp"
 #include "exp/experiment.hpp"
 #include "exp/threshold_estimator.hpp"
+#include "fpga/device.hpp"
 #include "hw/link.hpp"
 #include "popcorn/dsm.hpp"
 #include "runtime/scheduler_server.hpp"
@@ -43,7 +44,7 @@ TEST(FpgaOfflineTest, DeviceDropsKernelsAndRejectsLoads) {
   k.fixed_cycles = 300'000;
   image.kernels.push_back(k);
 
-  device.reconfigure(image, [](bool) {});
+  device.reconfigure(image, [](fpga::ReconfigureResult) {});
   testbed.simulation().run_until(TimePoint::at_ms(2000));
   ASSERT_TRUE(device.has_kernel("K"));
 
@@ -51,27 +52,28 @@ TEST(FpgaOfflineTest, DeviceDropsKernelsAndRejectsLoads) {
   EXPECT_FALSE(device.has_kernel("K"));
   EXPECT_EQ(device.loaded_image(), std::nullopt);
 
-  // Reconfiguration requests complete -- reporting failure -- and
-  // install nothing.
+  // Reconfiguration requests complete -- reporting the offline drop --
+  // and install nothing.
   bool completed = false;
-  bool offline_ok = true;
-  device.reconfigure(image, [&](bool ok) {
+  auto offline_result = fpga::ReconfigureResult::kOk;
+  device.reconfigure(image, [&](fpga::ReconfigureResult r) {
     completed = true;
-    offline_ok = ok;
+    offline_result = r;
   });
   testbed.simulation().run_until(testbed.simulation().now() +
                                  Duration::seconds(2));
   EXPECT_TRUE(completed);
-  EXPECT_FALSE(offline_ok);
+  EXPECT_EQ(offline_result, fpga::ReconfigureResult::kOfflineDrop);
   EXPECT_FALSE(device.has_kernel("K"));
 
   // Back online: a fresh download works again and reports success.
   device.set_offline(false);
-  bool online_ok = false;
-  device.reconfigure(image, [&](bool ok) { online_ok = ok; });
+  auto online_result = fpga::ReconfigureResult::kOfflineDrop;
+  device.reconfigure(image,
+                     [&](fpga::ReconfigureResult r) { online_result = r; });
   testbed.simulation().run_until(testbed.simulation().now() +
                                  Duration::seconds(2));
-  EXPECT_TRUE(online_ok);
+  EXPECT_EQ(online_result, fpga::ReconfigureResult::kOk);
   EXPECT_TRUE(device.has_kernel("K"));
 }
 
@@ -87,17 +89,17 @@ TEST(FpgaOfflineTest, DeathMidProgrammingInstallsNothing) {
   image.kernels.push_back(k);
 
   bool completed = false;
-  bool reported_ok = true;
-  device.reconfigure(image, [&](bool ok) {
+  auto reported = fpga::ReconfigureResult::kOk;
+  device.reconfigure(image, [&](fpga::ReconfigureResult r) {
     completed = true;
-    reported_ok = ok;
+    reported = r;
   });
   // Kill the card halfway through the ~300 ms programming.
   testbed.simulation().schedule_at(TimePoint::at_ms(150),
                                    [&device] { device.set_offline(true); });
   testbed.simulation().run_until(TimePoint::at_ms(2000));
   EXPECT_TRUE(completed);
-  EXPECT_FALSE(reported_ok);
+  EXPECT_EQ(reported, fpga::ReconfigureResult::kTornWrite);
   EXPECT_FALSE(device.has_kernel("K"));
   EXPECT_FALSE(device.reconfiguring());
 }
@@ -119,10 +121,10 @@ TEST(FpgaOfflineTest, OfflineFlapDuringInFlightReconfigure) {
   image.kernels.push_back(k);
 
   bool completed = false;
-  bool flapped_ok = true;
-  device.reconfigure(image, [&](bool ok) {
+  auto flapped = fpga::ReconfigureResult::kOk;
+  device.reconfigure(image, [&](fpga::ReconfigureResult r) {
     completed = true;
-    flapped_ok = ok;
+    flapped = r;
   });
   testbed.simulation().schedule_at(TimePoint::at_ms(150),
                                    [&device] { device.set_offline(true); });
@@ -130,16 +132,16 @@ TEST(FpgaOfflineTest, OfflineFlapDuringInFlightReconfigure) {
                                    [&device] { device.set_offline(false); });
   testbed.simulation().run_until(TimePoint::at_ms(2000));
   EXPECT_TRUE(completed);
-  EXPECT_FALSE(flapped_ok);
+  EXPECT_EQ(flapped, fpga::ReconfigureResult::kTornWrite);
   EXPECT_FALSE(device.has_kernel("K"));
   EXPECT_FALSE(device.reconfiguring());
 
   // The flap is over: a fresh download succeeds.
-  bool retry_ok = false;
-  device.reconfigure(image, [&](bool ok) { retry_ok = ok; });
+  auto retry = fpga::ReconfigureResult::kOfflineDrop;
+  device.reconfigure(image, [&](fpga::ReconfigureResult r) { retry = r; });
   testbed.simulation().run_until(testbed.simulation().now() +
                                  Duration::seconds(2));
-  EXPECT_TRUE(retry_ok);
+  EXPECT_EQ(retry, fpga::ReconfigureResult::kOk);
   EXPECT_TRUE(device.has_kernel("K"));
 }
 
@@ -155,24 +157,112 @@ TEST(FpgaOfflineTest, InjectedReconfigureFailureIsOneShot) {
   k.fixed_cycles = 300'000;
   image.kernels.push_back(k);
 
-  const std::uint64_t v0 = device.residency_version();
+  const std::uint64_t v0 = device.residency_epoch();
   device.inject_reconfigure_failure();
-  bool first_ok = true;
-  device.reconfigure(image, [&](bool ok) { first_ok = ok; });
+  auto first = fpga::ReconfigureResult::kOk;
+  device.reconfigure(image, [&](fpga::ReconfigureResult r) { first = r; });
   testbed.simulation().run_until(TimePoint::at_ms(2000));
-  EXPECT_FALSE(first_ok);
+  EXPECT_EQ(first, fpga::ReconfigureResult::kInjectedFailure);
   EXPECT_FALSE(device.has_kernel("K"));
-  // The failure bumped the residency version: stale probe memos that
+  // The failure bumped the residency epoch: stale probe memos that
   // predicted this image must re-check.
-  EXPECT_GT(device.residency_version(), v0);
+  EXPECT_GT(device.residency_epoch(), v0);
 
   // One-shot: the next attempt programs normally.
-  bool second_ok = false;
-  device.reconfigure(image, [&](bool ok) { second_ok = ok; });
+  auto second = fpga::ReconfigureResult::kOfflineDrop;
+  device.reconfigure(image, [&](fpga::ReconfigureResult r) { second = r; });
   testbed.simulation().run_until(testbed.simulation().now() +
                                  Duration::seconds(2));
-  EXPECT_TRUE(second_ok);
+  EXPECT_TRUE(succeeded(second));
   EXPECT_TRUE(device.has_kernel("K"));
+}
+
+TEST(FpgaOfflineTest, SlotFailuresAreConfinedToTheirSlot) {
+  // Virtualized card: a programming failure (injected, or a torn write
+  // from an offline blip) must cost only the slot being written, while
+  // kernels in the other slots stay resident and callable.
+  sim::Simulation sim;
+  hw::Link pcie(sim, hw::pcie_gen3());
+  fpga::FpgaDevice device(sim, pcie, fpga::alveo_u50_spec());
+  device.enable_slots(fpga::SlotConfig{});
+
+  fpga::HwKernelConfig a;
+  a.name = "A";
+  a.resources = device.slot_capacity() / 2;
+  fpga::HwKernelConfig b = a;
+  b.name = "B";
+
+  auto a_result = fpga::ReconfigureResult::kOfflineDrop;
+  device.reconfigure_slot(0, a, 1,
+                          [&](fpga::ReconfigureResult r) { a_result = r; });
+  sim.run();
+  ASSERT_EQ(a_result, fpga::ReconfigureResult::kOk);
+  ASSERT_TRUE(device.has_kernel("A"));
+
+  // Injected one-shot failure lands on slot 1's write: slot 1 stays
+  // empty, slot 0's tenant never notices.
+  device.inject_reconfigure_failure();
+  auto b_result = fpga::ReconfigureResult::kOk;
+  device.reconfigure_slot(1, b, 1,
+                          [&](fpga::ReconfigureResult r) { b_result = r; });
+  sim.run();
+  EXPECT_EQ(b_result, fpga::ReconfigureResult::kInjectedFailure);
+  EXPECT_EQ(device.slot_kernel(1), std::nullopt);
+  EXPECT_TRUE(device.has_kernel("A"));
+  EXPECT_EQ(device.residency("A").cus, 1u);
+
+  // An offline blip inside slot 1's programming window tears that
+  // write.  The blip also wipes the card (device lost), so slot 0's
+  // view must read as stale afterwards -- a memoized decision pass may
+  // not keep routing to a kernel the outage removed.
+  const fpga::ResidencyView a_view = device.residency("A");
+  auto torn = fpga::ReconfigureResult::kOk;
+  device.reconfigure_slot(1, b, 1,
+                          [&](fpga::ReconfigureResult r) { torn = r; });
+  sim.schedule_in(Duration::ms(1.0), [&] { device.set_offline(true); });
+  sim.schedule_in(Duration::ms(2.0), [&] { device.set_offline(false); });
+  sim.run();
+  EXPECT_EQ(torn, fpga::ReconfigureResult::kTornWrite);
+  EXPECT_FALSE(device.has_kernel("A"));
+  EXPECT_FALSE(device.residency_current(a_view));
+  EXPECT_FALSE(device.reconfiguring());
+
+  // Recovered card accepts fresh slot programmings.
+  auto again = fpga::ReconfigureResult::kOfflineDrop;
+  device.reconfigure_slot(0, a, 1,
+                          [&](fpga::ReconfigureResult r) { again = r; });
+  sim.run();
+  EXPECT_EQ(again, fpga::ReconfigureResult::kOk);
+  EXPECT_TRUE(device.has_kernel("A"));
+}
+
+TEST(FpgaOfflineTest, OfflineSlotDeviceDropsQueuedProgrammings) {
+  // Queued slot requests behind a dead card complete as offline drops,
+  // same contract as whole-image mode.
+  sim::Simulation sim;
+  hw::Link pcie(sim, hw::pcie_gen3());
+  fpga::FpgaDevice device(sim, pcie, fpga::alveo_u50_spec());
+  device.enable_slots(fpga::SlotConfig{});
+
+  fpga::HwKernelConfig a;
+  a.name = "A";
+  a.resources = device.slot_capacity() / 2;
+
+  auto first = fpga::ReconfigureResult::kOk;
+  auto queued = fpga::ReconfigureResult::kOk;
+  device.reconfigure_slot(0, a, 1,
+                          [&](fpga::ReconfigureResult r) { first = r; });
+  device.reconfigure_slot(1, a, 1,
+                          [&](fpga::ReconfigureResult r) { queued = r; });
+  // Kill the card while the first write is in flight: it tears, and the
+  // queued one is dropped without ever touching the fabric.
+  sim.schedule_in(Duration::ms(1.0), [&] { device.set_offline(true); });
+  sim.run();
+  EXPECT_EQ(first, fpga::ReconfigureResult::kTornWrite);
+  EXPECT_EQ(queued, fpga::ReconfigureResult::kOfflineDrop);
+  EXPECT_FALSE(device.reconfiguring());
+  EXPECT_EQ(device.slot_kernel(0), std::nullopt);
+  EXPECT_EQ(device.slot_kernel(1), std::nullopt);
 }
 
 TEST(FpgaOfflineTest, XarTrekDegradesToCpuOnlyPlacement) {

@@ -190,7 +190,7 @@ TEST_F(XrtFixture, BufferSyncMovesBytesOverPcie) {
 TEST_F(XrtFixture, KernelEnqueueRequiresLoadedXclbin) {
   xrt::Kernel kernel(device, "KNL_X");
   EXPECT_THROW(kernel.enqueue(1, [] {}), Error);
-  device.load_xclbin(image(), [](bool) {});
+  device.load_xclbin(image(), [](fpga::ReconfigureResult) {});
   sim.run();
   EXPECT_TRUE(device.kernel_ready("KNL_X"));
   bool done = false;
@@ -200,7 +200,7 @@ TEST_F(XrtFixture, KernelEnqueueRequiresLoadedXclbin) {
 }
 
 TEST_F(XrtFixture, OffloadChainsInKernelOut) {
-  device.load_xclbin(image(), [](bool) {});
+  device.load_xclbin(image(), [](fpga::ReconfigureResult) {});
   sim.run();
   xrt::Kernel kernel(device, "KNL_X");
   xrt::Buffer in(device, 1024 * 1024);
@@ -217,7 +217,7 @@ TEST_F(XrtFixture, OffloadChainsInKernelOut) {
 }
 
 TEST_F(XrtFixture, OffloadWithoutBuffers) {
-  device.load_xclbin(image(), [](bool) {});
+  device.load_xclbin(image(), [](fpga::ReconfigureResult) {});
   sim.run();
   xrt::Kernel kernel(device, "KNL_X");
   bool done = false;

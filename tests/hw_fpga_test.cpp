@@ -156,7 +156,7 @@ TEST_F(DeviceFixture, ReconfigurationLifecycle) {
   EXPECT_EQ(device.loaded_image(), std::nullopt);
   bool configured = false;
   device.reconfigure(test_image("img0", {"k0", "k1"}),
-                     [&](bool ok) { configured = ok; });
+                     [&](fpga::ReconfigureResult r) { configured = succeeded(r); });
   EXPECT_TRUE(device.reconfiguring());
   sim.run();
   EXPECT_TRUE(configured);
@@ -170,16 +170,16 @@ TEST_F(DeviceFixture, ReconfigurationLifecycle) {
 TEST_F(DeviceFixture, ReconfigurationTakesTransferPlusProgramming) {
   double done_at = 0;
   device.reconfigure(test_image("img0", {"k0"}),
-                     [&](bool) { done_at = sim.now().to_ms(); });
+                     [&](fpga::ReconfigureResult) { done_at = sim.now().to_ms(); });
   sim.run();
   // 4 MiB over PCIe (0.125 ms) + 0.005 latency + 300 ms programming.
   EXPECT_NEAR(done_at, 300.13, 0.01);
 }
 
 TEST_F(DeviceFixture, ReplacementEvictsOldKernels) {
-  device.reconfigure(test_image("img0", {"k0"}), [](bool) {});
+  device.reconfigure(test_image("img0", {"k0"}), [](fpga::ReconfigureResult) {});
   sim.run();
-  device.reconfigure(test_image("img1", {"k9"}), [](bool) {});
+  device.reconfigure(test_image("img1", {"k9"}), [](fpga::ReconfigureResult) {});
   EXPECT_FALSE(device.has_kernel("k0"));  // torn down immediately
   sim.run();
   EXPECT_TRUE(device.has_kernel("k9"));
@@ -188,8 +188,8 @@ TEST_F(DeviceFixture, ReplacementEvictsOldKernels) {
 
 TEST_F(DeviceFixture, QueuedReconfigurationsSerialize) {
   int completions = 0;
-  device.reconfigure(test_image("a", {"ka"}), [&](bool) { ++completions; });
-  device.reconfigure(test_image("b", {"kb"}), [&](bool) { ++completions; });
+  device.reconfigure(test_image("a", {"ka"}), [&](fpga::ReconfigureResult) { ++completions; });
+  device.reconfigure(test_image("b", {"kb"}), [&](fpga::ReconfigureResult) { ++completions; });
   EXPECT_TRUE(device.reconfiguring());
   sim.run();
   EXPECT_EQ(completions, 2);
@@ -198,7 +198,7 @@ TEST_F(DeviceFixture, QueuedReconfigurationsSerialize) {
 }
 
 TEST_F(DeviceFixture, KernelExecutionFifoPerCu) {
-  device.reconfigure(test_image("img", {"k"}), [](bool) {});
+  device.reconfigure(test_image("img", {"k"}), [](fpga::ReconfigureResult) {});
   sim.run();
   const double t0 = sim.now().to_ms();
   std::vector<double> done;
@@ -212,7 +212,7 @@ TEST_F(DeviceFixture, KernelExecutionFifoPerCu) {
 }
 
 TEST_F(DeviceFixture, ExecuteUnknownKernelThrows) {
-  device.reconfigure(test_image("img", {"k"}), [](bool) {});
+  device.reconfigure(test_image("img", {"k"}), [](fpga::ReconfigureResult) {});
   sim.run();
   EXPECT_THROW(device.execute("nope", 1, [] {}), ContractViolation);
 }
@@ -220,7 +220,7 @@ TEST_F(DeviceFixture, ExecuteUnknownKernelThrows) {
 TEST_F(DeviceFixture, OversizedImageRejected) {
   fpga::XclbinImage image = test_image("huge", {"k"});
   image.kernels[0].resources.luts = 10'000'000;  // bigger than the die
-  EXPECT_THROW(device.reconfigure(image, [](bool) {}), ContractViolation);
+  EXPECT_THROW(device.reconfigure(image, [](fpga::ReconfigureResult) {}), ContractViolation);
 }
 
 TEST(TestbedTest, AssemblesPaperPlatform) {

@@ -41,7 +41,7 @@ TEST(MultiCuTest, ParallelInvocationsAcrossComputeUnits) {
   k.cycles_per_item = 3'000'000;  // 10 ms
   k.compute_units = 3;
   image.kernels.push_back(k);
-  device.reconfigure(image, [](bool) {});
+  device.reconfigure(image, [](fpga::ReconfigureResult) {});
   sim.run();
 
   const double t0 = sim.now().to_ms();
@@ -108,7 +108,7 @@ TEST(MultiXclbinTest, SchedulerSwapsImagesAndExecutorSurvives) {
   img_a.size_bytes = img_b.size_bytes = 8 << 20;
 
   auto& device = exp.testbed().fpga();
-  device.reconfigure(img_a, [](bool) {});
+  device.reconfigure(img_a, [](fpga::ReconfigureResult) {});
   exp.simulation().run_until(exp.simulation().now() + Duration::seconds(2));
   ASSERT_TRUE(device.has_kernel("KNL_HW_DR200"));
 
@@ -121,7 +121,7 @@ TEST(MultiXclbinTest, SchedulerSwapsImagesAndExecutorSurvives) {
   ASSERT_TRUE(exp.run_until_complete(1));
   EXPECT_EQ(exp.results()[0].func_target, runtime::Target::kFpga);
 
-  device.reconfigure(img_b, [](bool) {});
+  device.reconfigure(img_b, [](fpga::ReconfigureResult) {});
   exp.simulation().run_until(exp.simulation().now() + Duration::seconds(2));
   EXPECT_FALSE(device.has_kernel("KNL_HW_DR200"));
   exp.launch("digit2000");

@@ -415,7 +415,7 @@ TEST_F(ExecutorFixture, FpgaPathRunsKernelWhenLoaded) {
   k.fixed_cycles = 0;
   k.cycles_per_item = 91'650'000;  // 305.5 ms
   img.kernels.push_back(k);
-  testbed.fpga().reconfigure(img, [](bool) {});
+  testbed.fpga().reconfigure(img, [](fpga::ReconfigureResult) {});
   testbed.simulation().run_until(testbed.simulation().now() +
                                  Duration::seconds(2));
   const double ms = run_target(Target::kFpga).to_ms();
@@ -434,7 +434,7 @@ TEST_F(ExecutorFixture, WaitForFpgaBlocksUntilConfigured) {
   k.fixed_cycles = 300'000;  // 1 ms
   k.cycles_per_item = 0;
   img.kernels.push_back(k);
-  testbed.fpga().reconfigure(img, [](bool) {});  // takes ~300 ms
+  testbed.fpga().reconfigure(img, [](fpga::ReconfigureResult) {});  // takes ~300 ms
   const double ms = run_target(Target::kFpga, /*wait=*/true).to_ms();
   EXPECT_GT(ms, 300.0);  // waited for programming
   EXPECT_EQ(executor.fpga_fallbacks(), 0u);

@@ -148,7 +148,7 @@ TEST_F(BatchFixture, MidBatchReconfigurationInvalidatesProbeCache) {
 
   // Make gamma's kernel resident, then raise the load past FPGA_THR.
   bool warm = false;
-  testbed.fpga().reconfigure(img_c, [&](bool) { warm = true; });
+  testbed.fpga().reconfigure(img_c, [&](fpga::ReconfigureResult) { warm = true; });
   testbed.simulation().run_until(TimePoint::at_ms(2'000.0));
   ASSERT_TRUE(warm);
   ASSERT_TRUE(testbed.fpga().has_kernel("KNL_gamma"));

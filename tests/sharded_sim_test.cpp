@@ -271,9 +271,9 @@ TEST(ShardedSimulationTest, AdaptiveEpochCoarsensWhenQuietAndSnapsBack) {
     ShardedSimulation::Options opts;
     opts.shards = 2;
     opts.epoch = Duration::micros(100.0);
-    opts.adaptive = adaptive;
+    opts.exec.adaptive = adaptive;
     opts.max_epoch = Duration::ms(5.0);
-    opts.adapt_quiet_windows = 2;
+    opts.exec.adapt_quiet_windows = 2;
     return opts;
   };
   auto drive = [](ShardedSimulation& ssim) {
@@ -332,9 +332,9 @@ TEST(ShardedSimulationTest, AdaptiveTraceMatchesFixedSerialAndParallel) {
     o.epoch = Duration::ms(1.0);
     o.mailbox_capacity = 64;
     o.parallel = parallel;
-    o.adaptive = true;
+    o.exec.adaptive = true;
     o.max_epoch = Duration::ms(2.0);
-    o.adapt_quiet_windows = 1;
+    o.exec.adapt_quiet_windows = 1;
     return o;
   };
   const RingResult serial = run_ring_opts(opts(false));
@@ -385,7 +385,7 @@ TEST(ShardedSimulationTest, ForcedMidRunStealPreservesTrace) {
     o.epoch = Duration::ms(1.0);
     o.mailbox_capacity = 64;
     o.parallel = parallel;
-    o.workers = 2;
+    o.exec.workers = 2;
     return o;
   };
   for (const bool parallel : {false, true}) {
@@ -420,10 +420,10 @@ TEST(ShardedSimulationTest, OrganicStealingIsDeterministicAcrossModes) {
     o.epoch = Duration::ms(1.0);
     o.mailbox_capacity = 64;
     o.parallel = parallel;
-    o.workers = 2;
-    o.steal = true;
-    o.steal_period = 4;
-    o.steal_imbalance = 1.1;
+    o.exec.workers = 2;
+    o.exec.steal = true;
+    o.exec.steal_period = 4;
+    o.exec.steal_imbalance = 1.1;
     return o;
   };
   std::uint64_t serial_moves = 0;
@@ -477,10 +477,10 @@ TEST(ShardedSimulationTest, RebalancerIsolatesHotShard) {
     o.shards = 4;
     o.epoch = Duration::ms(1.0);
     o.parallel = parallel;
-    o.workers = 2;
-    o.steal = true;
-    o.steal_period = 4;
-    o.steal_imbalance = 1.5;
+    o.exec.workers = 2;
+    o.exec.steal = true;
+    o.exec.steal_period = 4;
+    o.exec.steal_imbalance = 1.5;
     ShardedSimulation ssim(o);
     traces.assign(4, {});
     std::vector<std::unique_ptr<Local>> chains;
@@ -522,7 +522,7 @@ TEST(ShardedSimulationTest, WorkerStatsAccountEveryEvent) {
   opts.epoch = Duration::ms(1.0);
   opts.mailbox_capacity = 64;
   opts.parallel = true;
-  opts.workers = 2;
+  opts.exec.workers = 2;
   ShardedSimulation ssim(opts);
   RingResult result;
   auto keep = build_ring(ssim, result, 4);

@@ -181,7 +181,7 @@ TEST(PartitionedEngineTest, LiveRemapMovesShardsAndKeepsChannelsValid) {
   const auto ab = topo.add_edge(a, b, Duration::ms(2.0));
   topo.add_edge(b, c, Duration::ms(2.0));
   sim::Topology::PartitionOptions opts;
-  opts.workers = 2;
+  opts.exec.workers = 2;
   sim::PartitionedEngine eng(std::move(topo), opts);
 
   ASSERT_EQ(eng.engine().worker_count(), 2u);
@@ -396,10 +396,10 @@ TEST(ClusterExperimentTest, AdaptiveAndStealingKeepTheTraceIdentical) {
   for (const bool parallel : {false, true}) {
     exp::ClusterSpec spec;
     spec.parallel = parallel;
-    spec.adaptive = true;
-    spec.steal = true;
-    spec.workers = 2;
-    spec.pin_threads = parallel;
+    spec.exec.adaptive = true;
+    spec.exec.steal = true;
+    spec.exec.workers = 2;
+    spec.exec.pin_threads = parallel;
     const auto tuned = run_four_cell_cluster(spec);
     for (std::size_t c = 0; c < 4; ++c) {
       ASSERT_EQ(tuned[c].size(), baseline[c].size());
