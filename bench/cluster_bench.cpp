@@ -12,8 +12,11 @@
 // table.  A third section measures fault-handling overhead: the same
 // tracked-job workload with and without a chaos plan (cell kill with a
 // partitioned drain path), gating the event-count overhead ratio and
-// the exactly-once completion contract.  Results land in
-// BENCH_cluster.json (schema: docs/perf.md).
+// the exactly-once completion contract.  A fourth section repeats the
+// comparison against a gray-failure storm (slowed cells, lossy and
+// corrupting links, flaky reconfiguration ports), gating conservation
+// and the retry-overhead ratio of the reliability layer.  Results land
+// in BENCH_cluster.json (schema: docs/perf.md).
 #include <chrono>
 #include <cstdint>
 #include <cstdlib>
@@ -289,13 +292,17 @@ struct FaultConfigResult {
   exp::ClusterExperiment::JobStats stats;
 };
 
-/// Tracked jobs on a four-cell cluster, with or without the chaos plan
-/// from the CHAOS smoke (drain path partitioned, then cell 1 dies).
-/// Event counts are simulation-deterministic, so the chaos/no-fault
-/// ratio is a machine-neutral measure of what the fault machinery --
-/// heartbeats, backoff, checkpoint drains -- costs.
+enum class FaultMode { kNone, kChaos, kGray };
+
+/// Tracked jobs on a four-cell cluster: no faults, the chaos plan from
+/// the CHAOS smoke (drain path partitioned, then cell 1 dies), or the
+/// gray storm from the gray smoke (slowed CPUs, a lossy corrupting
+/// ring link, a coin-flip reconfiguration port, plus a kill).  Event
+/// counts are simulation-deterministic, so the faulted/no-fault ratios
+/// are machine-neutral measures of what the fault machinery --
+/// heartbeats, backoff, checksum retries, breaker demotion -- costs.
 FaultConfigResult run_fault_config(const runtime::ThresholdTable& table,
-                                   bool chaos) {
+                                   FaultMode mode) {
   constexpr std::size_t kCells = 4;
   exp::ClusterSpec spec;
   spec.cells = kCells;
@@ -308,11 +315,23 @@ FaultConfigResult run_fault_config(const runtime::ThresholdTable& table,
     cluster.submit(c, "facedet320");
     cluster.submit(c, "digit500");
   }
-  if (chaos) {
+  if (mode == FaultMode::kChaos) {
     sim::FaultPlan plan;
     plan.add({sim::FaultEvent::Kind::kLinkDown, TimePoint::at_ms(40.0), 1});
     plan.add({sim::FaultEvent::Kind::kCellKill, TimePoint::at_ms(50.0), 1});
     plan.add({sim::FaultEvent::Kind::kLinkUp, TimePoint::at_ms(160.0), 1});
+    cluster.apply_fault_plan(plan);
+  } else if (mode == FaultMode::kGray) {
+    sim::FaultPlan plan;
+    plan.add({sim::FaultEvent::Kind::kCellSlow, TimePoint::at_ms(20.0), 0,
+              0.25, TimePoint::at_ms(120.0)});
+    plan.add({sim::FaultEvent::Kind::kLinkDegraded, TimePoint::at_ms(30.0),
+              1, 0.3, TimePoint::at_ms(200.0)});
+    plan.add({sim::FaultEvent::Kind::kPortFlaky, TimePoint::at_ms(20.0), 2,
+              0.5, TimePoint::at_ms(250.0)});
+    plan.add({sim::FaultEvent::Kind::kDsmCorrupt, TimePoint::at_ms(30.0), 1,
+              0.5, TimePoint::at_ms(200.0)});
+    plan.add({sim::FaultEvent::Kind::kCellKill, TimePoint::at_ms(50.0), 1});
     cluster.apply_fault_plan(plan);
   }
   const std::uint64_t before = cluster.engine().engine().executed_events();
@@ -406,8 +425,8 @@ int bench_main() {
                "without a chaos plan...\n";
   const auto fault_table =
       exp::ThresholdEstimator().estimate(apps::paper_benchmarks()).table;
-  const auto fault_plain = run_fault_config(fault_table, false);
-  const auto fault_chaos = run_fault_config(fault_table, true);
+  const auto fault_plain = run_fault_config(fault_table, FaultMode::kNone);
+  const auto fault_chaos = run_fault_config(fault_table, FaultMode::kChaos);
   const double fault_overhead = static_cast<double>(fault_chaos.events) /
                                 static_cast<double>(fault_plain.events);
   const int fault_conserved =
@@ -415,6 +434,17 @@ int bench_main() {
               fault_chaos.stats.completed == fault_chaos.stats.submitted
           ? 1
           : 0;
+
+  std::cerr << "[cluster_bench] gray overhead: the same tracked jobs "
+               "through a degraded-fault storm...\n";
+  const auto fault_gray = run_fault_config(fault_table, FaultMode::kGray);
+  // Retries, duplicate copies, heartbeat re-arms, and breaker-demoted
+  // placements all show up as extra events; the ratio against the
+  // clean run bounds what gray resilience costs end to end.
+  const double gray_overhead = static_cast<double>(fault_gray.events) /
+                               static_cast<double>(fault_plain.events);
+  const int gray_conserved =
+      fault_gray.stats.completed == fault_gray.stats.submitted ? 1 : 0;
   const double sweep_rate =
       2.0 * static_cast<double>(sweep.jobs) /
       (sweep.attach_seconds + sweep.detach_seconds);
@@ -482,6 +512,32 @@ int bench_main() {
       << "\n    },\n"
       << "    \"completed_conserved\": " << fault_conserved << ",\n"
       << "    \"event_overhead_ratio\": " << fault_overhead
+      << "\n  },\n  \"gray\": {\n"
+      << "    \"jobs\": " << fault_gray.stats.submitted << ",\n"
+      << "    \"wall_seconds\": " << fault_gray.wall_seconds << ",\n"
+      << "    \"events\": " << fault_gray.events << ",\n"
+      << "    \"sim_ms_to_complete\": " << fault_gray.stats.max_latency_ms
+      << ",\n"
+      << "    \"p99_latency_ms\": " << fault_gray.stats.p99_latency_ms
+      << ",\n"
+      << "    \"drained\": " << fault_gray.stats.drained << ",\n"
+      << "    \"channel_retries\": " << fault_gray.stats.channel_retries
+      << ",\n"
+      << "    \"corrupt_recovered\": " << fault_gray.stats.corrupt_recovered
+      << ",\n"
+      << "    \"duplicates_suppressed\": "
+      << fault_gray.stats.duplicates_suppressed << ",\n"
+      << "    \"link_drops\": " << fault_gray.stats.link_drops << ",\n"
+      << "    \"slow_replies\": " << fault_gray.stats.slow_replies << ",\n"
+      << "    \"late_replies\": " << fault_gray.stats.late_replies << ",\n"
+      << "    \"breaker_trips\": " << fault_gray.stats.breaker_trips
+      << ",\n"
+      << "    \"breaker_closes\": " << fault_gray.stats.breaker_closes
+      << ",\n"
+      << "    \"slots_quarantined\": "
+      << fault_gray.stats.slots_quarantined << ",\n"
+      << "    \"completed_conserved\": " << gray_conserved << ",\n"
+      << "    \"retry_overhead_ratio\": " << gray_overhead
       << "\n  }\n}\n";
   out.close();
 
@@ -501,6 +557,12 @@ int bench_main() {
             << "[cluster_bench] fault overhead: " << fault_overhead
             << "x events under chaos (" << fault_chaos.stats.drained
             << " drained, conserved=" << fault_conserved << ")\n"
+            << "[cluster_bench] gray overhead: " << gray_overhead
+            << "x events under gray storm ("
+            << fault_gray.stats.channel_retries << " retries, "
+            << fault_gray.stats.corrupt_recovered << " checksum catches, "
+            << fault_gray.stats.breaker_trips
+            << " breaker trips, conserved=" << gray_conserved << ")\n"
             << "[cluster_bench] wrote BENCH_cluster.json\n";
   return 0;
 }

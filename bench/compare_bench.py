@@ -84,6 +84,12 @@ METRICS = {
         # (same plan, same seeds), hence machine-neutral.
         ("fault.completed_conserved", "exact", False),
         ("fault.event_overhead_ratio", "lower", False),
+        # Gray storm: degraded faults (slow cells, lossy/corrupting
+        # links, flaky ports) must not lose jobs, and the retry/backoff
+        # machinery's event cost over the clean run stays bounded.
+        # Deterministic plan and seeds, hence machine-neutral.
+        ("gray.completed_conserved", "exact", False),
+        ("gray.retry_overhead_ratio", "lower", False),
         ("cluster.single_queue.wall_events_per_sec", "higher", True),
         ("attach_detach.jobs_per_sec", "higher", True),
     ],

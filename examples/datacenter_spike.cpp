@@ -102,13 +102,108 @@ int run_chaos_phase() {
   return failures == 0 ? 0 : 1;
 }
 
+// Gray-failure storm: nothing dies cleanly.  Cell 0's CPUs crawl at
+// quarter speed, ring link 1 inflates latency and drops frames, cell
+// 2's reconfiguration port flips a coin per programming, cell 1's DSM
+// corrupts drain payloads -- and cell 1 is killed mid-storm so its
+// checkpoints must cross the degraded, corrupting link.  The reliability
+// layer (frame checksums, reliable drain channel, circuit breaker) has
+// to absorb all of it:
+//   * conservation: every submitted job still completes exactly once;
+//   * detection: the storm is *seen* (retries or checksum catches, and
+//     at least one breaker trip on the slowed cell);
+//   * bounded tail: p99 stays under the same budget as hard faults.
+int run_gray_phase() {
+  using namespace xartrek;
+  const auto specs = apps::paper_benchmarks();
+  const auto estimation = exp::ThresholdEstimator().estimate(specs);
+  exp::ExperimentOptions options;
+  options.mode = apps::SystemMode::kXarTrek;
+
+  constexpr std::size_t kCells = 4;
+  exp::ClusterSpec cluster_spec;
+  cluster_spec.cells = kCells;
+  cluster_spec.parallel = true;
+  exp::ClusterExperiment cluster(specs, estimation.table, cluster_spec,
+                                 options);
+
+  apps::ShardedLoadGenerator::Options churn;
+  churn.run_demand = Duration::ms(2.0);
+  churn.demand_jitter = 0.5;
+  cluster.set_background_load(kCells * 60, churn);
+
+  const std::vector<std::string> jobs = {"facedet320", "digit500",
+                                         "facedet640"};
+  for (std::size_t c = 0; c < kCells; ++c) {
+    for (const auto& j : jobs) cluster.submit(c, j);
+  }
+
+  sim::FaultPlan plan;
+  plan.add({sim::FaultEvent::Kind::kCellSlow, TimePoint::at_ms(20.0), 0,
+            0.25, TimePoint::at_ms(120.0)});
+  plan.add({sim::FaultEvent::Kind::kLinkDegraded, TimePoint::at_ms(30.0), 1,
+            0.3, TimePoint::at_ms(200.0)});
+  plan.add({sim::FaultEvent::Kind::kPortFlaky, TimePoint::at_ms(20.0), 2,
+            0.5, TimePoint::at_ms(250.0)});
+  plan.add({sim::FaultEvent::Kind::kDsmCorrupt, TimePoint::at_ms(30.0), 1,
+            0.5, TimePoint::at_ms(200.0)});
+  plan.add({sim::FaultEvent::Kind::kCellKill, TimePoint::at_ms(50.0), 1});
+  cluster.apply_fault_plan(plan);
+
+  const bool all_done =
+      cluster.run_until_jobs_complete(Duration::minutes(5));
+  cluster.set_background_load(0);
+
+  const auto stats = cluster.job_stats();
+  std::cout << "[gray] " << stats.submitted << " jobs submitted, "
+            << stats.completed << " completed, " << stats.drained
+            << " drained; " << stats.channel_retries << " channel retries, "
+            << stats.corrupt_recovered << " checksum catches, "
+            << stats.link_drops << " frames dropped, "
+            << stats.slow_replies << " slow replies, "
+            << stats.breaker_trips << " breaker trips ("
+            << stats.breaker_closes << " recovered); p99 "
+            << TextTable::num(stats.p99_latency_ms, 0) << " ms, max "
+            << TextTable::num(stats.max_latency_ms, 0) << " ms\n";
+
+  int failures = 0;
+  if (!all_done || stats.completed != stats.submitted) {
+    std::cout << "[gray] FAIL: completion-count conservation violated ("
+              << stats.completed << " != " << stats.submitted << ")\n";
+    ++failures;
+  }
+  if (stats.channel_retries + stats.corrupt_recovered == 0 &&
+      stats.link_drops == 0) {
+    std::cout << "[gray] FAIL: the storm left no reliability-layer "
+                 "fingerprints (nothing dropped, corrupted, or retried)\n";
+    ++failures;
+  }
+  if (stats.breaker_trips == 0) {
+    std::cout << "[gray] FAIL: the slowed cell never tripped its "
+                 "circuit breaker\n";
+    ++failures;
+  }
+  constexpr double kP99BudgetMs = 10'000.0;
+  if (!(stats.p99_latency_ms > 0.0 &&
+        stats.p99_latency_ms <= kP99BudgetMs)) {
+    std::cout << "[gray] FAIL: p99 " << stats.p99_latency_ms
+              << " ms outside (0, " << kP99BudgetMs << "] budget\n";
+    ++failures;
+  }
+  if (failures == 0) {
+    std::cout << "[gray] invariants held: storm absorbed, no job lost, "
+                 "tail bounded\n\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main() {
   using namespace xartrek;
   if (std::getenv("XARTREK_CHAOS_ONLY") != nullptr) {
     std::cout << "== Datacenter spike: chaos phase only ==\n\n";
-    return run_chaos_phase();
+    return run_chaos_phase() + run_gray_phase();
   }
   std::cout << "== Datacenter spike scenario ==\n\n";
 
@@ -341,6 +436,13 @@ int main() {
   std::cout << "== Phase 7: chaos ==\n";
   const int chaos_failures = run_chaos_phase();
 
+  // Phase 8: gray-failure storm -- nothing dies cleanly this time.
+  // Slowed CPUs, a lossy corrupting ring link, and a coin-flip
+  // reconfiguration port, with a kill in the middle; the reliability
+  // layer must keep the conservation and tail invariants regardless.
+  std::cout << "== Phase 8: gray-failure storm ==\n";
+  const int gray_failures = run_gray_phase();
+
   std::cout << log.render() << "\n";
   std::cout << "During the spike the FPGA-profitable tenants moved to their\n"
                "hardware kernels and CG-A escaped to the ARM server; after\n"
@@ -351,5 +453,5 @@ int main() {
             << stats.to_x86 << " x86, " << stats.to_arm << " ARM, "
             << stats.to_fpga << " FPGA; " << stats.reconfigurations_started
             << " FPGA reconfiguration(s) started.\n";
-  return chaos_failures;
+  return chaos_failures + gray_failures;
 }

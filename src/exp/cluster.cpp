@@ -100,22 +100,36 @@ ClusterExperiment::ClusterExperiment(
   cell_epoch_.assign(n, 0);
   if (n > 1) {
     // The drain path rides the ring: each cell gets a route-less local
-    // link (same spec as intercell_[i], so a partition parks both -- see
-    // set_link_down_impl) and a MigrationRuntime whose registered
-    // arrival edge carries the checkpoint to the neighbor's shard.
+    // link (same spec as intercell_[i], so a partition or degradation
+    // parks or drops on both -- see set_link_down_impl and
+    // apply_fault_plan), a ReliableChannel restoring exactly-once
+    // delivery over it, and the registered ring edge as the arrival hop
+    // carrying the checkpoint to the neighbor's shard.
     drain_transformer_ = std::make_unique<popcorn::StateTransformer>(
         popcorn::drain_metadata());
     drain_links_.reserve(n);
-    drain_runtimes_.reserve(n);
+    drain_arrivals_.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
       drain_links_.push_back(std::make_unique<hw::Link>(
           engine_->sim_of(x86_nodes_[i]), cluster_.intercell));
-      drain_runtimes_.push_back(std::make_unique<popcorn::MigrationRuntime>(
-          engine_->sim_of(x86_nodes_[i]), *drain_links_[i],
-          *drain_transformer_));
-      drain_runtimes_[i]->register_arrival(*engine_, x86_nodes_[i],
-                                           x86_nodes_[(i + 1) % n]);
+      drain_arrivals_.push_back(engine_->channel_between(
+          x86_nodes_[i], x86_nodes_[(i + 1) % n]));
     }
+    build_drain_channels();
+  }
+}
+
+void ClusterExperiment::build_drain_channels() {
+  const std::size_t n = cells_.size();
+  drain_channels_.clear();
+  drain_channels_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    // Each channel's jitter stream is split per cell from the gray
+    // seed: deterministic, but de-synchronized across cells.
+    drain_channels_.push_back(std::make_unique<hw::ReliableChannel>(
+        engine_->sim_of(x86_nodes_[i]), *drain_links_[i],
+        fault_opts_.drain_channel,
+        Rng(fault_opts_.gray_seed).split(0x5000 + i)));
   }
 }
 
@@ -176,32 +190,109 @@ void ClusterExperiment::apply_fault_plan(const sim::FaultPlan& plan,
   // called this -- so don't even start health checks.
   if (plan.empty()) return;
   const std::size_t n = cells_.size();
+  std::string error;
+  if (!plan.validate(static_cast<std::uint32_t>(n),
+                     static_cast<std::uint32_t>(intercell_.size()),
+                     &error)) {
+    throw Error("fault plan rejected: " + error);
+  }
+  if (n > 1) build_drain_channels();  // pick up opts.drain_channel
+  // Every gray draw stream is split from (kind, victim): reproducible
+  // from the seed, independent of event order, and never perturbing the
+  // workload's own randomness.
+  const Rng gray(fault_opts_.gray_seed);
+  const auto stream = [&gray](sim::FaultEvent::Kind kind,
+                              std::size_t victim, std::uint64_t leg) {
+    return gray.split((static_cast<std::uint64_t>(kind) << 32) |
+                      (static_cast<std::uint64_t>(victim) << 8) | leg);
+  };
   for (const sim::FaultEvent& ev : plan.events()) {
     XAR_EXPECTS(ev.at >= now());
     const std::size_t victim = ev.index;
+    sim::Simulation& shard = engine_->sim_of(x86_nodes_[victim]);
     switch (ev.kind) {
       case sim::FaultEvent::Kind::kCellKill:
         // Drained jobs need a surviving ring neighbor to land on.
         XAR_EXPECTS(n > 1 && victim < n);
-        engine_->sim_of(x86_nodes_[victim])
-            .schedule_at(ev.at, [this, victim] { kill_cell_impl(victim); });
+        shard.schedule_at(ev.at, [this, victim] { kill_cell_impl(victim); });
         break;
       case sim::FaultEvent::Kind::kLinkDown:
       case sim::FaultEvent::Kind::kLinkUp: {
         XAR_EXPECTS(n > 1 && victim < intercell_.size());
         const bool down = ev.kind == sim::FaultEvent::Kind::kLinkDown;
-        engine_->sim_of(x86_nodes_[victim])
-            .schedule_at(ev.at, [this, victim, down] {
-              set_link_down_impl(victim, down);
-            });
+        shard.schedule_at(ev.at, [this, victim, down] {
+          set_link_down_impl(victim, down);
+        });
         break;
       }
       case sim::FaultEvent::Kind::kReconfigureFail:
         XAR_EXPECTS(victim < n);
-        engine_->sim_of(x86_nodes_[victim]).schedule_at(ev.at, [this, victim] {
+        shard.schedule_at(ev.at, [this, victim] {
           cells_[victim]->testbed().fpga().inject_reconfigure_failure();
         });
         break;
+      case sim::FaultEvent::Kind::kCellSlow: {
+        XAR_EXPECTS(victim < n);
+        // The cell's CPUs serve at magnitude x rate; the modeled
+        // heartbeat handler rides the same starved cores, so replies
+        // stretch by the inverse -- that is what the breaker sees.
+        const double factor = ev.magnitude;
+        shard.schedule_at(ev.at, [this, victim, factor] {
+          cells_[victim]->testbed().x86().set_service_scale(factor);
+          cells_[victim]->server().set_reply_latency_scale(1.0 / factor);
+        });
+        shard.schedule_at(ev.until, [this, victim] {
+          cells_[victim]->testbed().x86().set_service_scale(1.0);
+          cells_[victim]->server().set_reply_latency_scale(1.0);
+        });
+        break;
+      }
+      case sim::FaultEvent::Kind::kLinkDegraded: {
+        XAR_EXPECTS(n > 1 && victim < intercell_.size());
+        // Handoffs and drains share the physical pipe, so both links
+        // degrade together (distinct drop streams: they are separate
+        // flows on it).
+        const double drop = ev.magnitude;
+        const double factor = fault_opts_.degraded_latency_factor;
+        Rng ic = stream(ev.kind, victim, 0);
+        Rng dr = stream(ev.kind, victim, 1);
+        shard.schedule_at(ev.at, [this, victim, factor, drop, ic, dr] {
+          intercell_[victim]->set_degraded(factor, drop, ic);
+          drain_links_[victim]->set_degraded(factor, drop, dr);
+        });
+        shard.schedule_at(ev.until, [this, victim] {
+          intercell_[victim]->clear_degraded();
+          drain_links_[victim]->clear_degraded();
+        });
+        break;
+      }
+      case sim::FaultEvent::Kind::kPortFlaky: {
+        XAR_EXPECTS(victim < n);
+        const double p = ev.magnitude;
+        Rng rng = stream(ev.kind, victim, 0);
+        shard.schedule_at(ev.at, [this, victim, p, rng] {
+          cells_[victim]->testbed().fpga().set_port_flaky(p, rng);
+        });
+        shard.schedule_at(ev.until, [this, victim] {
+          cells_[victim]->testbed().fpga().clear_port_flaky();
+        });
+        break;
+      }
+      case sim::FaultEvent::Kind::kDsmCorrupt: {
+        // The victim's DSM-backed drain path starts corrupting
+        // payloads; the frame checksum catches each one and the
+        // reliable channel re-sends it.
+        XAR_EXPECTS(n > 1 && victim < n);
+        const double p = ev.magnitude;
+        Rng rng = stream(ev.kind, victim, 0);
+        shard.schedule_at(ev.at, [this, victim, p, rng] {
+          drain_links_[victim]->set_corrupting(p, rng);
+        });
+        shard.schedule_at(ev.until, [this, victim] {
+          drain_links_[victim]->clear_corrupting();
+        });
+        break;
+      }
     }
   }
   for (auto& cell : cells_) cell->server().start_health_checks(opts.health);
@@ -295,9 +386,13 @@ void ClusterExperiment::forward_job(std::uint64_t id) {
   owned.erase(it);
 
   // Snapshot the job as a drain ticket, lay it out as a real popcorn
-  // stack, and ship it through the migration machinery.  The arrival
-  // fires on the neighbor's shard; until then the record travels
-  // inside the channel message and nobody touches it.
+  // stack, and ship it through the reliable drain channel.  The state
+  // transform is charged concurrently with the (possibly re-sent) wire
+  // payload, exactly like MigrationRuntime overlaps them; the arrival
+  // fires on the neighbor's shard once both legs finish.  Until then
+  // the record travels inside the channel message and nobody touches
+  // it -- every retry timer and duplicate-suppression decision runs on
+  // *this* (the sender's) shard, because the drain link is route-less.
   popcorn::DrainTicket ticket;
   ticket.job = id;
   ticket.app_index = job.app_index;
@@ -305,20 +400,46 @@ void ClusterExperiment::forward_job(std::uint64_t id) {
   const popcorn::ThreadStack stack =
       popcorn::checkpoint_drain(ticket, isa::IsaKind::kX86_64);
   const std::size_t dst = handoff_target(c);
-  drain_runtimes_[c]->migrate_stack(
-      stack, isa::IsaKind::kX86_64, fault_opts_.drain_payload_bytes,
-      [this, dst](popcorn::ThreadStack arrived) {
-        const popcorn::DrainTicket t = popcorn::decode_drain(arrived);
-        TrackedJob& job = jobs_[t.job];
-        job.cell = static_cast<std::uint32_t>(dst);
-        job.attempts = t.attempts;
-        job.state = JobState::kPending;
-        cell_jobs_[dst].push_back(t.job);
-        // If dst is dead too, place_job forwards onward around the
-        // ring -- the plan's kill budget guarantees a survivor.
-        place_job(t.job);
-      },
-      /*charge_transform_cost=*/true);
+  popcorn::ThreadStack transformed =
+      drain_transformer_->transform_stack(stack, isa::IsaKind::kX86_64);
+  const Duration transform_cost =
+      drain_transformer_->stack_transform_cost(stack);
+  const std::uint64_t payload = fault_opts_.drain_payload_bytes +
+                                transformed.total_frame_bytes() + 64 * 8;
+  struct Join {
+    popcorn::ThreadStack stack;
+    int remaining = 2;
+  };
+  auto join = std::make_shared<Join>(Join{std::move(transformed)});
+  auto leg = [this, join, c, dst]() mutable {
+    if (--join->remaining != 0) return;
+    // Both legs done on shard c: cross to the neighbor's shard (the
+    // registered ring edge) and re-materialize there.
+    popcorn::ThreadStack arrived = std::move(join->stack);
+    if (drain_arrivals_[c].connected()) {
+      drain_arrivals_[c].deliver(
+          [this, dst, arrived = std::move(arrived)]() mutable {
+            land_job(dst, std::move(arrived));
+          });
+      return;
+    }
+    land_job(dst, std::move(arrived));
+  };
+  engine_->sim_of(x86_nodes_[c]).schedule_in(transform_cost, leg);
+  drain_channels_[c]->send(payload, leg);
+}
+
+void ClusterExperiment::land_job(std::size_t dst,
+                                 popcorn::ThreadStack stack) {
+  const popcorn::DrainTicket t = popcorn::decode_drain(stack);
+  TrackedJob& job = jobs_[t.job];
+  job.cell = static_cast<std::uint32_t>(dst);
+  job.attempts = t.attempts;
+  job.state = JobState::kPending;
+  cell_jobs_[dst].push_back(t.job);
+  // If dst is dead too, place_job forwards onward around the ring --
+  // the plan's kill budget guarantees a survivor.
+  place_job(t.job);
 }
 
 void ClusterExperiment::kill_cell_impl(std::size_t c) {
@@ -393,6 +514,29 @@ ClusterExperiment::JobStats ClusterExperiment::job_stats() const {
                                               latencies.size()))) -
                      1;
     s.p99_latency_ms = latencies[std::min(idx, latencies.size() - 1)];
+  }
+  // Gray-failure telemetry: sum the per-cell reliability layers (all
+  // shard-owned state, read from the main thread between runs).
+  for (const auto& ch : drain_channels_) {
+    s.channel_retries += ch->stats().retries;
+    s.corrupt_recovered += ch->stats().corrupt_detected;
+    s.duplicates_suppressed += ch->stats().duplicates_suppressed;
+  }
+  for (const auto& link : drain_links_) {
+    s.link_drops += link->stats().dropped_transfers;
+  }
+  for (const auto& link : intercell_) {
+    s.link_drops += link->stats().dropped_transfers;
+  }
+  for (const auto& cell : cells_) {
+    const runtime::SchedulerServer::Stats& srv = cell->server().stats();
+    s.slow_replies += srv.slow_replies;
+    s.late_replies += srv.late_replies;
+    s.breaker_trips += srv.breaker_trips;
+    s.breaker_closes += srv.breaker_closes;
+    if (const fpga::SlotScheduler* slots = cell->server().slot_scheduler()) {
+      s.slots_quarantined += slots->stats().quarantined;
+    }
   }
   return s;
 }

@@ -39,11 +39,13 @@
 #include "apps/load_generator.hpp"
 #include "exp/experiment.hpp"
 #include "hw/link.hpp"
-#include "popcorn/migration_runtime.hpp"
+#include "hw/reliable_channel.hpp"
+#include "popcorn/checkpoint.hpp"
 #include "popcorn/state_transform.hpp"
 #include "runtime/scheduler_server.hpp"
 #include "sim/exec_options.hpp"
 #include "sim/fault.hpp"
+#include "sim/shard.hpp"
 #include "sim/topology.hpp"
 
 namespace xartrek::exp {
@@ -85,6 +87,19 @@ struct FaultInjectionOptions {
   /// Heartbeat tunables for every cell's scheduler (health checking
   /// starts when a non-empty plan is applied).
   runtime::SchedulerServer::HealthOptions health = {};
+  /// Latency inflation on a kLinkDegraded ring link (the drop
+  /// probability rides in the fault event's magnitude).
+  double degraded_latency_factor = 4.0;
+  /// Shape of the reliable drain channels (end-to-end retry of
+  /// checkpoint payloads).  The timeout must clear one drain payload's
+  /// worst healthy transfer; attempts are generous because an abandoned
+  /// drain is a lost job.
+  hw::ReliableChannel::Options drain_channel = {
+      Duration::ms(10.0), Duration::ms(1.0), 6, 0.25, 16};
+  /// Seed of the gray-fault randomness streams (drop/corrupt/flaky
+  /// draws and retry jitter), split per victim and kind so injection
+  /// never perturbs the workload's own draws.
+  std::uint64_t gray_seed = 0x6772617946616CULL;  // "grayFal"
 };
 
 /// N cells, one shard each, one experiment stack per cell.
@@ -212,6 +227,16 @@ class ClusterExperiment {
     std::uint64_t retries = 0;  ///< backoff re-placements on dead cells
     double p99_latency_ms = 0.0;
     double max_latency_ms = 0.0;
+    // Gray-failure telemetry, aggregated across cells between runs.
+    std::uint64_t channel_retries = 0;    ///< drain re-transmissions
+    std::uint64_t corrupt_recovered = 0;  ///< checksum catches, re-sent
+    std::uint64_t duplicates_suppressed = 0;  ///< slow copies swallowed
+    std::uint64_t link_drops = 0;    ///< frames lost on degraded links
+    std::uint64_t slow_replies = 0;  ///< in-time-but-sluggish heartbeats
+    std::uint64_t late_replies = 0;  ///< replies that lost to the timeout
+    std::uint64_t breaker_trips = 0;   ///< closed -> open transitions
+    std::uint64_t breaker_closes = 0;  ///< half-open -> closed recoveries
+    std::uint64_t slots_quarantined = 0;  ///< fabric taken out of rotation
   };
   /// Aggregate over completed jobs (main thread, between runs).
   [[nodiscard]] JobStats job_stats() const;
@@ -241,8 +266,12 @@ class ClusterExperiment {
   void place_job(std::uint64_t id);
   void launch_tracked(std::uint64_t id);
   void forward_job(std::uint64_t id);
+  /// Re-materialize a drained checkpoint on `dst` (runs on dst's shard).
+  void land_job(std::size_t dst, popcorn::ThreadStack stack);
   void kill_cell_impl(std::size_t c);
   void set_link_down_impl(std::size_t l, bool down);
+  /// (Re)build the per-cell reliable drain channels from fault_opts_.
+  void build_drain_channels();
 
  private:
   ClusterSpec cluster_;
@@ -272,14 +301,18 @@ class ClusterExperiment {
   /// a mismatch marks a ghost completion from before the kill.
   std::vector<std::uint8_t> cell_dead_;
   std::vector<std::uint64_t> cell_epoch_;
-  /// Drain path, one per cell (multi-cell only): a dedicated local link
-  /// (same physical pipe as intercell_[i], so partitions hit both) and
-  /// a MigrationRuntime whose arrival channel is the registered ring
-  /// edge -- checkpoints transform on the dying shard and re-materialize
-  /// on the neighbor's.
+  /// Drain path, one per cell (multi-cell only): a dedicated route-less
+  /// local link (same physical pipe as intercell_[i], so partitions and
+  /// degradations hit both -- and its completions fire on the *sender's*
+  /// shard, which is what lets the reliable channel keep all its retry
+  /// state on one shard), a ReliableChannel restoring exactly-once
+  /// delivery over it, and the registered ring edge as the cross-shard
+  /// arrival hop -- checkpoints transform on the dying shard and
+  /// re-materialize on the neighbor's.
   std::unique_ptr<popcorn::StateTransformer> drain_transformer_;
   std::vector<std::unique_ptr<hw::Link>> drain_links_;
-  std::vector<std::unique_ptr<popcorn::MigrationRuntime>> drain_runtimes_;
+  std::vector<std::unique_ptr<hw::ReliableChannel>> drain_channels_;
+  std::vector<sim::CrossShardChannel> drain_arrivals_;
 };
 
 }  // namespace xartrek::exp

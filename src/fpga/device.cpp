@@ -210,6 +210,21 @@ void FpgaDevice::set_offline(bool offline) {
   }
 }
 
+void FpgaDevice::set_port_flaky(double fail_probability, Rng rng) {
+  XAR_EXPECTS(fail_probability >= 0.0 && fail_probability <= 1.0);
+  flaky_ = true;
+  flaky_probability_ = fail_probability;
+  flaky_rng_ = rng;
+}
+
+bool FpgaDevice::draw_injected_failure() {
+  if (fail_armed_) {
+    fail_armed_ = false;
+    return true;
+  }
+  return flaky_ && flaky_rng_.bernoulli(flaky_probability_);
+}
+
 void FpgaDevice::start_reconfigure() {
   XAR_ASSERT(!reconfig_active_);
   if (reconfig_queue_.empty()) return;
@@ -249,11 +264,10 @@ void FpgaDevice::start_whole_image(PendingReconfig req) {
                             ReconfigureResult::kTornWrite);
                 return;
               }
-              if (fail_armed_) {
+              if (draw_injected_failure()) {
                 // Injected programming failure (corrupted bitstream /
                 // ICAP error): the card survives but nothing becomes
-                // resident.  One-shot -- the next download works.
-                fail_armed_ = false;
+                // resident.  One-shot arm, or a flaky-port draw.
                 bump_epoch();
                 log_.warn("fpga: programming of ", req.image.id,
                           " failed (injected)");
@@ -311,8 +325,7 @@ void FpgaDevice::start_slot(PendingReconfig req) {
                             ReconfigureResult::kTornWrite);
                 return;
               }
-              if (fail_armed_) {
-                fail_armed_ = false;
+              if (draw_injected_failure()) {
                 slot.state = Slot::State::kEmpty;
                 ++slot.version;
                 bump_epoch();

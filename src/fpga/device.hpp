@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "common/log.hpp"
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "fpga/resources.hpp"
 #include "hw/link.hpp"
@@ -241,6 +242,17 @@ class FpgaDevice {
     return fail_armed_;
   }
 
+  /// Gray-failure injection (kPortFlaky): while armed, each programming
+  /// completion independently fails with probability `fail_probability`
+  /// (kInjectedFailure -- bad ICAP writes), the card surviving each
+  /// time.  Draws come from `rng` (a split stream of the chaos seed) on
+  /// this device's own shard in completion order, so serial and
+  /// parallel runs fail the identical programmings and an unarmed
+  /// device draws nothing.
+  void set_port_flaky(double fail_probability, Rng rng);
+  void clear_port_flaky() { flaky_ = false; }
+  [[nodiscard]] bool port_flaky() const { return flaky_; }
+
   /// Topology registration: the device is node `self`, the scheduler
   /// that consumes reconfiguration completions is node `scheduler`.
   /// When the partitioner put them on different shards, `reconfigure`'s
@@ -308,6 +320,9 @@ class FpgaDevice {
   [[nodiscard]] sim::FifoStation* pick_slot_cu(const std::string& name,
                                                const HwKernelConfig** cfg);
   void bump_epoch() { ++residency_epoch_; }
+  /// One-shot arm plus flaky-port draw: decides whether the programming
+  /// completing right now fails with kInjectedFailure.
+  [[nodiscard]] bool draw_injected_failure();
   /// Displace `cus`: stations with work in flight drain in the
   /// graveyard (their completions still fire, modeling
   /// quiesce-before-reprogram without blocking the port); idle ones are
@@ -334,6 +349,9 @@ class FpgaDevice {
   bool reconfig_active_ = false;
   bool offline_ = false;
   bool fail_armed_ = false;
+  bool flaky_ = false;  ///< windowed probabilistic port failures
+  double flaky_probability_ = 0.0;
+  Rng flaky_rng_{0};
   /// Offline transitions ever taken.  A programming attempt stamps this
   /// at start and re-checks at completion, so even an offline blip that
   /// heals before programming finishes tears the bitstream write.

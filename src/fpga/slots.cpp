@@ -61,11 +61,46 @@ std::uint32_t SlotScheduler::fit_cap(const HwKernelConfig& k) const {
   return n;
 }
 
+void SlotScheduler::ensure_slot_health() {
+  if (slot_health_.size() < device_.slot_count()) {
+    slot_health_.resize(device_.slot_count());
+  }
+}
+
+void SlotScheduler::record_result(std::uint32_t slot, ReconfigureResult r) {
+  if (!succeeded(r)) ++stats_.failed;
+  ensure_slot_health();
+  if (slot >= slot_health_.size()) return;
+  SlotHealth& h = slot_health_[slot];
+  if (r == ReconfigureResult::kInjectedFailure ||
+      r == ReconfigureResult::kTornWrite) {
+    // Bad ICAP writes / torn programmings point at the slot's region;
+    // enough of them in a row and the region is written off for the
+    // run.  kOfflineDrop is the whole card's fault, not this slot's,
+    // so it neither counts nor resets.
+    if (h.quarantined) return;
+    if (++h.consecutive_failures >= opts_.quarantine_limit) {
+      h.quarantined = true;
+      ++stats_.quarantined;
+    }
+    return;
+  }
+  if (succeeded(r)) h.consecutive_failures = 0;
+}
+
+std::uint32_t SlotScheduler::quarantined_slots() const {
+  std::uint32_t n = 0;
+  for (const SlotHealth& h : slot_health_) {
+    if (h.quarantined) ++n;
+  }
+  return n;
+}
+
 void SlotScheduler::program(std::uint32_t slot, const Tenant& tenant,
                             std::uint32_t replicas) {
   device_.reconfigure_slot(slot, tenant.config, replicas,
-                           [this](ReconfigureResult r) {
-                             if (!succeeded(r)) ++stats_.failed;
+                           [this, slot](ReconfigureResult r) {
+                             record_result(slot, r);
                            });
 }
 
@@ -75,6 +110,7 @@ bool SlotScheduler::provision(std::string_view kernel) {
   // with fresher numbers.
   if (!device_.slot_mode() || device_.reconfiguring() || device_.offline())
     return false;
+  ensure_slot_health();
   const std::size_t idx = find(kernel);
   if (idx == tenants_.size()) return false;
   const Tenant& claimant = tenants_[idx];
@@ -88,8 +124,9 @@ bool SlotScheduler::provision(std::string_view kernel) {
   const ResidencyView view = device_.residency(kernel);
   if (view.resident()) {
     // Replicate-hottest: grow one CU when this tenant clearly dominates
-    // every other and the slot has area left.
-    if (view.cus >= cap) return false;
+    // every other and the slot has area left.  A quarantined slot keeps
+    // serving what it already holds but never reprograms.
+    if (view.cus >= cap || quarantined(view.slot)) return false;
     double best_other = 0.0;
     for (std::size_t i = 0; i < tenants_.size(); ++i) {
       if (i == idx) continue;
@@ -106,11 +143,14 @@ bool SlotScheduler::provision(std::string_view kernel) {
   }
 
   // Fresh placement: lowest empty slot wins.  With the port idle (the
-  // early-out above) every slot is either empty or loaded.
+  // early-out above) every slot is either empty or loaded.  Quarantined
+  // slots are out of rotation entirely; with every slot quarantined the
+  // scan finds nothing and the claimant stays on the CPU.
   const std::uint32_t slots = device_.slot_count();
   std::uint32_t coldest_slot = kNoSlot;
   double coldest = std::numeric_limits<double>::infinity();
   for (std::uint32_t s = 0; s < slots; ++s) {
+    if (quarantined(s)) continue;
     const auto resident = device_.slot_kernel(s);
     if (!resident.has_value()) {
       program(s, claimant, 1);

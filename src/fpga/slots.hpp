@@ -44,6 +44,12 @@ class SlotScheduler {
     /// `max_replicas` or the slot's area budget.
     double replicate_margin = 1.5;
     std::uint32_t max_replicas = 8;
+    /// Gray-failure degradation: after this many *consecutive*
+    /// kInjectedFailure/kTornWrite completions on one slot, the slot is
+    /// quarantined -- the policy stops offering it and places on the
+    /// remaining slots (or nowhere, leaving jobs on the CPU) instead of
+    /// wedging the one-decision-in-flight loop on a bad region.
+    std::uint32_t quarantine_limit = 3;
   };
 
   struct Stats {
@@ -53,6 +59,7 @@ class SlotScheduler {
     std::uint64_t denied_no_fit = 0;
     std::uint64_t denied_cold = 0;   ///< claimant not hot enough to evict
     std::uint64_t failed = 0;        ///< programmings completing non-kOk
+    std::uint64_t quarantined = 0;   ///< slots taken out of rotation
   };
 
   explicit SlotScheduler(FpgaDevice& device)
@@ -77,6 +84,13 @@ class SlotScheduler {
   /// Current demand score (EWMA + in-window hits); tests/diagnostics.
   [[nodiscard]] double demand(std::string_view kernel) const;
 
+  /// Whether `slot` has been quarantined (permanent within a run).
+  [[nodiscard]] bool quarantined(std::uint32_t slot) const {
+    return slot < slot_health_.size() &&
+           slot_health_[slot].quarantined;
+  }
+  [[nodiscard]] std::uint32_t quarantined_slots() const;
+
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return opts_; }
 
@@ -95,12 +109,22 @@ class SlotScheduler {
   [[nodiscard]] std::uint32_t fit_cap(const HwKernelConfig& k) const;
   void program(std::uint32_t slot, const Tenant& tenant,
                std::uint32_t replicas);
+  /// Size the per-slot health table to the device's slot count.
+  void ensure_slot_health();
+  void record_result(std::uint32_t slot, ReconfigureResult r);
+
+  /// Per-slot gray-failure bookkeeping.
+  struct SlotHealth {
+    std::uint32_t consecutive_failures = 0;
+    bool quarantined = false;
+  };
 
   FpgaDevice& device_;
   Options opts_;
   std::vector<Tenant> tenants_;  ///< registration order == tie-break order
   std::uint32_t since_fold_ = 0;
   Stats stats_;
+  std::vector<SlotHealth> slot_health_;
 };
 
 }  // namespace xartrek::fpga

@@ -77,6 +77,14 @@ class CpuCluster {
   /// single reallocation (cluster sweeps; optional).
   void reserve_jobs(std::size_t n) { pool_.reserve_jobs(n); }
 
+  /// Gray-failure hook (kCellSlow): scale this cluster's service rate;
+  /// 1.0 restores nominal speed.  In-flight bursts finish later (or
+  /// earlier, on restore) but never lose attained work.
+  void set_service_scale(double scale) { pool_.set_capacity_scale(scale); }
+  [[nodiscard]] double service_scale() const {
+    return pool_.capacity_scale();
+  }
+
   /// Number of resident processes -- the scheduler's load metric.
   [[nodiscard]] int load() const { return resident_; }
 

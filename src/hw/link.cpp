@@ -33,11 +33,20 @@ void Link::transfer(std::uint64_t bytes, Callback on_complete) {
     parked_.push(ParkedTransfer{bytes, std::move(on_complete)});
     return;
   }
+  if (degraded_ && degrade_rng_.bernoulli(drop_probability_)) {
+    // Lossy wire: the frame vanishes and its callback never fires.
+    // The draw happens on this link's own shard, in admission order,
+    // so serial and parallel runs lose the identical frames.
+    ++stats_.dropped_transfers;
+    return;
+  }
   const double mb = static_cast<double>(bytes) / (1024.0 * 1024.0);
   // Fixed latency first, then bandwidth-shared payload time.  The
-  // latency is identical for every transfer, so the events fire in the
-  // order they were scheduled and the front of `in_latency_` is always
-  // the transfer whose latency just elapsed.
+  // latency is identical for every transfer (degradation inflates it
+  // uniformly, and the clamp below keeps admissions FIFO across a
+  // degradation edge), so the events fire in the order they were
+  // scheduled and the front of `in_latency_` is always the transfer
+  // whose latency just elapsed.
   in_latency_.push(std::move(on_complete));
   // Occupancy high-water: in-flight only grows at a transfer() call, so
   // sampling here (latency-phase entries plus bandwidth-phase jobs)
@@ -47,7 +56,38 @@ void Link::transfer(std::uint64_t bytes, Callback on_complete) {
   if (in_flight_now > stats_.max_in_flight) {
     stats_.max_in_flight = in_flight_now;
   }
-  sim_.schedule_in(spec_.latency, [this, mb] { enter_pool(mb); });
+  const double factor = degraded_ ? latency_factor_ : 1.0;
+  double exit_ms = sim_.now().to_ms() + spec_.latency.to_ms() * factor;
+  // A link is a FIFO pipe: a frame admitted under inflated latency must
+  // still exit before one admitted after the degradation lifts.
+  if (exit_ms < last_entry_ms_) exit_ms = last_entry_ms_;
+  last_entry_ms_ = exit_ms;
+  sim_.schedule_in(Duration::ms(exit_ms - sim_.now().to_ms()),
+                   [this, mb] { enter_pool(mb); });
+}
+
+void Link::transfer_verified(std::uint64_t bytes, std::uint64_t checksum,
+                             VerifiedCallback on_complete) {
+  XAR_EXPECTS(on_complete != nullptr);
+  // The corruption draw happens at admission (deterministic, in event
+  // order on this shard); the receiver observes it as a checksum
+  // mismatch when the frame lands.  A corrupted frame's carried
+  // checksum is re-derived over the perturbed payload, so the compare
+  // fails; an intact frame re-derives to the sender's value.
+  bool intact = true;
+  if (corrupt_next_ > 0) {
+    --corrupt_next_;
+    intact = false;
+  } else if (corrupting_ && corrupt_rng_.bernoulli(corrupt_probability_)) {
+    intact = false;
+  }
+  if (!intact) ++stats_.corrupted_transfers;
+  const std::uint64_t delivered =
+      intact ? checksum : fnv_mix(checksum, 0xC0FFEEull);
+  transfer(bytes, [carried = checksum, delivered,
+                   cb = std::move(on_complete)]() mutable {
+    cb(carried == delivered);
+  });
 }
 
 void Link::set_down(bool down) {
@@ -64,6 +104,35 @@ void Link::set_down(bool down) {
     ParkedTransfer p = parked_.pop();
     transfer(p.bytes, std::move(p.on_complete));
   }
+}
+
+void Link::set_degraded(double latency_factor, double drop_probability,
+                        Rng rng) {
+  XAR_EXPECTS(latency_factor >= 1.0);
+  XAR_EXPECTS(drop_probability >= 0.0 && drop_probability <= 1.0);
+  if (!degraded_) ++stats_.degrades;
+  degraded_ = true;
+  latency_factor_ = latency_factor;
+  drop_probability_ = drop_probability;
+  degrade_rng_ = rng;
+}
+
+void Link::clear_degraded() {
+  degraded_ = false;
+  latency_factor_ = 1.0;
+  drop_probability_ = 0.0;
+}
+
+void Link::set_corrupting(double corrupt_probability, Rng rng) {
+  XAR_EXPECTS(corrupt_probability >= 0.0 && corrupt_probability <= 1.0);
+  corrupting_ = true;
+  corrupt_probability_ = corrupt_probability;
+  corrupt_rng_ = rng;
+}
+
+void Link::clear_corrupting() {
+  corrupting_ = false;
+  corrupt_probability_ = 0.0;
 }
 
 void Link::enter_pool(double mb) {

@@ -10,6 +10,8 @@
 
 #include <string>
 
+#include "common/hash.hpp"
+#include "common/rng.hpp"
 #include "common/time.hpp"
 #include "sim/callback.hpp"
 #include "sim/ps_resource.hpp"
@@ -51,13 +53,35 @@ class Link {
     /// Admissions that arrived while the link was partitioned and were
     /// parked for replay.
     std::uint64_t parked_transfers = 0;
+    /// set_degraded transitions into the degraded state.
+    std::uint64_t degrades = 0;
+    /// Transfers silently lost while degraded (callback never fires;
+    /// an upper retry layer recovers).
+    std::uint64_t dropped_transfers = 0;
+    /// Verified frames whose payload the wire corrupted in flight
+    /// (receiver-side checksum verify reports them as bad).
+    std::uint64_t corrupted_transfers = 0;
   };
 
   Link(sim::Simulation& sim, LinkSpec spec);
 
   /// Transfer `bytes` across the link; `on_complete` fires when the last
   /// byte lands.  Zero-byte transfers still pay the latency.
+  /// While the link is degraded the transfer may be silently dropped
+  /// (the callback never fires) -- callers needing delivery guarantees
+  /// wrap the link in a ReliableChannel or verify via
+  /// transfer_verified.
   void transfer(std::uint64_t bytes, Callback on_complete);
+
+  /// Checksummed frame: the sender computes `checksum` over the frame
+  /// (fnv1a / fnv1a_frame) and the receiver re-derives it when the last
+  /// byte lands.  `on_complete(ok)` reports whether the delivered frame
+  /// still matches -- false when the wire corrupted the payload in
+  /// flight (see set_corrupting).  Degraded-mode drops still apply: a
+  /// dropped frame's callback never fires at all.
+  using VerifiedCallback = sim::UniqueFunction<void(bool)>;
+  void transfer_verified(std::uint64_t bytes, std::uint64_t checksum,
+                         VerifiedCallback on_complete);
 
   /// Topology registration: this link's sending end is node `self`,
   /// its receiving end node `receiver`, and the partitioner already
@@ -80,6 +104,29 @@ class Link {
   /// latency + bandwidth cost from the repair instant.
   void set_down(bool down);
   [[nodiscard]] bool down() const { return down_; }
+
+  /// Gray-failure injection (kLinkDegraded): inflate the fixed latency
+  /// by `latency_factor` (>= 1) and silently drop each admission with
+  /// probability `drop_probability`.  `rng` should be a split stream of
+  /// the chaos seed; draws happen only while degraded and only on this
+  /// link's own shard, in admission order, so serial and parallel runs
+  /// see the identical loss pattern and non-degraded runs draw nothing.
+  void set_degraded(double latency_factor, double drop_probability, Rng rng);
+  void clear_degraded();
+  [[nodiscard]] bool degraded() const { return degraded_; }
+
+  /// Gray-failure injection (kDsmCorrupt): corrupt each verified
+  /// frame's payload in flight with probability `corrupt_probability`.
+  /// Plain transfers are unaffected (nothing verifies them).  Same
+  /// determinism contract as set_degraded.
+  void set_corrupting(double corrupt_probability, Rng rng);
+  void clear_corrupting();
+  [[nodiscard]] bool corrupting() const { return corrupting_; }
+
+  /// Deterministic one-shot arm: corrupt exactly the next `count`
+  /// verified frames (tests pin "detected and retried exactly once"
+  /// with this; it needs no Rng).
+  void corrupt_next(std::uint64_t count) { corrupt_next_ += count; }
 
   /// Admissions currently parked behind a partition.
   [[nodiscard]] std::size_t parked() const { return parked_.size(); }
@@ -121,6 +168,19 @@ class Link {
   };
   bool down_ = false;
   sim::RingQueue<ParkedTransfer> parked_;
+  // Gray-failure state.  The latency clamp keeps the in_latency_ FIFO
+  // honest across degradation edges: latency-phase events must fire in
+  // admission order, so an admission never schedules its entry earlier
+  // than the previous one's.
+  bool degraded_ = false;
+  double latency_factor_ = 1.0;
+  double drop_probability_ = 0.0;
+  Rng degrade_rng_{0};
+  bool corrupting_ = false;
+  double corrupt_probability_ = 0.0;
+  Rng corrupt_rng_{0};
+  std::uint64_t corrupt_next_ = 0;  ///< one-shot corruption arm
+  double last_entry_ms_ = 0.0;  ///< latest scheduled latency-phase exit
 };
 
 }  // namespace xartrek::hw

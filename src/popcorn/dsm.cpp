@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/hash.hpp"
+
 namespace xartrek::popcorn {
 
 Dsm::Dsm(sim::Simulation& sim, hw::Link& link, Config cfg)
@@ -323,10 +325,45 @@ void Dsm::start_unit(std::uint32_t unit_slot) {
   if (unit.npages > 1) ++stats_.coalesced_runs;
   const std::uint64_t bytes = unit.npages * cfg_.page_size;
   stats_.bytes_transferred += bytes;
-  link_.transfer(bytes, [this, unit_slot] { unit_done(unit_slot); });
+  // Checksummed frame: the receiver re-derives the checksum when the
+  // run lands and unit_done learns whether the wire corrupted it.
+  const std::uint64_t checksum = fnv1a_frame(
+      bytes, fnv_mix(fnv_mix(kFnvOffset, unit.first_page), unit.source));
+  link_.transfer_verified(bytes, checksum, [this, unit_slot](bool intact) {
+    unit_done(unit_slot, intact);
+  });
 }
 
-void Dsm::unit_done(std::uint32_t unit_slot) {
+void Dsm::retire_wire_slot(std::size_t node, std::size_t source) {
+  Pair& pair = pairs_[pair_index(node, source)];
+  XAR_ASSERT(pair.in_flight > 0);
+  --pair.in_flight;
+  --in_flight_total_;
+  if (pair.head != kNone) {
+    const std::uint32_t next = pair.head;
+    pair.head = units_[next].next;
+    if (pair.head == kNone) pair.tail = kNone;
+    units_[next].next = kNone;
+    start_unit(next);
+  }
+}
+
+void Dsm::unit_done(std::uint32_t unit_slot, bool intact) {
+  if (!intact) {
+    // The wire corrupted the run: nothing lands -- no bytes, no MSI
+    // transitions, claims stay in flight.  Free the wire slot (a parked
+    // unit may start) and re-request the identical run, bounded by the
+    // retry budget.
+    ++stats_.corrupt_detected;
+    const std::uint32_t op_slot = units_[unit_slot].op;
+    retire_wire_slot(ops_[op_slot].node, units_[unit_slot].source);
+    if (++units_[unit_slot].attempts > cfg_.max_transfer_retries) {
+      throw Error("DSM: transfer corrupted past the retry budget");
+    }
+    ++stats_.retries;
+    issue_unit(unit_slot);
+    return;
+  }
   const Unit unit = units_[unit_slot];
   units_.release(unit_slot);
   Op& op = ops_[unit.op];
@@ -349,17 +386,7 @@ void Dsm::unit_done(std::uint32_t unit_slot) {
     }
   }
 
-  Pair& pair = pairs_[pair_index(op.node, unit.source)];
-  XAR_ASSERT(pair.in_flight > 0);
-  --pair.in_flight;
-  --in_flight_total_;
-  if (pair.head != kNone) {
-    const std::uint32_t next = pair.head;
-    pair.head = units_[next].next;
-    if (pair.head == kNone) pair.tail = kNone;
-    units_[next].next = kNone;
-    start_unit(next);
-  }
+  retire_wire_slot(op.node, unit.source);
 
   if (serialized()) {
     op.cursor += unit.npages;

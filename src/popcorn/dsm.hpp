@@ -57,6 +57,9 @@ class Dsm {
     /// memory transaction at a time, its pages ensured one after
     /// another, every Invalid page its own wire transfer.
     std::size_t window_depth = 8;
+    /// Times a corrupted wire transfer is re-requested before the DSM
+    /// gives up (throws) -- gray-failure resilience bound.
+    std::uint32_t max_transfer_retries = 3;
   };
 
   struct Stats {
@@ -67,6 +70,8 @@ class Dsm {
     std::uint64_t coalesced_runs = 0;  ///< transfers carrying >1 page
     std::uint64_t bytes_transferred = 0;
     std::uint64_t max_in_flight = 0;  ///< peak concurrent wire transfers
+    std::uint64_t corrupt_detected = 0;  ///< checksum-verify failures
+    std::uint64_t retries = 0;           ///< corrupted runs re-requested
     [[nodiscard]] double bytes_per_transfer() const {
       return link_transfers == 0 ? 0.0
                                  : static_cast<double>(bytes_transferred) /
@@ -160,6 +165,7 @@ class Dsm {
     std::uint64_t first_page = 0;
     std::uint64_t npages = 0;
     std::uint32_t next = kNone;  ///< next unit waiting on the pair window
+    std::uint32_t attempts = 0;  ///< wire attempts so far (retry bound)
   };
 
   /// Window state for one (destination, source) node pair.
@@ -202,7 +208,10 @@ class Dsm {
   // Wire transfers (both engines).
   void issue_unit(std::uint32_t unit_slot);
   void start_unit(std::uint32_t unit_slot);
-  void unit_done(std::uint32_t unit_slot);
+  void unit_done(std::uint32_t unit_slot, bool intact);
+  /// Close one wire slot in the (node, source) pair window and start
+  /// the next parked unit, if any.
+  void retire_wire_slot(std::size_t node, std::size_t source);
 
   void op_ensured(std::uint32_t op_slot);
   void schedule_retire();

@@ -115,6 +115,7 @@ const fpga::XclbinImage* SchedulerServer::image_with(
 void SchedulerServer::maybe_start_reconfiguration(std::string_view kernel) {
   if (device_.reconfiguring()) return;  // one download at a time
   if (!fpga_healthy_) return;  // evicted target: don't feed it downloads
+  if (!breaker_closed()) return;  // gray target: no new downloads either
   const fpga::XclbinImage* image = image_with(kernel);
   if (image == nullptr) {
     log_.warn("server: no XCLBIN provides kernel ", kernel);
@@ -143,7 +144,9 @@ fpga::ResidencyView SchedulerServer::residency(
 }
 
 bool SchedulerServer::ensure_resident(std::string_view kernel) {
-  if (!fpga_healthy_ || device_.reconfiguring()) return false;
+  if (!fpga_healthy_ || !breaker_closed() || device_.reconfiguring()) {
+    return false;
+  }
   if (device_.residency(kernel).resident()) return false;
   if (slots_ != nullptr) return slots_->provision(kernel);
   const fpga::XclbinImage* image = image_with(kernel);
@@ -185,6 +188,8 @@ void SchedulerServer::stop_health_checks() {
   ++health_generation_;  // orphan any in-flight tick/timeout events
   fpga_healthy_ = true;
   consecutive_misses_ = 0;
+  breaker_ = BreakerState::kClosed;
+  breaker_gray_streak_ = 0;
 }
 
 void SchedulerServer::heartbeat_tick() {
@@ -192,10 +197,20 @@ void SchedulerServer::heartbeat_tick() {
   const std::uint64_t gen = health_generation_;
   ++stats_.heartbeats_sent;
   // A live card answers one reply latency later; a dead card never
-  // does (the ping vanishes into the dead PCIe slot).
+  // does (the ping vanishes into the dead PCIe slot).  A *slowed* cell
+  // answers -- late: the modeled ping handler rides the degraded
+  // service rate (set_reply_latency_scale), and a reply above the
+  // slow-reply bar is the breaker's gray signal even when it beats the
+  // timeout.
   if (!device_.offline()) {
-    sim_.schedule_in(health_opts_.reply_latency, [this, seq, gen] {
-      if (health_on_ && gen == health_generation_) heartbeat_reply(seq);
+    const Duration delay =
+        Duration::ms(health_opts_.reply_latency.to_ms() *
+                     reply_latency_scale_);
+    const bool slow = delay > health_opts_.slow_reply;
+    sim_.schedule_in(delay, [this, seq, gen, slow] {
+      if (health_on_ && gen == health_generation_) {
+        heartbeat_reply(seq, slow);
+      }
     });
   }
   sim_.schedule_in(health_opts_.timeout, [this, seq, gen] {
@@ -206,17 +221,63 @@ void SchedulerServer::heartbeat_tick() {
   });
 }
 
-void SchedulerServer::heartbeat_reply(std::uint64_t seq) {
+void SchedulerServer::breaker_note_gray() {
+  if (breaker_ != BreakerState::kClosed) {
+    // An open breaker absorbs further gray signals; a half-open probe
+    // that comes back gray slams it shut again and restarts the
+    // cooldown.
+    breaker_ = BreakerState::kOpen;
+    breaker_opened_at_ = sim_.now();
+    return;
+  }
+  if (++breaker_gray_streak_ >= health_opts_.breaker_trip_limit) {
+    breaker_ = BreakerState::kOpen;
+    breaker_opened_at_ = sim_.now();
+    ++stats_.breaker_trips;
+    log_.warn("server: circuit breaker OPEN after ", breaker_gray_streak_,
+              " gray signals -- FPGA target demoted");
+  }
+}
+
+void SchedulerServer::breaker_note_ok() {
+  breaker_gray_streak_ = 0;
+  switch (breaker_) {
+    case BreakerState::kClosed:
+      return;
+    case BreakerState::kOpen:
+      // Probing starts only after the cooldown; the first clean reply
+      // after it half-opens the breaker.
+      if (sim_.now() - breaker_opened_at_ >= health_opts_.breaker_cooldown) {
+        breaker_ = BreakerState::kHalfOpen;
+      }
+      return;
+    case BreakerState::kHalfOpen:
+      breaker_ = BreakerState::kClosed;
+      ++stats_.breaker_closes;
+      log_.info("server: circuit breaker closed -- FPGA target reinstated "
+                "in placement scoring");
+      return;
+  }
+}
+
+void SchedulerServer::heartbeat_reply(std::uint64_t seq, bool slow) {
   if (seq <= expired_seq_) {
     // The reply lost the race: its timeout already fired and the miss
     // was counted.  Ignoring it keeps the state machine monotone -- a
     // stale packet cannot resurrect a target the tracker gave up on.
+    // (The timeout already fed the breaker; no second gray signal.)
     ++stats_.late_replies;
     return;
   }
   if (seq <= replied_seq_) return;  // duplicate
   replied_seq_ = seq;
   consecutive_misses_ = 0;
+  if (slow) {
+    ++stats_.slow_replies;
+    breaker_note_gray();
+  } else {
+    breaker_note_ok();
+  }
   if (!fpga_healthy_) {
     fpga_healthy_ = true;
     ++stats_.reinstatements;
@@ -229,6 +290,7 @@ void SchedulerServer::heartbeat_timeout(std::uint64_t seq) {
   if (seq > expired_seq_) expired_seq_ = seq;
   ++stats_.heartbeats_missed;
   ++consecutive_misses_;
+  breaker_note_gray();
   if (consecutive_misses_ >= health_opts_.miss_limit && fpga_healthy_) {
     fpga_healthy_ = false;
     ++stats_.evictions;
@@ -385,10 +447,20 @@ void SchedulerServer::finish_one(std::uint32_t slot, int load,
   PlacementDecision decision;
   decision.observed_load = load;
 
+  // Gray demotion: an open (or probing) breaker inflates the effective
+  // FPGA threshold instead of evicting the target -- resident kernels
+  // still serve genuinely heavy load, but marginal traffic stays on the
+  // CPUs until the cell proves itself again.
+  int fpga_thr = entry.fpga_threshold;
+  if (!breaker_closed()) {
+    fpga_thr = static_cast<int>(
+                   fpga_thr * health_opts_.breaker_demotion_factor) +
+               1;
+  }
+
   bool wants_reconfigure = false;
-  decision.target =
-      decide_placement(load, entry.arm_threshold, entry.fpga_threshold,
-                       kernel_ready, wants_reconfigure);
+  decision.target = decide_placement(load, entry.arm_threshold, fpga_thr,
+                                     kernel_ready, wants_reconfigure);
 
   if (slots_ != nullptr) {
     // Virtualized device: every request is a demand signal, and the
@@ -396,21 +468,21 @@ void SchedulerServer::finish_one(std::uint32_t slot, int load,
     // the kernel deserves fabric (fresh slot, eviction) or more of it
     // (replication).  Replication is also consulted when the kernel is
     // already resident but the load is past FPGA_THR: sustained
-    // pressure grows CUs.
+    // pressure grows CUs.  A tripped breaker stops feeding the gray
+    // cell new programmings without touching what is already resident.
     slots_->note_demand(entry.kernel_name);
-    if (fpga_healthy_ &&
-        (wants_reconfigure ||
-         (kernel_ready && load > entry.fpga_threshold))) {
+    if (fpga_healthy_ && breaker_closed() &&
+        (wants_reconfigure || (kernel_ready && load > fpga_thr))) {
       if (slots_->provision(entry.kernel_name)) {
         ++stats_.reconfigurations_started;
         decision.reconfiguration_started = true;
       }
     }
-  } else if (wants_reconfigure) {
+  } else if (wants_reconfigure && breaker_closed()) {
     const bool was_reconfiguring = device_.reconfiguring();
     maybe_start_reconfiguration(entry.kernel_name);
     decision.reconfiguration_started = !was_reconfiguring;
-    if (!opts_.hide_reconfiguration && load > entry.fpga_threshold &&
+    if (!opts_.hide_reconfiguration && load > fpga_thr &&
         entry.fpga_threshold < entry.arm_threshold) {
       // Blocking ablation: the traditional flow stalls the caller on
       // the configuration instead of running elsewhere meanwhile.

@@ -121,6 +121,22 @@ class SchedulerServer {
     std::uint64_t late_replies = 0;
     std::uint64_t evictions = 0;       ///< healthy -> evicted transitions
     std::uint64_t reinstatements = 0;  ///< evicted -> healthy transitions
+    // Circuit breaker (gray-failure degradation; zero while closed).
+    std::uint64_t slow_replies = 0;    ///< in-time but above slow_reply
+    std::uint64_t breaker_trips = 0;   ///< closed -> open transitions
+    std::uint64_t breaker_closes = 0;  ///< half-open -> closed transitions
+  };
+
+  /// Per-cell circuit breaker over the FPGA target.  Distinct from
+  /// eviction: an evicted target is treated as dead (kernels read
+  /// absent); an *open breaker* merely demotes the target in placement
+  /// scoring -- already-resident kernels stay callable under enough
+  /// load, but the bar is raised and no new reconfigurations start.
+  enum class BreakerState : std::uint8_t {
+    kClosed,    ///< normal scoring
+    kOpen,      ///< gray target: demoted, no new programmings
+    kHalfOpen,  ///< cooldown elapsed, one good probe seen; one more
+                ///< closes it, any gray signal re-opens it
   };
 
   /// Heartbeat tunables.  Health checking is opt-in (start_health_checks);
@@ -135,6 +151,22 @@ class SchedulerServer {
     Duration timeout = Duration::ms(2.0);
     /// Consecutive misses before the target is evicted.
     std::uint32_t miss_limit = 3;
+    /// An in-time reply slower than this is a *gray* signal: the target
+    /// answers, but sluggishly.  Feeds the circuit breaker, not the
+    /// evictor.  Sits between the healthy reply (200us) and the miss
+    /// timeout so a 4x-slowed cell reads gray, not dead.
+    Duration slow_reply = Duration::ms(0.5);
+    /// Consecutive gray signals (timeouts or slow replies) that trip
+    /// the breaker open.  Kept below miss_limit so degradation is
+    /// noticed before death would be.
+    std::uint32_t breaker_trip_limit = 2;
+    /// Open-state dwell before half-open probing may begin.
+    Duration breaker_cooldown = Duration::ms(20.0);
+    /// While the breaker is open or half-open, the app's FPGA threshold
+    /// is inflated by this factor (plus one) in placement scoring --
+    /// demotion, not eviction: resident kernels stay callable under
+    /// enough load.
+    double breaker_demotion_factor = 2.0;
   };
 
   SchedulerServer(sim::Simulation& sim, LoadMonitor& monitor,
@@ -181,6 +213,24 @@ class SchedulerServer {
   /// False while the heartbeat tracker has the FPGA target evicted.
   /// Always true when health checks are off.
   [[nodiscard]] bool fpga_healthy() const { return fpga_healthy_; }
+
+  /// Circuit-breaker state (kClosed whenever health checks are off).
+  [[nodiscard]] BreakerState breaker_state() const { return breaker_; }
+  [[nodiscard]] bool breaker_closed() const {
+    return breaker_ == BreakerState::kClosed;
+  }
+
+  /// Gray-failure hook (kCellSlow): scale the modeled device-side
+  /// heartbeat reply latency -- the ping handler on a slowed cell
+  /// answers late, which is exactly the slow-reply signal the breaker
+  /// watches for.  1.0 restores nominal.
+  void set_reply_latency_scale(double scale) {
+    XAR_EXPECTS(scale > 0.0);
+    reply_latency_scale_ = scale;
+  }
+  [[nodiscard]] double reply_latency_scale() const {
+    return reply_latency_scale_;
+  }
 
   /// Slot-aware residency of `kernel` as the placement policy sees it:
   /// an evicted (unhealthy) target answers "not resident" regardless of
@@ -238,8 +288,12 @@ class SchedulerServer {
   void maybe_start_reconfiguration(std::string_view kernel);
   /// One heartbeat tick: ping, arm the timeout, schedule the next tick.
   void heartbeat_tick();
-  void heartbeat_reply(std::uint64_t seq);
+  void heartbeat_reply(std::uint64_t seq, bool slow);
   void heartbeat_timeout(std::uint64_t seq);
+  /// Breaker inputs: one gray signal (timeout / slow reply) or one
+  /// clean in-time reply.
+  void breaker_note_gray();
+  void breaker_note_ok();
   /// Event body: one decision pass over every request in `batch_slot`
   /// (one arena decode sweep, one load sample, shared residency
   /// probes), answering each client.
@@ -298,6 +352,12 @@ class SchedulerServer {
   std::uint32_t consecutive_misses_ = 0;
   /// Generation guard: stop/start invalidates in-flight tick events.
   std::uint64_t health_generation_ = 0;
+
+  // Circuit breaker state (closed while health checks are off).
+  BreakerState breaker_ = BreakerState::kClosed;
+  std::uint32_t breaker_gray_streak_ = 0;
+  TimePoint breaker_opened_at_;
+  double reply_latency_scale_ = 1.0;
 };
 
 }  // namespace xartrek::runtime

@@ -13,6 +13,10 @@ const char* to_string(FaultEvent::Kind kind) {
     case FaultEvent::Kind::kLinkDown:        return "link-down";
     case FaultEvent::Kind::kLinkUp:          return "link-up";
     case FaultEvent::Kind::kReconfigureFail: return "reconfigure-fail";
+    case FaultEvent::Kind::kCellSlow:        return "cell-slow";
+    case FaultEvent::Kind::kLinkDegraded:    return "link-degraded";
+    case FaultEvent::Kind::kPortFlaky:       return "port-flaky";
+    case FaultEvent::Kind::kDsmCorrupt:      return "dsm-corrupt";
   }
   return "?";
 }
@@ -39,6 +43,58 @@ std::size_t FaultPlan::count(FaultEvent::Kind kind) const {
   return static_cast<std::size_t>(
       std::count_if(events_.begin(), events_.end(),
                     [kind](const FaultEvent& e) { return e.kind == kind; }));
+}
+
+namespace {
+
+[[nodiscard]] bool targets_link(FaultEvent::Kind kind) {
+  return kind == FaultEvent::Kind::kLinkDown ||
+         kind == FaultEvent::Kind::kLinkUp ||
+         kind == FaultEvent::Kind::kLinkDegraded;
+}
+
+[[nodiscard]] bool carries_probability(FaultEvent::Kind kind) {
+  return kind == FaultEvent::Kind::kLinkDegraded ||
+         kind == FaultEvent::Kind::kPortFlaky ||
+         kind == FaultEvent::Kind::kDsmCorrupt;
+}
+
+void describe(const FaultEvent& e, const char* what, std::string* error) {
+  if (error == nullptr) return;
+  *error = std::string(to_string(e.kind)) + " @" +
+           std::to_string(e.at.to_ms()) + "ms index " +
+           std::to_string(e.index) + ": " + what;
+}
+
+}  // namespace
+
+bool FaultPlan::validate(std::uint32_t cells, std::uint32_t links,
+                         std::string* error) const {
+  for (const FaultEvent& e : events_) {
+    const std::uint32_t limit = targets_link(e.kind) ? links : cells;
+    if (e.index >= limit) {
+      describe(e, targets_link(e.kind) ? "link index out of range"
+                                       : "cell index out of range",
+               error);
+      return false;
+    }
+    if (!is_degraded(e.kind)) continue;
+    if (e.until <= e.at) {
+      describe(e, "degradation window is empty (until <= at)", error);
+      return false;
+    }
+    if (e.kind == FaultEvent::Kind::kCellSlow &&
+        (e.magnitude <= 0.0 || e.magnitude > 1.0)) {
+      describe(e, "slow factor must be in (0, 1]", error);
+      return false;
+    }
+    if (carries_probability(e.kind) &&
+        (e.magnitude < 0.0 || e.magnitude > 1.0)) {
+      describe(e, "probability must be in [0, 1]", error);
+      return false;
+    }
+  }
+  return true;
 }
 
 FaultPlan FaultPlan::generate(const ChaosProfile& profile, Rng rng) {
@@ -82,6 +138,49 @@ FaultPlan FaultPlan::generate(const ChaosProfile& profile, Rng rng) {
     if (!hit) continue;
     plan.add(FaultEvent{FaultEvent::Kind::kReconfigureFail,
                         TimePoint::at_ms(at), c});
+  }
+  // Gray kinds draw after every binary kind, each in its own loop, so a
+  // profile with all gray probabilities at 0 (the default) consumes the
+  // binary draws identically and yields a bit-identical plan.
+  const auto gray_window = [&](double at, double len) {
+    // Lift strictly inside the chaos window, like link heals.
+    return std::min(at + std::max(len, 1e-3), end_ms);
+  };
+  for (std::uint32_t c = 0; c < profile.cells; ++c) {
+    const bool hit = rng.bernoulli(profile.cell_slow_probability);
+    const double at = rng.uniform_real(begin_ms, end_ms);
+    const double len = rng.exponential_mean(profile.mean_degradation.to_ms());
+    if (!hit) continue;
+    plan.add(FaultEvent{FaultEvent::Kind::kCellSlow, TimePoint::at_ms(at), c,
+                        profile.slow_factor,
+                        TimePoint::at_ms(gray_window(at, len))});
+  }
+  for (std::uint32_t l = 0; l < profile.links; ++l) {
+    const bool hit = rng.bernoulli(profile.link_degrade_probability);
+    const double at = rng.uniform_real(begin_ms, end_ms);
+    const double len = rng.exponential_mean(profile.mean_degradation.to_ms());
+    if (!hit) continue;
+    plan.add(FaultEvent{FaultEvent::Kind::kLinkDegraded, TimePoint::at_ms(at),
+                        l, profile.degraded_drop_probability,
+                        TimePoint::at_ms(gray_window(at, len))});
+  }
+  for (std::uint32_t c = 0; c < profile.cells; ++c) {
+    const bool hit = rng.bernoulli(profile.port_flaky_probability);
+    const double at = rng.uniform_real(begin_ms, end_ms);
+    const double len = rng.exponential_mean(profile.mean_degradation.to_ms());
+    if (!hit) continue;
+    plan.add(FaultEvent{FaultEvent::Kind::kPortFlaky, TimePoint::at_ms(at), c,
+                        profile.flaky_fail_probability,
+                        TimePoint::at_ms(gray_window(at, len))});
+  }
+  for (std::uint32_t c = 0; c < profile.cells; ++c) {
+    const bool hit = rng.bernoulli(profile.dsm_corrupt_probability);
+    const double at = rng.uniform_real(begin_ms, end_ms);
+    const double len = rng.exponential_mean(profile.mean_degradation.to_ms());
+    if (!hit) continue;
+    plan.add(FaultEvent{FaultEvent::Kind::kDsmCorrupt, TimePoint::at_ms(at),
+                        c, profile.corrupt_probability,
+                        TimePoint::at_ms(gray_window(at, len))});
   }
   return plan;
 }

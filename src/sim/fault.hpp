@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -25,18 +26,46 @@
 namespace xartrek::sim {
 
 /// One scheduled fault.
+///
+/// The first four kinds are binary (PR 6): a victim is dead or alive.
+/// The gray kinds degrade a victim for a window instead of killing it:
+/// each carries a `magnitude` (a rate multiplier or a probability) and
+/// an `until` instant at which the cluster restores the victim.
 struct FaultEvent {
   enum class Kind : std::uint8_t {
     kCellKill,         ///< cell `index` dies (drain + re-place its jobs)
     kLinkDown,         ///< ring link `index` partitions
     kLinkUp,           ///< ring link `index` heals
     kReconfigureFail,  ///< cell `index`'s next FPGA programming fails
+    kCellSlow,         ///< cell `index` serves CPU work at `magnitude`x
+                       ///< rate until `until`
+    kLinkDegraded,     ///< ring link `index` inflates latency and drops
+                       ///< each transfer with probability `magnitude`
+                       ///< until `until`
+    kPortFlaky,        ///< cell `index`'s reconfiguration port fails
+                       ///< each programming with probability `magnitude`
+                       ///< until `until`
+    kDsmCorrupt,       ///< cell `index`'s DSM corrupts each transfer
+                       ///< payload with probability `magnitude` until
+                       ///< `until`
   };
 
   Kind kind = Kind::kCellKill;
   TimePoint at;             ///< absolute simulated time the fault strikes
   std::uint32_t index = 0;  ///< victim: cell or ring-link number
+  /// Degraded kinds only: service-rate multiplier (kCellSlow) or
+  /// per-event probability (kLinkDegraded / kPortFlaky / kDsmCorrupt).
+  /// Ignored by the binary kinds, excluded from the plan's sort key.
+  double magnitude = 0.0;
+  /// Degraded kinds only: when the degradation lifts.  Ignored by the
+  /// binary kinds, excluded from the plan's sort key.
+  TimePoint until;
 };
+
+/// True for the windowed degradation kinds (kCellSlow and later).
+[[nodiscard]] constexpr bool is_degraded(FaultEvent::Kind kind) {
+  return kind >= FaultEvent::Kind::kCellSlow;
+}
 
 [[nodiscard]] const char* to_string(FaultEvent::Kind kind);
 
@@ -56,6 +85,28 @@ struct ChaosProfile {
   /// Hard cap on kills.  Defaults (0) to cells - 1: at least one cell
   /// survives, so drained jobs always have somewhere to land.
   std::uint32_t max_cell_kills = 0;
+
+  // --- Gray-failure knobs (all default off so pre-existing profiles
+  // generate bit-identical plans; their draws run after the binary
+  // kinds' draws, in a fixed order).
+  double cell_slow_probability = 0.0;     ///< per cell
+  double link_degrade_probability = 0.0;  ///< per link
+  double port_flaky_probability = 0.0;    ///< per cell
+  double dsm_corrupt_probability = 0.0;   ///< per cell
+  /// Service-rate multiplier a slowed cell runs at (kCellSlow
+  /// magnitude); 0.25 = quarter speed.
+  double slow_factor = 0.25;
+  /// Per-transfer drop probability on a degraded link (kLinkDegraded
+  /// magnitude).
+  double degraded_drop_probability = 0.1;
+  /// Per-programming failure probability on a flaky port (kPortFlaky
+  /// magnitude).
+  double flaky_fail_probability = 0.5;
+  /// Per-transfer corruption probability under kDsmCorrupt.
+  double corrupt_probability = 0.25;
+  /// Mean length of a gray window (exponential, clamped inside the
+  /// chaos window like link flaps are).
+  Duration mean_degradation = Duration::ms(50.0);
 };
 
 /// A sorted, immutable-once-built schedule of FaultEvents.
@@ -72,6 +123,14 @@ class FaultPlan {
 
   /// Events of one kind (diagnostics / tests).
   [[nodiscard]] std::size_t count(FaultEvent::Kind kind) const;
+
+  /// Build-time victim-range check: every cell-targeting event's index
+  /// must be < `cells` and every link-targeting event's < `links`, and
+  /// degraded events must carry a sane window (`until` > `at`) and a
+  /// magnitude in [0, 1] for the probability kinds.  Returns false (and
+  /// fills `error`, if given) instead of asserting mid-run.
+  [[nodiscard]] bool validate(std::uint32_t cells, std::uint32_t links,
+                              std::string* error = nullptr) const;
 
   /// Draw a plan from `profile`.  A pure function of (profile, rng
   /// state): the same seeded Rng always yields the identical plan.

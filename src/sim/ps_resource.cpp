@@ -50,6 +50,16 @@ PsResource::JobId PsResource::submit(double demand, Callback on_complete) {
   return encode_id(slot, generation);
 }
 
+void PsResource::set_capacity_scale(double scale) {
+  XAR_EXPECTS(scale > 0.0);
+  if (scale == scale_) return;
+  // Settle attained service at the old rate, switch, re-arm the next
+  // completion at the new rate -- the standard mid-run mutation pattern.
+  advance();
+  scale_ = scale;
+  reschedule();
+}
+
 bool PsResource::cancel(JobId id) {
   const std::uint32_t slot = resolve(id);
   if (slot == kNoSlot) return false;

@@ -83,6 +83,14 @@ class PsResource {
     return rate_per_job(live_);
   }
 
+  /// Scale total capacity by `scale` (> 0) from this instant on; 1.0
+  /// restores the configured rate.  Gray-failure hook (kCellSlow): work
+  /// already served stays served -- the virtual clock is settled at the
+  /// old rate before the new one takes effect, so completion instants
+  /// stay arithmetically exact across the change.
+  void set_capacity_scale(double scale);
+  [[nodiscard]] double capacity_scale() const { return scale_; }
+
   /// Total service units delivered since construction (for conservation
   /// checks in tests).
   [[nodiscard]] double delivered_work() const;
@@ -128,8 +136,11 @@ class PsResource {
 
   [[nodiscard]] double rate_per_job(std::size_t n) const {
     if (n == 0) return 0.0;
-    const double fair = cfg_.capacity / static_cast<double>(n);
-    return fair < cfg_.per_job_cap ? fair : cfg_.per_job_cap;
+    // Both the pool and the per-core cap slow down together: a slowed
+    // cell's cores clock down, they do not disappear.
+    const double fair = cfg_.capacity * scale_ / static_cast<double>(n);
+    const double cap = cfg_.per_job_cap * scale_;
+    return fair < cap ? fair : cap;
   }
 
   [[nodiscard]] static JobId encode_id(std::uint32_t slot,
@@ -167,6 +178,7 @@ class PsResource {
   std::vector<HeapEntry> heap_;  ///< binary min-heap on (finish_v, seq)
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 0;
+  double scale_ = 1.0;           ///< capacity multiplier (gray faults)
   double vtime_ = 0.0;           ///< attained service per resident job
   TimePoint last_advance_ = TimePoint::origin();
   double delivered_ = 0.0;
