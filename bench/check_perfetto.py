@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Validate an exported Chrome trace-event / Perfetto JSON file.
+
+Stdlib-only schema check for the traces written by obs::perfetto_trace_json
+(see docs/observability.md).  Used by the `obs_schema_check` ctest against
+the trace the `obs_smoke` run exports.
+
+Checks:
+  * top-level object with displayTimeUnit == "ms" and a traceEvents list
+  * every event is a complete-duration event (ph == "X") with the fields
+    the Perfetto JSON importer needs: name, cat, ts, dur, pid, tid
+  * ts/dur are finite numbers, dur >= 0 (microseconds)
+  * args.trace_id present and integral
+
+With --require-stitch, additionally asserts that at least one trace id > 0
+appears on two or more pids (lanes) -- the cross-cell stitch of a migrated
+job -- and that the span names the stitch is made of are present.
+
+Exit code 0 on success; 1 with a message on stderr otherwise.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def fail(msg):
+    print(f"check_perfetto: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def is_finite_number(x):
+    return isinstance(x, (int, float)) and not isinstance(x, bool) \
+        and math.isfinite(x)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the exported trace JSON")
+    parser.add_argument("--require-stitch", action="store_true",
+                        help="require a trace id > 0 spanning >= 2 pids")
+    parser.add_argument("--min-events", type=int, default=1,
+                        help="minimum number of trace events (default 1)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"cannot load {args.trace}: {exc}")
+
+    if not isinstance(doc, dict):
+        fail("top level is not an object")
+    if doc.get("displayTimeUnit") != "ms":
+        fail("displayTimeUnit missing or not 'ms'")
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        fail("traceEvents missing or not a list")
+    if len(events) < args.min_events:
+        fail(f"only {len(events)} events, expected >= {args.min_events}")
+
+    pids_by_trace_id = {}
+    names_by_trace_id = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            fail(f"{where} is not an object")
+        for key in ("name", "cat", "ph", "ts", "dur", "pid", "tid", "args"):
+            if key not in ev:
+                fail(f"{where} missing '{key}'")
+        if ev["ph"] != "X":
+            fail(f"{where} ph is {ev['ph']!r}, expected 'X'")
+        if ev["cat"] != "xartrek":
+            fail(f"{where} cat is {ev['cat']!r}, expected 'xartrek'")
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail(f"{where} name is not a non-empty string")
+        for key in ("ts", "dur"):
+            if not is_finite_number(ev[key]):
+                fail(f"{where} {key} is not a finite number")
+        if ev["dur"] < 0:
+            fail(f"{where} dur is negative")
+        for key in ("pid", "tid"):
+            if not isinstance(ev[key], int) or isinstance(ev[key], bool):
+                fail(f"{where} {key} is not an integer")
+        trace_id = ev["args"].get("trace_id") if isinstance(ev["args"], dict) \
+            else None
+        if not isinstance(trace_id, int) or isinstance(trace_id, bool):
+            fail(f"{where} args.trace_id missing or not integral")
+        pids_by_trace_id.setdefault(trace_id, set()).add(ev["pid"])
+        names_by_trace_id.setdefault(trace_id, set()).add(ev["name"])
+
+    if args.require_stitch:
+        stitched = [tid for tid, pids in pids_by_trace_id.items()
+                    if tid > 0 and len(pids) >= 2]
+        if not stitched:
+            fail("no trace id > 0 appears on >= 2 pids (no cross-cell "
+                 "stitch)")
+        # A stitched job must show the drain legs and the completion.
+        needed = {"drain.transfer", "job.complete"}
+        if not any(needed <= names_by_trace_id[tid] for tid in stitched):
+            fail(f"no stitched trace id carries all of {sorted(needed)}")
+        print(f"check_perfetto: OK: {len(events)} events, "
+              f"{len(stitched)} stitched trace id(s)")
+    else:
+        print(f"check_perfetto: OK: {len(events)} events")
+    sys.exit(0)
+
+
+if __name__ == "__main__":
+    main()

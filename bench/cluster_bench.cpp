@@ -27,10 +27,13 @@
 
 #include "apps/benchmark_spec.hpp"
 #include "apps/load_generator.hpp"
+#include "bench/alloc_hook.hpp"
 #include "common/cpu_time.hpp"
 #include "exp/cluster.hpp"
 #include "exp/experiment.hpp"
 #include "exp/threshold_estimator.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault.hpp"
 
 namespace xartrek::bench {
@@ -289,6 +292,7 @@ SweepResult run_attach_detach_single(std::uint64_t jobs) {
 struct FaultConfigResult {
   double wall_seconds = 0;
   std::uint64_t events = 0;
+  std::uint64_t spans = 0;
   exp::ClusterExperiment::JobStats stats;
 };
 
@@ -302,7 +306,7 @@ enum class FaultMode { kNone, kChaos, kGray };
 /// are machine-neutral measures of what the fault machinery --
 /// heartbeats, backoff, checksum retries, breaker demotion -- costs.
 FaultConfigResult run_fault_config(const runtime::ThresholdTable& table,
-                                   FaultMode mode) {
+                                   FaultMode mode, bool traced = false) {
   constexpr std::size_t kCells = 4;
   exp::ClusterSpec spec;
   spec.cells = kCells;
@@ -311,6 +315,7 @@ FaultConfigResult run_fault_config(const runtime::ThresholdTable& table,
   options.mode = apps::SystemMode::kXarTrek;
   exp::ClusterExperiment cluster(apps::paper_benchmarks(), table, spec,
                                  options);
+  if (traced) cluster.enable_tracing();
   for (std::size_t c = 0; c < kCells; ++c) {
     cluster.submit(c, "facedet320");
     cluster.submit(c, "digit500");
@@ -341,6 +346,84 @@ FaultConfigResult run_fault_config(const runtime::ThresholdTable& table,
   r.wall_seconds = seconds_since(start);
   r.events = cluster.engine().engine().executed_events() - before;
   r.stats = cluster.job_stats();
+  if (traced) r.spans = cluster.tracer()->span_count();
+  return r;
+}
+
+struct ObsResult {
+  double off_wall_seconds = 0;   ///< best-of-3 untraced gray run
+  double on_wall_seconds = 0;    ///< best-of-3 traced gray run
+  double overhead_ratio = 0;     ///< on / off, both best-of-3
+  std::uint64_t spans = 0;
+  std::uint64_t events = 0;      ///< identical on/off (pure metadata)
+  int trace_nonempty = 0;
+  int events_identical = 0;
+  double alloc_calls_per_event = 0;
+  double alloc_bytes_per_event = 0;
+  std::uint64_t alloc_events = 0;
+};
+
+/// Tracer overhead + the zero-alloc steady-state contract.
+///
+/// Overhead: the gray-storm fault config with tracing off and on,
+/// interleaved, best-of-3 walls per arm so a noisy timeslice cannot
+/// land in the ratio.  Tracing is pure metadata -- the event counts
+/// must match exactly -- so the wall ratio isolates the observability
+/// layer's cost.
+///
+/// Allocation: after one warm-up pass has sized the span slab and the
+/// histogram/counter pools, a measured pass of counter increments,
+/// histogram records, and span emits must allocate nothing at all.
+ObsResult run_obs_section(const runtime::ThresholdTable& table) {
+  ObsResult r;
+  double best_off = 0.0;
+  double best_on = 0.0;
+  std::uint64_t off_events = 0;
+  for (int i = 0; i < 3; ++i) {
+    const auto off = run_fault_config(table, FaultMode::kGray, false);
+    const auto on = run_fault_config(table, FaultMode::kGray, true);
+    if (i == 0 || off.wall_seconds < best_off) best_off = off.wall_seconds;
+    if (i == 0 || on.wall_seconds < best_on) best_on = on.wall_seconds;
+    off_events = off.events;
+    r.events = on.events;
+    r.spans = on.spans;
+  }
+  r.off_wall_seconds = best_off;
+  r.on_wall_seconds = best_on;
+  r.overhead_ratio = best_on / best_off;
+  r.trace_nonempty = r.spans > 0 ? 1 : 0;
+  r.events_identical = off_events == r.events ? 1 : 0;
+
+  // Steady-state allocation contract on the hot primitives.
+  constexpr std::uint64_t kAllocEvents = 100'000;
+  obs::Registry registry;
+  obs::Registry::Counter* counter = registry.counter("bench.events");
+  obs::Histogram::Options hopts;
+  hopts.lanes = 1;
+  obs::Histogram* hist = registry.histogram("bench.latency_ms", hopts);
+  obs::Tracer tracer(1);
+  auto pump = [&](std::uint64_t n) {
+    for (std::uint64_t i = 0; i < n; ++i) {
+      counter->add(1);
+      hist->record(0.001 * static_cast<double>(i % 4096));
+      const auto span =
+          tracer.begin(0, obs::kTrackJob, "bench.span", i + 1,
+                       TimePoint::at_ms(static_cast<double>(i)));
+      tracer.end(span, TimePoint::at_ms(static_cast<double>(i) + 0.5));
+    }
+  };
+  pump(kAllocEvents);  // warm-up: size the slab and pools
+  tracer.clear();      // keeps capacity
+  const AllocSnapshot before = alloc_snapshot();
+  pump(kAllocEvents);
+  const AllocSnapshot after = alloc_snapshot();
+  r.alloc_events = kAllocEvents;
+  r.alloc_calls_per_event =
+      static_cast<double>(after.calls - before.calls) /
+      static_cast<double>(kAllocEvents);
+  r.alloc_bytes_per_event =
+      static_cast<double>(after.bytes - before.bytes) /
+      static_cast<double>(kAllocEvents);
   return r;
 }
 
@@ -445,6 +528,11 @@ int bench_main() {
                                static_cast<double>(fault_plain.events);
   const int gray_conserved =
       fault_gray.stats.completed == fault_gray.stats.submitted ? 1 : 0;
+
+  std::cerr << "[cluster_bench] obs overhead: the gray storm with the "
+               "tracer off vs on, plus the zero-alloc contract...\n";
+  const auto obs = run_obs_section(fault_table);
+  const int obs_budget_met = obs.overhead_ratio <= 1.05 ? 1 : 0;
   const double sweep_rate =
       2.0 * static_cast<double>(sweep.jobs) /
       (sweep.attach_seconds + sweep.detach_seconds);
@@ -538,6 +626,20 @@ int bench_main() {
       << fault_gray.stats.slots_quarantined << ",\n"
       << "    \"completed_conserved\": " << gray_conserved << ",\n"
       << "    \"retry_overhead_ratio\": " << gray_overhead
+      << "\n  },\n  \"obs\": {\n"
+      << "    \"tracer_off_wall_seconds\": " << obs.off_wall_seconds
+      << ",\n"
+      << "    \"tracer_on_wall_seconds\": " << obs.on_wall_seconds
+      << ",\n"
+      << "    \"overhead_ratio\": " << obs.overhead_ratio << ",\n"
+      << "    \"budget_met\": " << obs_budget_met << ",\n"
+      << "    \"spans\": " << obs.spans << ",\n"
+      << "    \"trace_nonempty\": " << obs.trace_nonempty << ",\n"
+      << "    \"events_identical\": " << obs.events_identical << ",\n"
+      << "    \"alloc_events\": " << obs.alloc_events << ",\n"
+      << "    \"alloc_calls_per_event\": " << obs.alloc_calls_per_event
+      << ",\n"
+      << "    \"alloc_bytes_per_event\": " << obs.alloc_bytes_per_event
       << "\n  }\n}\n";
   out.close();
 
@@ -563,6 +665,10 @@ int bench_main() {
             << fault_gray.stats.corrupt_recovered << " checksum catches, "
             << fault_gray.stats.breaker_trips
             << " breaker trips, conserved=" << gray_conserved << ")\n"
+            << "[cluster_bench] obs overhead: " << obs.overhead_ratio
+            << "x wall with tracing on (" << obs.spans << " spans, "
+            << "events identical=" << obs.events_identical
+            << ", alloc/event=" << obs.alloc_calls_per_event << ")\n"
             << "[cluster_bench] wrote BENCH_cluster.json\n";
   return 0;
 }

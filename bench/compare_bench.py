@@ -90,6 +90,18 @@ METRICS = {
         # Deterministic plan and seeds, hence machine-neutral.
         ("gray.completed_conserved", "exact", False),
         ("gray.retry_overhead_ratio", "lower", False),
+        # Observability layer: tracing is pure metadata, so the event
+        # counts with the tracer off and on must match exactly, the
+        # best-of-3 wall overhead of tracing the gray storm stays
+        # within the 5% budget, and the hot primitives (counter add,
+        # histogram record, span begin/end) allocate nothing in steady
+        # state -- an exact contract.
+        ("obs.overhead_ratio", "lower", False),
+        ("obs.budget_met", "exact", False),
+        ("obs.events_identical", "exact", False),
+        ("obs.trace_nonempty", "exact", False),
+        ("obs.alloc_calls_per_event", "abs", False),
+        ("obs.alloc_bytes_per_event", "abs", False),
         ("cluster.single_queue.wall_events_per_sec", "higher", True),
         ("attach_detach.jobs_per_sec", "higher", True),
     ],

@@ -13,6 +13,8 @@
 #include <iostream>
 #include <vector>
 
+#include <string>
+
 #include "apps/application.hpp"
 #include "apps/benchmark_spec.hpp"
 #include "apps/load_generator.hpp"
@@ -20,9 +22,44 @@
 #include "exp/cluster.hpp"
 #include "exp/experiment.hpp"
 #include "exp/threshold_estimator.hpp"
+#include "obs/export.hpp"
 #include "sim/fault.hpp"
 
 namespace {
+
+// XARTREK_OBS_EXPORT=<dir> turns on tracing for the chaos/gray phases
+// and writes <dir>/{chaos,gray}_trace.json (Perfetto-loadable),
+// <dir>/{chaos,gray}_metrics.json (full registry snapshot) and
+// <dir>/{chaos,gray}_metrics_delta.txt (the run's per-phase delta:
+// counters subtract, gauges keep the later value).
+const char* obs_export_dir() { return std::getenv("XARTREK_OBS_EXPORT"); }
+
+void export_obs(xartrek::exp::ClusterExperiment& cluster,
+                const std::string& phase,
+                const xartrek::obs::Snapshot& before) {
+  using namespace xartrek;
+  const char* dir = obs_export_dir();
+  if (dir == nullptr) return;
+  const std::string base = std::string(dir) + "/" + phase;
+  const obs::Snapshot after = cluster.registry().snapshot();
+  bool ok = obs::write_file(base + "_metrics.json", obs::metrics_json(after));
+  ok = obs::write_file(base + "_metrics_delta.txt",
+                       obs::metrics_text(after.delta(before))) &&
+       ok;
+  if (cluster.tracer() != nullptr) {
+    ok = obs::write_file(base + "_trace.json",
+                         obs::perfetto_trace_json(*cluster.tracer())) &&
+         ok;
+    std::cout << "[" << phase << "] exported "
+              << cluster.tracer()->span_count() << " spans and "
+              << cluster.registry().size() << " metrics to " << base
+              << "_*\n";
+  }
+  if (!ok) {
+    std::cout << "[" << phase << "] WARN: observability export to " << dir
+              << " failed\n";
+  }
+}
 
 // Chaos phase: a four-cell cluster takes a spike while cell 1 dies and
 // the ring link its jobs drain over is partitioned.  The invariants --
@@ -44,6 +81,8 @@ int run_chaos_phase() {
   cluster_spec.parallel = true;
   exp::ClusterExperiment cluster(specs, estimation.table, cluster_spec,
                                  options);
+  if (obs_export_dir() != nullptr) cluster.enable_tracing();
+  const obs::Snapshot obs_before = cluster.registry().snapshot();
 
   // Mid-spike churn load so the faults land on busy cells.
   apps::ShardedLoadGenerator::Options churn;
@@ -70,6 +109,7 @@ int run_chaos_phase() {
   const bool all_done =
       cluster.run_until_jobs_complete(Duration::minutes(5));
   cluster.set_background_load(0);
+  export_obs(cluster, "chaos", obs_before);
 
   const auto stats = cluster.job_stats();
   std::cout << "[chaos] " << stats.submitted << " jobs submitted, "
@@ -126,6 +166,8 @@ int run_gray_phase() {
   cluster_spec.parallel = true;
   exp::ClusterExperiment cluster(specs, estimation.table, cluster_spec,
                                  options);
+  if (obs_export_dir() != nullptr) cluster.enable_tracing();
+  const obs::Snapshot obs_before = cluster.registry().snapshot();
 
   apps::ShardedLoadGenerator::Options churn;
   churn.run_demand = Duration::ms(2.0);
@@ -153,6 +195,7 @@ int run_gray_phase() {
   const bool all_done =
       cluster.run_until_jobs_complete(Duration::minutes(5));
   cluster.set_background_load(0);
+  export_obs(cluster, "gray", obs_before);
 
   const auto stats = cluster.job_stats();
   std::cout << "[gray] " << stats.submitted << " jobs submitted, "

@@ -16,6 +16,7 @@ struct RunState {
   AppProcess::ExitCallback on_exit;
   AppResult result;
   int observed_load = 0;
+  std::uint32_t trace_pid = 0;  ///< trace context for the placement request
 };
 
 using StatePtr = std::shared_ptr<RunState>;
@@ -92,7 +93,8 @@ void run_function_phase(const StatePtr& st) {
     case SystemMode::kXarTrek: {
       XAR_EXPECTS(st->env.server != nullptr);
       st->env.server->request_placement(
-          st->spec.name, [st, costs](runtime::PlacementDecision decision) {
+          st->spec.name, st->trace_pid,
+          [st, costs](runtime::PlacementDecision decision) {
             st->result.func_target = decision.target;
             st->observed_load = decision.observed_load;
             st->env.executor->execute(
@@ -119,7 +121,8 @@ void run_pre_phase(const StatePtr& st) {
 }  // namespace
 
 void AppProcess::launch(const RuntimeEnv& env, const BenchmarkSpec& spec,
-                        SystemMode mode, ExitCallback on_exit) {
+                        SystemMode mode, ExitCallback on_exit,
+                        std::uint32_t trace_pid) {
   XAR_EXPECTS(env.testbed != nullptr && env.executor != nullptr);
   XAR_EXPECTS(on_exit != nullptr);
   if (mode == SystemMode::kXarTrek) {
@@ -128,7 +131,7 @@ void AppProcess::launch(const RuntimeEnv& env, const BenchmarkSpec& spec,
   }
 
   auto st = std::make_shared<RunState>(RunState{
-      env, spec, mode, std::move(on_exit), AppResult{}, 0});
+      env, spec, mode, std::move(on_exit), AppResult{}, 0, trace_pid});
   st->result.app = spec.name;
   st->result.started = env.testbed->simulation().now();
 

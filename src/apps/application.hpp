@@ -15,6 +15,7 @@
 //                threshold refinement at exit (Algorithm 1).
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -73,8 +74,12 @@ class AppProcess {
   using ExitCallback = std::function<void(const AppResult&)>;
 
   /// Start one run now.  `on_exit` fires when the post phase completes.
+  /// `trace_pid` is the run's trace context (carried to the scheduler in
+  /// the placement request's pid field so its decision spans stitch to
+  /// the submitting job; 0 = untracked); it does not affect execution.
   static void launch(const RuntimeEnv& env, const BenchmarkSpec& spec,
-                     SystemMode mode, ExitCallback on_exit);
+                     SystemMode mode, ExitCallback on_exit,
+                     std::uint32_t trace_pid = 0);
 };
 
 }  // namespace xartrek::apps

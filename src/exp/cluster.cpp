@@ -117,6 +117,59 @@ ClusterExperiment::ClusterExperiment(
     }
     build_drain_channels();
   }
+
+  // Observability: registration allocates everything up front (pooled
+  // counters, histogram lanes), so snapshots later never touch the hot
+  // path.  Registration order is fixed by construction order, which is
+  // what makes exported snapshots byte-identical serial vs parallel.
+  register_all_metrics();
+}
+
+void ClusterExperiment::register_all_metrics() {
+  const std::size_t n = cells_.size();
+  obs::Histogram::Options hopts;
+  hopts.lanes = n;  // completions record on the completing cell's shard
+  job_latency_ = registry_.histogram("cluster.job.latency_ms", hopts);
+  engine_->engine().register_metrics(registry_, "sim");
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::string prefix = "cell" + std::to_string(i);
+    cells_[i]->server().register_metrics(registry_, prefix + ".sched");
+    if (i < intercell_.size()) {
+      intercell_[i]->register_metrics(registry_, prefix + ".link");
+    }
+    if (i < drain_links_.size()) {
+      drain_links_[i]->register_metrics(registry_, prefix + ".drain.link");
+    }
+    if (i < drain_channels_.size()) {
+      // The drain channels are torn down and rebuilt by
+      // apply_fault_plan (build_drain_channels), so linking their
+      // counter addresses would dangle.  Probes re-resolve the current
+      // channel at snapshot time instead -- never on the hot path.
+      const auto probe = [&](const char* name,
+                             std::uint64_t hw::ReliableChannel::Stats::*f) {
+        registry_.probe(prefix + ".drain." + name, [this, i, f]() {
+          return i < drain_channels_.size()
+                     ? static_cast<double>(drain_channels_[i]->stats().*f)
+                     : 0.0;
+        });
+      };
+      probe("sends", &hw::ReliableChannel::Stats::sends);
+      probe("retries", &hw::ReliableChannel::Stats::retries);
+      probe("corrupt_detected", &hw::ReliableChannel::Stats::corrupt_detected);
+      probe("duplicates_suppressed",
+            &hw::ReliableChannel::Stats::duplicates_suppressed);
+      probe("delivered", &hw::ReliableChannel::Stats::delivered);
+      probe("abandoned", &hw::ReliableChannel::Stats::abandoned);
+    }
+  }
+}
+
+void ClusterExperiment::enable_tracing(obs::Tracer::Options opts) {
+  tracer_ = std::make_unique<obs::Tracer>(cells_.size(), opts);
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i]->server().set_tracer(tracer_.get(),
+                                   static_cast<std::uint32_t>(i));
+  }
 }
 
 void ClusterExperiment::build_drain_channels() {
@@ -332,6 +385,12 @@ std::uint64_t ClusterExperiment::submit(std::size_t i,
   job.submitted_at = now();
   jobs_.push_back(job);
   cell_jobs_[i].push_back(id);
+  if (tracer_ != nullptr && tracer_->sampled(trace_id_of(id))) {
+    // submit() runs on the main thread between runs, when no worker
+    // writes any lane -- touching lane i here is single-writer safe.
+    tracer_->instant(static_cast<std::uint32_t>(i), obs::kTrackJob,
+                     "job.submit", trace_id_of(id), now());
+  }
   engine_->sim_of(x86_nodes_[i]).schedule_at(now(),
                                              [this, id] { place_job(id); });
   return id;
@@ -353,6 +412,12 @@ void ClusterExperiment::place_job(std::uint64_t id) {
       std::min(job.attempts - 1, fault_opts_.backoff_cap_exponent);
   const Duration delay =
       fault_opts_.backoff_base * static_cast<double>(std::uint64_t{1} << exp);
+  if (tracer_ != nullptr && tracer_->sampled(trace_id_of(id))) {
+    tracer_->emit(static_cast<std::uint32_t>(c), obs::kTrackJob,
+                  "job.backoff", trace_id_of(id),
+                  engine_->sim_of(x86_nodes_[c]).now(),
+                  engine_->sim_of(x86_nodes_[c]).now() + delay);
+  }
   engine_->sim_of(x86_nodes_[c]).schedule_in(delay,
                                              [this, id] { forward_job(id); });
 }
@@ -362,18 +427,36 @@ void ClusterExperiment::launch_tracked(std::uint64_t id) {
   const std::size_t c = job.cell;
   job.state = JobState::kRunning;
   const std::uint64_t epoch = cell_epoch_[c];
+  const std::uint64_t tid = trace_id_of(id);
+  obs::SpanRef run_span;
+  if (tracer_ != nullptr && tracer_->sampled(tid)) {
+    run_span = tracer_->begin(static_cast<std::uint32_t>(c), obs::kTrackJob,
+                              "job.run", tid,
+                              engine_->sim_of(x86_nodes_[c]).now());
+  }
   apps::AppProcess::launch(
       cells_[c]->env(), cells_[c]->specs()[job.app_index],
       cells_[c]->options().mode,
-      [this, id, c, epoch](const apps::AppResult&) {
+      [this, id, c, epoch, run_span](const apps::AppResult&) {
+        const TimePoint at = engine_->sim_of(x86_nodes_[c]).now();
+        // The span closes either way (an abandoned attempt genuinely
+        // ran until this exit event); the ref travels by value because
+        // a ghost must not touch the job record below.
+        if (tracer_ != nullptr) tracer_->end(run_span, at);
         // Ghost completion: the cell died after this run launched, so
         // the job was drained and re-placed -- another shard owns its
         // record now.  Drop the exit without touching anything.
         if (cell_epoch_[c] != epoch) return;
         TrackedJob& done = jobs_[id];
         done.state = JobState::kCompleted;
-        done.completed_at = engine_->sim_of(x86_nodes_[c]).now();
-      });
+        done.completed_at = at;
+        job_latency_->record(c, (at - done.submitted_at).to_ms());
+        if (tracer_ != nullptr && tracer_->sampled(trace_id_of(id))) {
+          tracer_->instant(static_cast<std::uint32_t>(c), obs::kTrackJob,
+                           "job.complete", trace_id_of(id), at);
+        }
+      },
+      static_cast<std::uint32_t>(tid));
 }
 
 void ClusterExperiment::forward_job(std::uint64_t id) {
@@ -425,7 +508,28 @@ void ClusterExperiment::forward_job(std::uint64_t id) {
     }
     land_job(dst, std::move(arrived));
   };
-  engine_->sim_of(x86_nodes_[c]).schedule_in(transform_cost, leg);
+  sim::Simulation& src = engine_->sim_of(x86_nodes_[c]);
+  const std::uint64_t tid = trace_id_of(id);
+  if (tracer_ != nullptr && tracer_->sampled(tid)) {
+    const auto lane = static_cast<std::uint32_t>(c);
+    tracer_->instant(lane, obs::kTrackDrain, "drain.checkpoint", tid,
+                     src.now());
+    // The transform leg's duration is known up front; the transfer leg
+    // closes when the reliable channel delivers (retries included) --
+    // its completion fires on this shard because the drain link is
+    // route-less.
+    tracer_->emit(lane, obs::kTrackDrain, "drain.transform", tid, src.now(),
+                  src.now() + transform_cost);
+    obs::SpanRef span = tracer_->begin(lane, obs::kTrackDrain,
+                                       "drain.transfer", tid, src.now());
+    src.schedule_in(transform_cost, leg);
+    drain_channels_[c]->send(payload, [this, c, span, leg]() mutable {
+      tracer_->end(span, engine_->sim_of(x86_nodes_[c]).now());
+      leg();
+    });
+    return;
+  }
+  src.schedule_in(transform_cost, leg);
   drain_channels_[c]->send(payload, leg);
 }
 
@@ -437,6 +541,14 @@ void ClusterExperiment::land_job(std::size_t dst,
   job.attempts = t.attempts;
   job.state = JobState::kPending;
   cell_jobs_[dst].push_back(t.job);
+  if (tracer_ != nullptr && tracer_->sampled(trace_id_of(t.job))) {
+    // The ticket's job id is the trace context across the drain hop:
+    // this marker lands on the *destination* lane, which is what
+    // stitches one job's spans across cells.
+    tracer_->instant(static_cast<std::uint32_t>(dst), obs::kTrackJob,
+                     "job.land", trace_id_of(t.job),
+                     engine_->sim_of(x86_nodes_[dst]).now());
+  }
   // If dst is dead too, place_job forwards onward around the ring --
   // the plan's kill budget guarantees a survivor.
   place_job(t.job);
@@ -498,22 +610,18 @@ std::vector<double> ClusterExperiment::job_completion_times_ms() const {
 ClusterExperiment::JobStats ClusterExperiment::job_stats() const {
   JobStats s;
   s.submitted = jobs_.size();
-  std::vector<double> latencies;
   for (const TrackedJob& j : jobs_) {
     s.drained += j.drains;
     s.retries += j.attempts;
-    if (j.state != JobState::kCompleted) continue;
-    ++s.completed;
-    latencies.push_back((j.completed_at - j.submitted_at).to_ms());
+    if (j.state == JobState::kCompleted) ++s.completed;
   }
-  if (!latencies.empty()) {
-    std::sort(latencies.begin(), latencies.end());
-    s.max_latency_ms = latencies.back();
-    const auto idx = static_cast<std::size_t>(
-                         std::ceil(0.99 * static_cast<double>(
-                                              latencies.size()))) -
-                     1;
-    s.p99_latency_ms = latencies[std::min(idx, latencies.size() - 1)];
+  // Latencies come from the registry's histogram (fed at completion on
+  // the completing cell's shard) instead of re-sorting a raw vector on
+  // every call: max is exact, p99 is a lower-edge estimate that never
+  // exceeds the true quantile (so `p99 <= budget` assertions stay safe).
+  if (job_latency_->count() > 0) {
+    s.max_latency_ms = job_latency_->max();
+    s.p99_latency_ms = job_latency_->percentile(0.99);
   }
   // Gray-failure telemetry: sum the per-cell reliability layers (all
   // shard-owned state, read from the main thread between runs).

@@ -40,6 +40,8 @@
 #include "exp/experiment.hpp"
 #include "hw/link.hpp"
 #include "hw/reliable_channel.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "popcorn/checkpoint.hpp"
 #include "popcorn/state_transform.hpp"
 #include "runtime/scheduler_server.hpp"
@@ -239,7 +241,37 @@ class ClusterExperiment {
     std::uint64_t slots_quarantined = 0;  ///< fabric taken out of rotation
   };
   /// Aggregate over completed jobs (main thread, between runs).
+  /// p99/max come from the registry's `cluster.job.latency_ms`
+  /// histogram (exact max/min; p99 is a lower-edge estimate that never
+  /// exceeds the true quantile) instead of re-sorting a raw latency
+  /// vector on every call.
   [[nodiscard]] JobStats job_stats() const;
+
+  // --- observability ----------------------------------------------------
+
+  /// The cluster's metrics registry.  Every cell's scheduler (and slot
+  /// scheduler), the ring/drain links, the drain channels, and the
+  /// sharded engine are registered at construction under
+  /// "cell<i>.sched", "cell<i>.link", "cell<i>.drain" and "sim";
+  /// tracked-job latencies feed the "cluster.job.latency_ms" histogram.
+  /// Snapshot only between runs (the drained boundary or a join orders
+  /// the single-writer lanes against the reader); snapshots are
+  /// byte-identical serial vs parallel.
+  [[nodiscard]] obs::Registry& registry() { return registry_; }
+
+  /// Attach a tracer (one lane per cell) and wire every span source:
+  /// job lifecycle (submit/run/backoff/complete), checkpointed drain
+  /// legs (transform/transfer), scheduler batches and decisions, and
+  /// slot programmings.  Call between runs, before the traced workload.
+  void enable_tracing() { enable_tracing(obs::Tracer::Options{}); }
+  void enable_tracing(obs::Tracer::Options opts);
+  [[nodiscard]] obs::Tracer* tracer() { return tracer_.get(); }
+
+  /// The trace id a tracked job's spans carry (job id + 1; 0 is
+  /// reserved for untracked infrastructure work).
+  [[nodiscard]] static std::uint64_t trace_id_of(std::uint64_t job_id) {
+    return job_id + 1;
+  }
 
  private:
   enum class JobState : std::uint8_t {
@@ -261,6 +293,10 @@ class ClusterExperiment {
     TimePoint submitted_at;
     TimePoint completed_at;
   };
+
+  /// Register every stable component's counters (and probes for the
+  /// rebuildable drain channels) with registry_.  Construction only.
+  void register_all_metrics();
 
   // All of these run on the owning cell's shard.
   void place_job(std::uint64_t id);
@@ -313,6 +349,14 @@ class ClusterExperiment {
   std::vector<std::unique_ptr<hw::Link>> drain_links_;
   std::vector<std::unique_ptr<hw::ReliableChannel>> drain_channels_;
   std::vector<sim::CrossShardChannel> drain_arrivals_;
+
+  // Observability.  The registry owns the job-latency histogram (one
+  // lane per cell: completions record on the completing cell's shard);
+  // the tracer is created by enable_tracing() and is inert -- the event
+  // trace is bit-identical attached or not.
+  obs::Registry registry_;
+  obs::Histogram* job_latency_ = nullptr;
+  std::unique_ptr<obs::Tracer> tracer_;
 };
 
 }  // namespace xartrek::exp

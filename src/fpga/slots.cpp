@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/registry.hpp"
+
 namespace xartrek::fpga {
 
 SlotScheduler::SlotScheduler(FpgaDevice& device, Options opts)
@@ -98,6 +100,19 @@ std::uint32_t SlotScheduler::quarantined_slots() const {
 
 void SlotScheduler::program(std::uint32_t slot, const Tenant& tenant,
                             std::uint32_t replicas) {
+  if (tracer_ != nullptr && trace_clock_ != nullptr) {
+    // Wrap the programming window in a span; the typed completion
+    // closes it whether the write lands, fails, or tears.
+    obs::SpanRef span =
+        tracer_->begin(trace_lane_, obs::kTrackFpga, "fpga.slot_program",
+                       /*trace_id=*/0, trace_clock_->now());
+    device_.reconfigure_slot(slot, tenant.config, replicas,
+                             [this, slot, span](ReconfigureResult r) {
+                               tracer_->end(span, trace_clock_->now());
+                               record_result(slot, r);
+                             });
+    return;
+  }
   device_.reconfigure_slot(slot, tenant.config, replicas,
                            [this, slot](ReconfigureResult r) {
                              record_result(slot, r);
@@ -175,6 +190,17 @@ bool SlotScheduler::provision(std::string_view kernel) {
   }
   ++stats_.denied_cold;
   return false;
+}
+
+void SlotScheduler::register_metrics(obs::Registry& registry,
+                                     const std::string& prefix) const {
+  registry.link_counter(prefix + ".programs", &stats_.programs);
+  registry.link_counter(prefix + ".evictions", &stats_.evictions);
+  registry.link_counter(prefix + ".replications", &stats_.replications);
+  registry.link_counter(prefix + ".denied_no_fit", &stats_.denied_no_fit);
+  registry.link_counter(prefix + ".denied_cold", &stats_.denied_cold);
+  registry.link_counter(prefix + ".failed", &stats_.failed);
+  registry.link_counter(prefix + ".quarantined", &stats_.quarantined);
 }
 
 }  // namespace xartrek::fpga

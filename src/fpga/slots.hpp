@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "fpga/device.hpp"
+#include "obs/trace.hpp"
 
 namespace xartrek::fpga {
 
@@ -94,6 +95,21 @@ class SlotScheduler {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return opts_; }
 
+  /// Link the stats counters into a metrics registry under `prefix`.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
+  /// Emit "fpga.slot_program" spans (begin at reconfigure_slot, end at
+  /// its typed completion) on `lane`.  The scheduler has no Simulation
+  /// reference of its own, so the caller supplies the clock.  Null
+  /// detaches.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t lane,
+                  sim::Simulation* clock) {
+    tracer_ = tracer;
+    trace_lane_ = lane;
+    trace_clock_ = clock;
+  }
+
  private:
   struct Tenant {
     HwKernelConfig config;
@@ -125,6 +141,9 @@ class SlotScheduler {
   std::uint32_t since_fold_ = 0;
   Stats stats_;
   std::vector<SlotHealth> slot_health_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
+  sim::Simulation* trace_clock_ = nullptr;
 };
 
 }  // namespace xartrek::fpga

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/registry.hpp"
+
 namespace xartrek::hw {
 
 LinkSpec ethernet_1gbps() {
@@ -151,6 +153,24 @@ void Link::enter_pool(double mb) {
     return;
   }
   pool_.submit(mb, std::move(cb));
+}
+
+void Link::register_metrics(obs::Registry& registry,
+                            const std::string& prefix) const {
+  registry.link_counter(prefix + ".transfers", &stats_.transfers);
+  registry.link_counter(prefix + ".downs", &stats_.downs);
+  registry.link_counter(prefix + ".parked_transfers",
+                        &stats_.parked_transfers);
+  registry.link_counter(prefix + ".degrades", &stats_.degrades);
+  registry.link_counter(prefix + ".dropped_transfers",
+                        &stats_.dropped_transfers);
+  registry.link_counter(prefix + ".corrupted_transfers",
+                        &stats_.corrupted_transfers);
+  // size_t is not guaranteed to be uint64_t; snapshot through a probe.
+  registry.probe(
+      prefix + ".max_in_flight",
+      [this] { return static_cast<double>(stats_.max_in_flight); },
+      obs::Registry::Kind::kGauge);
 }
 
 }  // namespace xartrek::hw

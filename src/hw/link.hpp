@@ -139,6 +139,13 @@ class Link {
 
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
+  /// Link the stats counters into a metrics registry under `prefix`
+  /// (e.g. "cell0.link").  The Stats struct stays the storage -- the
+  /// registry reads it only at snapshot time, so this Link must
+  /// outlive the registry's snapshots.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
   [[nodiscard]] const LinkSpec& spec() const { return spec_; }
 
  private:

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/registry.hpp"
 
 namespace xartrek::hw {
 
@@ -117,6 +118,20 @@ Duration ReliableChannel::backoff_for(std::uint32_t retry_number) {
           ? rng_.uniform_real(0.0, opts_.jitter_fraction)
           : 0.0;
   return Duration::ms(base_ms * (1.0 + jitter));
+}
+
+void ReliableChannel::register_metrics(obs::Registry& registry,
+                                       const std::string& prefix) const {
+  registry.link_counter(prefix + ".sends", &stats_.sends);
+  registry.link_counter(prefix + ".attempts", &stats_.attempts);
+  registry.link_counter(prefix + ".retries", &stats_.retries);
+  registry.link_counter(prefix + ".timeouts", &stats_.timeouts);
+  registry.link_counter(prefix + ".duplicates_suppressed",
+                        &stats_.duplicates_suppressed);
+  registry.link_counter(prefix + ".corrupt_detected",
+                        &stats_.corrupt_detected);
+  registry.link_counter(prefix + ".delivered", &stats_.delivered);
+  registry.link_counter(prefix + ".abandoned", &stats_.abandoned);
 }
 
 }  // namespace xartrek::hw

@@ -76,6 +76,13 @@ class ReliableChannel {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Options& options() const { return opts_; }
 
+  /// Link the stats counters into a metrics registry under `prefix`.
+  /// Only for channels that outlive the registry's snapshots --
+  /// rebuildable channels (the cluster drain path) should be read
+  /// through Registry::probe instead.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
  private:
   struct Message {
     std::uint64_t seq = 0;

@@ -1,0 +1,134 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace xartrek::obs {
+namespace {
+
+// Deterministic float formatting: fixed conversions, never locale- or
+// platform-dependent shortest-round-trip output.
+void append_fixed(std::string& out, double v, const char* fmt) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string perfetto_trace_json(const Tracer& tracer) {
+  const auto spans = tracer.sorted_spans();
+  std::string out;
+  out.reserve(128 + spans.size() * 120);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  for (const Span& s : spans) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += s.name;
+    out += "\",\"cat\":\"xartrek\",\"ph\":\"X\",\"ts\":";
+    // trace-event timestamps are microseconds; spans are simulated ms.
+    append_fixed(out, s.start_ms * 1000.0, "%.3f");
+    out += ",\"dur\":";
+    append_fixed(out, (s.end_ms - s.start_ms) * 1000.0, "%.3f");
+    out += ",\"pid\":";
+    append_u64(out, s.lane);
+    out += ",\"tid\":";
+    append_u64(out, s.track);
+    out += ",\"args\":{\"trace_id\":";
+    append_u64(out, s.trace_id);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string metrics_json(const Snapshot& snap) {
+  std::string out;
+  out.reserve(64 + snap.scalars.size() * 48 + snap.hists.size() * 160);
+  out += "{\"metrics\":{";
+  bool first = true;
+  for (const auto& s : snap.scalars) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += s.name;
+    out += "\":";
+    append_fixed(out, s.value, "%.6g");
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snap.hists) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += h.name;
+    out += "\":{\"count\":";
+    append_u64(out, h.count);
+    out += ",\"sum\":";
+    append_fixed(out, h.sum, "%.6g");
+    out += ",\"min\":";
+    append_fixed(out, h.min, "%.6g");
+    out += ",\"max\":";
+    append_fixed(out, h.max, "%.6g");
+    out += ",\"p50\":";
+    append_fixed(out, h.p50, "%.6g");
+    out += ",\"p99\":";
+    append_fixed(out, h.p99, "%.6g");
+    out += ",\"p999\":";
+    append_fixed(out, h.p999, "%.6g");
+    out += '}';
+  }
+  out += "}}";
+  return out;
+}
+
+std::string metrics_text(const Snapshot& snap) {
+  std::string out;
+  for (const auto& s : snap.scalars) {
+    out += s.name;
+    if (s.name.size() < 52) out.append(52 - s.name.size(), ' ');
+    out += ' ';
+    append_fixed(out, s.value, "%.6g");
+    if (s.kind == Snapshot::Kind::kGauge) out += "  (gauge)";
+    out += '\n';
+  }
+  for (const auto& h : snap.hists) {
+    out += h.name;
+    if (h.name.size() < 52) out.append(52 - h.name.size(), ' ');
+    out += " count=";
+    append_u64(out, h.count);
+    out += " p50=";
+    append_fixed(out, h.p50, "%.6g");
+    out += " p99=";
+    append_fixed(out, h.p99, "%.6g");
+    out += " p999=";
+    append_fixed(out, h.p999, "%.6g");
+    out += " max=";
+    append_fixed(out, h.max, "%.6g");
+    out += '\n';
+  }
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& contents) {
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f.write(contents.data(),
+          static_cast<std::streamsize>(contents.size()));
+  return f.good();
+}
+
+}  // namespace xartrek::obs

@@ -1,0 +1,35 @@
+// Exporters for the observability layer.
+//
+//  * perfetto_trace_json: Chrome trace-event JSON ("traceEvents" with
+//    ph:"X" complete events, timestamps in microseconds) -- loads
+//    directly in Perfetto / chrome://tracing.  Lanes (cells) map to
+//    pids, tracks to tids, the trace id rides in args.
+//  * metrics_json / metrics_text: registry snapshot dumps, in
+//    registration order.
+//
+// All floating-point output is formatted with fixed "%.3f"/"%.6g"
+// conversions so the bytes are a pure function of the values: two runs
+// with identical snapshots export identical files.
+#pragma once
+
+#include <string>
+
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace xartrek::obs {
+
+// Chrome trace-event / Perfetto JSON for every completed span.
+std::string perfetto_trace_json(const Tracer& tracer);
+
+// Registry snapshot as JSON: {"metrics": {...}, "histograms": {...}}.
+std::string metrics_json(const Snapshot& snap);
+
+// Registry snapshot as aligned human-readable text.
+std::string metrics_text(const Snapshot& snap);
+
+// Write `contents` to `path`, creating parent directories.  Returns
+// false (and logs nothing) on failure so callers in examples can warn.
+bool write_file(const std::string& path, const std::string& contents);
+
+}  // namespace xartrek::obs

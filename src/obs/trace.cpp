@@ -1,0 +1,99 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace xartrek::obs {
+
+Tracer::Tracer(std::size_t lanes, Options opts) : opts_(opts) {
+  XAR_EXPECTS(lanes >= 1);
+  lanes_ = std::vector<Lane>(lanes);
+  for (auto& lane : lanes_) {
+    lane.open.reserve(64);
+    lane.done.reserve(opts_.reserve);
+  }
+}
+
+#ifndef XARTREK_OBS_NO_TRACING
+
+SpanRef Tracer::begin(std::uint32_t lane, std::uint32_t track,
+                      const char* name, std::uint64_t trace_id,
+                      TimePoint start) {
+  if (!sampled(trace_id)) return {};
+  XAR_EXPECTS(lane < lanes_.size());
+  Lane& l = lanes_[lane];
+  const std::uint32_t slot = l.open.acquire();
+  Span& s = l.open[slot];
+  s.name = name;
+  s.trace_id = trace_id;
+  s.seq = l.seq++;
+  s.start_ms = start.to_ms();
+  s.end_ms = start.to_ms();
+  s.lane = lane;
+  s.track = track;
+  return SpanRef{lane, slot, l.open.generation_of(slot)};
+}
+
+void Tracer::end(SpanRef ref, TimePoint end) {
+  if (!ref.valid()) return;
+  XAR_EXPECTS(ref.lane < lanes_.size());
+  Lane& l = lanes_[ref.lane];
+  if (!l.open.live_at(ref.slot, ref.generation)) return;  // stale after clear()
+  Span s = l.open[ref.slot];
+  s.end_ms = end.to_ms();
+  l.open.release(ref.slot);
+  l.done.push_back(s);
+}
+
+void Tracer::emit(std::uint32_t lane, std::uint32_t track, const char* name,
+                  std::uint64_t trace_id, TimePoint start, TimePoint end) {
+  if (!sampled(trace_id)) return;
+  XAR_EXPECTS(lane < lanes_.size());
+  Lane& l = lanes_[lane];
+  Span s;
+  s.name = name;
+  s.trace_id = trace_id;
+  s.seq = l.seq++;
+  s.start_ms = start.to_ms();
+  s.end_ms = end.to_ms();
+  s.lane = lane;
+  s.track = track;
+  l.done.push_back(s);
+}
+
+#endif  // XARTREK_OBS_NO_TRACING
+
+std::size_t Tracer::span_count() const {
+  std::size_t n = 0;
+  for (const auto& l : lanes_) n += l.done.size();
+  return n;
+}
+
+std::vector<Span> Tracer::sorted_spans() const {
+  std::vector<Span> out;
+  out.reserve(span_count());
+  for (const auto& l : lanes_) {
+    out.insert(out.end(), l.done.begin(), l.done.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.start_ms != b.start_ms) return a.start_ms < b.start_ms;
+    if (a.lane != b.lane) return a.lane < b.lane;
+    return a.seq < b.seq;
+  });
+  return out;
+}
+
+void Tracer::clear() {
+  for (auto& l : lanes_) {
+    // Release any still-open spans (their refs go stale via the
+    // generation check) and drop completed ones, keeping capacity.
+    for (std::uint32_t s = 0; s < l.open.size(); ++s) {
+      if (l.open.live_at(s, l.open.generation_of(s))) l.open.release(s);
+    }
+    l.done.clear();
+    l.seq = 0;
+  }
+}
+
+}  // namespace xartrek::obs

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/hash.hpp"
+#include "obs/registry.hpp"
 
 namespace xartrek::popcorn {
 
@@ -325,6 +326,11 @@ void Dsm::start_unit(std::uint32_t unit_slot) {
   if (unit.npages > 1) ++stats_.coalesced_runs;
   const std::uint64_t bytes = unit.npages * cfg_.page_size;
   stats_.bytes_transferred += bytes;
+  if (tracer_ != nullptr) {
+    units_[unit_slot].span =
+        tracer_->begin(trace_lane_, obs::kTrackDsm, "dsm.burst",
+                       stats_.link_transfers, sim_.now());
+  }
   // Checksummed frame: the receiver re-derives the checksum when the
   // run lands and unit_done learns whether the wire corrupted it.
   const std::uint64_t checksum = fnv1a_frame(
@@ -349,6 +355,10 @@ void Dsm::retire_wire_slot(std::size_t node, std::size_t source) {
 }
 
 void Dsm::unit_done(std::uint32_t unit_slot, bool intact) {
+  if (tracer_ != nullptr) {
+    tracer_->end(units_[unit_slot].span, sim_.now());
+    units_[unit_slot].span = {};
+  }
   if (!intact) {
     // The wire corrupted the run: nothing lands -- no bytes, no MSI
     // transitions, claims stay in flight.  Free the wire slot (a parked
@@ -521,6 +531,22 @@ void Dsm::check_invariants() const {
       }
     }
   }
+}
+
+void Dsm::register_metrics(obs::Registry& registry,
+                           const std::string& prefix) const {
+  registry.link_counter(prefix + ".local_page_hits",
+                        &stats_.local_page_hits);
+  registry.link_counter(prefix + ".page_transfers", &stats_.page_transfers);
+  registry.link_counter(prefix + ".invalidations", &stats_.invalidations);
+  registry.link_counter(prefix + ".link_transfers", &stats_.link_transfers);
+  registry.link_counter(prefix + ".coalesced_runs", &stats_.coalesced_runs);
+  registry.link_counter(prefix + ".bytes_transferred",
+                        &stats_.bytes_transferred);
+  registry.link_gauge(prefix + ".max_in_flight", &stats_.max_in_flight);
+  registry.link_counter(prefix + ".corrupt_detected",
+                        &stats_.corrupt_detected);
+  registry.link_counter(prefix + ".retries", &stats_.retries);
 }
 
 }  // namespace xartrek::popcorn

@@ -33,6 +33,7 @@
 
 #include "common/assert.hpp"
 #include "hw/link.hpp"
+#include "obs/trace.hpp"
 #include "sim/callback.hpp"
 #include "sim/simulation.hpp"
 #include "sim/slot_pool.hpp"
@@ -112,6 +113,19 @@ class Dsm {
   [[nodiscard]] const Stats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return cfg_; }
 
+  /// Link the stats counters into a metrics registry under `prefix`.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
+  /// Emit a "dsm.burst" span per wire transfer on `lane` (the shard
+  /// this DSM's simulation runs on).  The span's trace id is the wire
+  /// transfer sequence number, so the tracer's sampling knob thins
+  /// burst spans without touching DSM behavior.  Null detaches.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t lane) {
+    tracer_ = tracer;
+    trace_lane_ = lane;
+  }
+
   /// Protocol invariants: per page, at most one Modified copy and no
   /// Shared copy coexisting with a Modified one; all Shared copies hold
   /// identical bytes.  Throws on violation (tests call this).
@@ -166,6 +180,7 @@ class Dsm {
     std::uint64_t npages = 0;
     std::uint32_t next = kNone;  ///< next unit waiting on the pair window
     std::uint32_t attempts = 0;  ///< wire attempts so far (retry bound)
+    obs::SpanRef span;           ///< open "dsm.burst" span, if traced
   };
 
   /// Window state for one (destination, source) node pair.
@@ -224,6 +239,8 @@ class Dsm {
   std::vector<std::vector<std::byte>> memory_;       // [node][byte]
   std::vector<std::vector<PageState>> page_states_;  // [node][page]
   Stats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
 
   sim::SlotPool<Op> ops_;
   sim::SlotPool<Claim> claims_;

@@ -22,6 +22,7 @@
 
 #include "common/time.hpp"
 #include "hw/link.hpp"
+#include "obs/trace.hpp"
 #include "popcorn/machine_state.hpp"
 #include "popcorn/state_transform.hpp"
 #include "sim/callback.hpp"
@@ -84,6 +85,14 @@ class MigrationRuntime {
   /// Completed migrations (diagnostics).
   [[nodiscard]] std::uint64_t migrations() const { return migrations_; }
 
+  /// Emit "popcorn.transform" / "popcorn.transfer" leg spans on `lane`
+  /// (the shard this runtime's simulation runs on); the span trace id
+  /// is the migration sequence number.  Null detaches.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t lane) {
+    tracer_ = tracer;
+    trace_lane_ = lane;
+  }
+
  private:
   /// Ship `payload` and (optionally) charge the transform concurrently;
   /// the arrival delivers when the later of the two completes.
@@ -91,6 +100,20 @@ class MigrationRuntime {
   void overlap_and_deliver(Duration transform_cost, std::uint64_t payload,
                            State state, Cb cb, bool charge_transform_cost) {
     if (!charge_transform_cost || transform_cost <= Duration::zero()) {
+      if (tracer_ != nullptr) {
+        const std::uint64_t mig_id = ++started_;
+        if (tracer_->sampled(mig_id)) {
+          obs::SpanRef span =
+              tracer_->begin(trace_lane_, obs::kTrackMigration,
+                             "popcorn.transfer", mig_id, sim_.now());
+          ethernet_.transfer(payload, [this, span, state = std::move(state),
+                                       cb = std::move(cb)]() mutable {
+            tracer_->end(span, sim_.now());
+            deliver_arrival(std::move(state), std::move(cb));
+          });
+          return;
+        }
+      }
       ethernet_.transfer(payload, [this, state = std::move(state),
                                    cb = std::move(cb)]() mutable {
         deliver_arrival(std::move(state), std::move(cb));
@@ -114,6 +137,22 @@ class MigrationRuntime {
                                   std::move(join->cb));
       }
     };
+    const std::uint64_t mig_id = ++started_;
+    if (tracer_ != nullptr && tracer_->sampled(mig_id)) {
+      // The transform leg's duration is known up front; the transfer
+      // leg closes when the last byte lands (link contention decides).
+      tracer_->emit(trace_lane_, obs::kTrackMigration, "popcorn.transform",
+                    mig_id, sim_.now(), sim_.now() + transform_cost);
+      obs::SpanRef span =
+          tracer_->begin(trace_lane_, obs::kTrackMigration,
+                         "popcorn.transfer", mig_id, sim_.now());
+      sim_.schedule_in(transform_cost, leg);
+      ethernet_.transfer(payload, [this, span, leg]() mutable {
+        tracer_->end(span, sim_.now());
+        leg();
+      });
+      return;
+    }
     sim_.schedule_in(transform_cost, leg);
     ethernet_.transfer(payload, std::move(leg));
   }
@@ -139,6 +178,9 @@ class MigrationRuntime {
   const StateTransformer* transformer_;
   sim::CrossShardChannel arrival_;
   std::uint64_t migrations_ = 0;
+  std::uint64_t started_ = 0;  ///< migrations begun (span trace ids)
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
 };
 
 }  // namespace xartrek::popcorn

@@ -42,7 +42,10 @@ enum class MessageType : std::uint8_t {
 struct PlacementRequestMsg {
   std::string app;
   std::string kernel;
-  std::uint32_t pid = 0;  ///< client process id (diagnostics)
+  /// Client process id -- doubles as the trace context: a tracked job's
+  /// trace id (cluster job id + 1) rides here so the server's decision
+  /// spans stitch to the submitting job's.  0 = untracked.
+  std::uint32_t pid = 0;
 
   bool operator==(const PlacementRequestMsg&) const = default;
 };

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/assert.hpp"
+#include "obs/registry.hpp"
 #include "runtime/protocol.hpp"
 
 namespace xartrek::runtime {
@@ -124,8 +125,10 @@ void SchedulerServer::maybe_start_reconfiguration(std::string_view kernel) {
   ++stats_.reconfigurations_started;
   log_.info("server: reconfiguring FPGA with ", image->id, " for kernel ",
             kernel);
+  const obs::SpanRef span = begin_reconfigure_span();
   device_.reconfigure(
-      *image, [this, id = image->id](fpga::ReconfigureResult result) {
+      *image, [this, span, id = image->id](fpga::ReconfigureResult result) {
+        end_reconfigure_span(span);
         if (succeeded(result)) {
           log_.debug("server: reconfiguration ", id, " complete");
         } else {
@@ -133,6 +136,16 @@ void SchedulerServer::maybe_start_reconfiguration(std::string_view kernel) {
                     fpga::to_string(result), ") -- kernels not resident");
         }
       });
+}
+
+obs::SpanRef SchedulerServer::begin_reconfigure_span() {
+  if (tracer_ == nullptr || !tracer_->sampled(0)) return obs::SpanRef{};
+  return tracer_->begin(trace_lane_, obs::kTrackFpga, "fpga.reconfigure",
+                        /*trace_id=*/0, sim_.now());
+}
+
+void SchedulerServer::end_reconfigure_span(obs::SpanRef span) {
+  if (tracer_ != nullptr) tracer_->end(span, sim_.now());
 }
 
 fpga::ResidencyView SchedulerServer::residency(
@@ -155,8 +168,10 @@ bool SchedulerServer::ensure_resident(std::string_view kernel) {
     return false;
   }
   log_.debug("server: warming ", image->id, " for kernel ", kernel);
+  const obs::SpanRef span = begin_reconfigure_span();
   device_.reconfigure(
-      *image, [this, id = image->id](fpga::ReconfigureResult result) {
+      *image, [this, span, id = image->id](fpga::ReconfigureResult result) {
+        end_reconfigure_span(span);
         if (!succeeded(result)) {
           log_.warn("server: warm load of ", id, " failed (",
                     fpga::to_string(result), ")");
@@ -300,6 +315,7 @@ void SchedulerServer::heartbeat_timeout(std::uint64_t seq) {
 }
 
 void SchedulerServer::request_placement(std::string_view app,
+                                        std::uint32_t pid,
                                         DecisionCallback on_decision) {
   XAR_EXPECTS(on_decision != nullptr);
   // The client marshals its request over the socket; the server decodes
@@ -329,14 +345,14 @@ void SchedulerServer::request_placement(std::string_view app,
     fresh.tail = sim::SlotPool<int>::kNoSlot;
     fresh.count = 0;
     fresh.arena.clear();
+    fresh.at = sim_.now();
     open_batch_at_ = sim_.now();
     const std::uint32_t batch_slot = open_batch_;
     sim_.schedule_in(opts_.request_overhead,
                      [this, batch_slot] { finish_batch(batch_slot); });
   }
   Batch& batch = batches_[open_batch_];
-  encode_placement_request_append(app, /*kernel=*/{}, /*pid=*/0,
-                                  batch.arena);
+  encode_placement_request_append(app, /*kernel=*/{}, pid, batch.arena);
   if (batch.tail == sim::SlotPool<int>::kNoSlot) {
     batch.head = slot;
   } else {
@@ -357,9 +373,16 @@ void SchedulerServer::finish_batch(std::uint32_t batch_slot) {
   arena_scratch_.swap(finishing.arena);
   const std::uint32_t head = finishing.head;
   const std::uint32_t count = finishing.count;
+  const TimePoint opened_at = finishing.at;
   batches_.release(batch_slot);
   ++stats_.batches;
   if (count > stats_.max_batch) stats_.max_batch = count;
+  if (tracer_ != nullptr && tracer_->sampled(0)) {
+    // The pass itself runs at one instant; the span covers the socket
+    // round trip the batch spent in flight.
+    tracer_->emit(trace_lane_, obs::kTrackSched, "sched.batch",
+                  /*trace_id=*/0, opened_at, sim_.now());
+  }
 
   // ONE vectorized decode sweep over the packed arena replaces the
   // per-request decode_message_view calls: a single pass touches the
@@ -498,12 +521,52 @@ void SchedulerServer::finish_one(std::uint32_t slot, int load,
   }
   log_.trace("server: app=", request.app, " load=", load, " -> ",
              to_string(decision.target));
+  if (tracer_ != nullptr && request.pid != 0 &&
+      tracer_->sampled(request.pid)) {
+    // Stitch the decision to the submitting job via the wire-carried
+    // trace id (PlacementRequestMsg::pid).
+    tracer_->instant(trace_lane_, obs::kTrackSched, "sched.decide",
+                     request.pid, sim_.now());
+    if (decision.reconfiguration_started) {
+      tracer_->instant(trace_lane_, obs::kTrackSched, "sched.reconfigure",
+                       request.pid, sim_.now());
+    }
+  }
   // The request view stays valid (it aliases the pass's arena scratch,
   // not the slot); the callback runs last so it may immediately issue
   // the next request.
   DecisionCallback cb = std::move(pending_[slot].on_decision);
   pending_.release(slot);
   answer(std::move(cb), decision);
+}
+
+void SchedulerServer::register_metrics(obs::Registry& registry,
+                                       const std::string& prefix) const {
+  registry.link_counter(prefix + ".requests", &stats_.requests);
+  registry.link_counter(prefix + ".to_x86", &stats_.to_x86);
+  registry.link_counter(prefix + ".to_arm", &stats_.to_arm);
+  registry.link_counter(prefix + ".to_fpga", &stats_.to_fpga);
+  registry.link_counter(prefix + ".reconfigurations_started",
+                        &stats_.reconfigurations_started);
+  registry.link_counter(prefix + ".batches", &stats_.batches);
+  registry.link_gauge(prefix + ".max_batch", &stats_.max_batch);
+  registry.link_counter(prefix + ".residency_probes",
+                        &stats_.residency_probes);
+  registry.link_counter(prefix + ".heartbeats_sent",
+                        &stats_.heartbeats_sent);
+  registry.link_counter(prefix + ".heartbeats_missed",
+                        &stats_.heartbeats_missed);
+  registry.link_counter(prefix + ".late_replies", &stats_.late_replies);
+  registry.link_counter(prefix + ".evictions", &stats_.evictions);
+  registry.link_counter(prefix + ".reinstatements",
+                        &stats_.reinstatements);
+  registry.link_counter(prefix + ".slow_replies", &stats_.slow_replies);
+  registry.link_counter(prefix + ".breaker_trips", &stats_.breaker_trips);
+  registry.link_counter(prefix + ".breaker_closes",
+                        &stats_.breaker_closes);
+  if (slots_ != nullptr) {
+    slots_->register_metrics(registry, prefix + ".slots");
+  }
 }
 
 void SchedulerServer::answer(DecisionCallback cb, PlacementDecision decision) {

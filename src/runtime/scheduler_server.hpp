@@ -181,7 +181,17 @@ class SchedulerServer {
 
   /// Handle one client request for `app` (Algorithm 2 main loop body).
   /// The callback fires after the socket round trip with the decision.
-  void request_placement(std::string_view app, DecisionCallback on_decision);
+  void request_placement(std::string_view app, DecisionCallback on_decision) {
+    request_placement(app, /*pid=*/0, std::move(on_decision));
+  }
+
+  /// Same, carrying the caller's trace context: `pid` rides in the
+  /// existing PlacementRequestMsg::pid wire field through the batch
+  /// pass, so an attached tracer can tag the per-request decision with
+  /// the submitting job's trace id.  0 = untracked (the default
+  /// overload); the decision itself is identical either way.
+  void request_placement(std::string_view app, std::uint32_t pid,
+                         DecisionCallback on_decision);
 
   /// Topology registration: the server is node `self`, its clients node
   /// `client`.  When the partitioner put them on different shards,
@@ -256,6 +266,24 @@ class SchedulerServer {
   /// refined thresholds).
   [[nodiscard]] std::vector<std::vector<std::byte>> broadcast_table() const;
 
+  /// Link the stats counters into a metrics registry under `prefix`
+  /// (and the slot scheduler's, when present, under `prefix + ".slots"`).
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
+  /// Emit scheduler spans on `lane` (the shard this server runs on):
+  /// "sched.batch" around each decision pass, "sched.decide" instants
+  /// per traced request, "sched.reconfigure" instants when Algorithm 2
+  /// starts a background download, and "fpga.reconfigure" around
+  /// whole-image downloads.  Forwards to the slot scheduler (which adds
+  /// "fpga.slot_program") when the device is virtualized.  Null
+  /// detaches.
+  void set_tracer(obs::Tracer* tracer, std::uint32_t lane) {
+    tracer_ = tracer;
+    trace_lane_ = lane;
+    if (slots_ != nullptr) slots_->set_tracer(tracer, lane, &sim_);
+  }
+
  private:
   /// One in-flight request: the client's decision callback.  The wire
   /// frame itself lives packed in its batch's arena (below).  Slots
@@ -276,6 +304,7 @@ class SchedulerServer {
     std::uint32_t tail = sim::SlotPool<int>::kNoSlot;
     std::uint32_t count = 0;
     std::vector<std::byte> arena;
+    TimePoint at;  ///< instant the batch opened (span start)
   };
 
   /// The image that contains `kernel`, or nullptr (the server's "Query
@@ -286,6 +315,10 @@ class SchedulerServer {
       std::string_view kernel) const;
 
   void maybe_start_reconfiguration(std::string_view kernel);
+  /// "fpga.reconfigure" span around a whole-image download (invalid ref
+  /// / no-op when no tracer is attached).
+  obs::SpanRef begin_reconfigure_span();
+  void end_reconfigure_span(obs::SpanRef span);
   /// One heartbeat tick: ping, arm the timeout, schedule the next tick.
   void heartbeat_tick();
   void heartbeat_reply(std::uint64_t seq, bool slow);
@@ -358,6 +391,10 @@ class SchedulerServer {
   std::uint32_t breaker_gray_streak_ = 0;
   TimePoint breaker_opened_at_;
   double reply_latency_scale_ = 1.0;
+
+  // Observability (inert until set_tracer / register_metrics).
+  obs::Tracer* tracer_ = nullptr;
+  std::uint32_t trace_lane_ = 0;
 };
 
 }  // namespace xartrek::runtime

@@ -77,7 +77,11 @@ class SpscRing {
 
   /// Deepest the ring has ever been.  Written by the producer only;
   /// read it from the producer's thread, or from anywhere once the
-  /// epoch barriers (or a join) have ordered the sides.
+  /// epoch barriers (or a join) have ordered the sides.  Exact for the
+  /// ring itself (the consumer only pops at boundaries, so the
+  /// producer-side depth never misses a peak); traffic that overflowed
+  /// into the shard's spill FIFO is not visible here -- the sharded
+  /// engine folds it in via ShardedSimulation::mailbox_pair_hwm().
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
 
  private:

@@ -13,6 +13,7 @@
 #endif
 
 #include "common/cpu_time.hpp"
+#include "obs/registry.hpp"
 
 namespace xartrek::sim {
 
@@ -79,6 +80,7 @@ ShardedSimulation::ShardedSimulation(Options opts) : opts_(opts) {
     auto state = std::make_unique<ShardState>();
     state->spill.resize(n);
     state->spill_head.assign(n, 0);
+    state->spill_peak.assign(n, 0);
     shards_.push_back(std::move(state));
   }
   mailboxes_.reserve(n * n);
@@ -157,6 +159,12 @@ void ShardedSimulation::post(ShardId src, ShardId dst, TimePoint t,
     ++s.stats.backpressure_stalls;
     spill.push_back(std::move(ev));
     ++s.spilled;
+    // Producer-exact pair depth including the overflow the ring's own
+    // high_water cannot see (the consumer is parked mid-window, so
+    // size() is exact here).
+    const std::size_t depth =
+        mailbox(src, dst).size() + (spill.size() - s.spill_head[dst]);
+    if (depth > s.spill_peak[dst]) s.spill_peak[dst] = depth;
   } else {
     inbound_[dst].n.fetch_add(1, std::memory_order_relaxed);
   }
@@ -204,7 +212,23 @@ void ShardedSimulation::drain_inbound(ShardId dst) {
     }
   }
   d.stats.received += drained;
-  if (drained > d.stats.mailbox_hwm) d.stats.mailbox_hwm = drained;
+  // Exact inbound occupancy at this boundary: what the rings delivered
+  // plus backlog still spilled at the sources.  Reading the sources'
+  // spill bookkeeping here is race-free -- spill is written only in
+  // the flush/run phases, and the flushed barrier (which every worker
+  // has passed before any drain starts) orders those writes before
+  // this read.  Backlog can only be nonzero while the source's ring to
+  // us is full, so the pending==0 early-out above never skips it.
+  std::uint64_t backlog = 0;
+  for (ShardId src = 0; src < shards_.size(); ++src) {
+    if (src == dst) continue;
+    const ShardState& ss = *shards_[src];
+    if (ss.spilled == 0) continue;
+    backlog += ss.spill[dst].size() - ss.spill_head[dst];
+  }
+  if (drained + backlog > d.stats.mailbox_hwm) {
+    d.stats.mailbox_hwm = drained + backlog;
+  }
   pending.fetch_sub(drained, std::memory_order_relaxed);
 }
 
@@ -443,6 +467,47 @@ std::size_t ShardedSimulation::run_span(TimePoint horizon) {
     }
   }
   return executed;
+}
+
+std::uint64_t ShardedSimulation::mailbox_pair_hwm(ShardId src,
+                                                  ShardId dst) const {
+  XAR_EXPECTS(src < shards_.size() && dst < shards_.size());
+  if (src == dst) return 0;
+  const std::size_t ring =
+      mailboxes_[src * shards_.size() + dst]->high_water();
+  const std::size_t spill = shards_[src]->spill_peak[dst];
+  return static_cast<std::uint64_t>(std::max(ring, spill));
+}
+
+void ShardedSimulation::register_metrics(obs::Registry& registry,
+                                         const std::string& prefix) const {
+  const std::size_t n = shards_.size();
+  for (std::size_t s = 0; s < n; ++s) {
+    const std::string base = prefix + ".shard" + std::to_string(s) + ".";
+    const ShardStats& st = shards_[s]->stats;
+    registry.link_counter(base + "executed", &st.executed);
+    registry.link_counter(base + "posts", &st.posts);
+    registry.link_counter(base + "received", &st.received);
+    registry.link_counter(base + "backpressure_stalls",
+                          &st.backpressure_stalls);
+    // steals (like busy_seconds) is wall-clock scheduling state -- 0 in
+    // serial mode, worker-dependent in parallel -- so registering it
+    // would break the byte-identical serial-vs-parallel snapshot.
+    registry.link_gauge(base + "mailbox_hwm", &st.mailbox_hwm);
+  }
+  for (std::size_t src = 0; src < n; ++src) {
+    for (std::size_t dst = 0; dst < n; ++dst) {
+      if (src == dst) continue;
+      registry.probe(
+          prefix + ".mailbox." + std::to_string(src) + "_" +
+              std::to_string(dst) + ".hwm",
+          [this, src, dst] {
+            return static_cast<double>(mailbox_pair_hwm(
+                static_cast<ShardId>(src), static_cast<ShardId>(dst)));
+          },
+          obs::Registry::Kind::kGauge);
+    }
+  }
 }
 
 std::size_t ShardedSimulation::run() {

@@ -61,6 +61,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/assert.hpp"
@@ -69,6 +70,10 @@
 #include "sim/exec_options.hpp"
 #include "sim/mailbox.hpp"
 #include "sim/simulation.hpp"
+
+namespace xartrek::obs {
+class Registry;
+}  // namespace xartrek::obs
 
 namespace xartrek::sim {
 
@@ -96,8 +101,11 @@ struct ShardStats {
   double busy_seconds = 0.0;
   /// Times the rebalancer moved this shard to another worker.
   std::uint64_t steals = 0;
-  /// Most messages ever drained into this shard at one boundary (the
-  /// inbound burst the adaptive-epoch signal reacts to).
+  /// Largest inbound occupancy ever observed at a drained boundary:
+  /// messages popped from the rings PLUS backlog still sitting in
+  /// source-side spill FIFOs destined here.  Exact -- a burst that
+  /// overflowed the rings is counted the boundary it happened, not
+  /// epochs later when the spill finally drains through.
   std::uint64_t mailbox_hwm = 0;
 };
 
@@ -201,6 +209,20 @@ class ShardedSimulation {
     return shards_[id]->stats;
   }
 
+  /// Deepest the (src, dst) pair's traffic has ever run: ring
+  /// high-water plus any spill backlog at the moment of the peak.
+  /// Producer-exact during a window; read it between runs (a boundary
+  /// barrier or join orders it).
+  [[nodiscard]] std::uint64_t mailbox_pair_hwm(ShardId src, ShardId dst) const;
+
+  /// Register per-shard counters and per-(src,dst) mailbox high-water
+  /// gauges under `prefix` (e.g. "sim").  Only deterministic values
+  /// are registered (wall-clock busy_seconds and the scheduling-
+  /// dependent steals counter are deliberately skipped), so serial and
+  /// parallel runs snapshot identically.
+  void register_metrics(obs::Registry& registry,
+                        const std::string& prefix) const;
+
   /// Current time (all shard clocks agree between runs).
   [[nodiscard]] TimePoint now() const { return shards_[0]->sim.now(); }
 
@@ -220,6 +242,11 @@ class ShardedSimulation {
     /// flush and the boundary's min_next scan skip shards that have
     /// never spilled with one load instead of an O(shards) walk.
     std::size_t spilled = 0;
+    /// Per-destination peak of ring depth + spill backlog, recorded by
+    /// the producer at post time -- the spill-inclusive half of
+    /// mailbox_pair_hwm() (the ring's own high_water covers bursts
+    /// that never overflowed).
+    std::vector<std::size_t> spill_peak;
   };
 
   /// One inbound-occupancy counter per destination shard: messages
